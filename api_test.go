@@ -1,0 +1,111 @@
+package omegago
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestScanSFS(t *testing.T) {
+	ds := simulated(t, 200, 30, 11)
+	ws, err := ScanSFS(ds, 10, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 10 {
+		t.Fatalf("%d windows, want 10", len(ws))
+	}
+	for _, w := range ws {
+		if w.SegSites < 0 || math.IsNaN(w.TajimaD) {
+			t.Errorf("bad window %+v", w)
+		}
+	}
+	if _, err := ScanSFS(nil, 10, 1000); err == nil {
+		t.Error("nil dataset should error")
+	}
+}
+
+func TestSFSAndOmegaAgreeOnSweepLocation(t *testing.T) {
+	ds, err := Simulate(SimConfig{
+		SampleSize: 40, Replicates: 1, SegSites: 400, Rho: 300, Seed: 55,
+		Sweep: &SweepSimConfig{Position: 0.5, Alpha: 1500},
+	}, 300000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Scan(ds, Config{GridSize: 30, MinWindow: 8000, MaxWindow: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := rep.Best()
+	if !ok {
+		t.Fatal("no ω result")
+	}
+	ws, err := ScanSFS(ds, 30, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minD, seen := 0.0, false
+	minDCenter := 0.0
+	for _, w := range ws {
+		if w.SegSites > 0 && (!seen || w.TajimaD < minD) {
+			minD, minDCenter, seen = w.TajimaD, w.Center, true
+		}
+	}
+	if !seen {
+		t.Fatal("no SFS result")
+	}
+	// Both detectors should land within a third of the region of the
+	// true sweep site at 150 kb.
+	for name, center := range map[string]float64{"omega": best.Center, "tajima": minDCenter} {
+		if math.Abs(center-150000) > 100000 {
+			t.Errorf("%s detector at %.0f, want near 150000", name, center)
+		}
+	}
+	if minD >= 0 {
+		t.Errorf("min Tajima's D = %.2f, expected negative after a sweep", minD)
+	}
+}
+
+func TestWriteReportFromScan(t *testing.T) {
+	ds := simulated(t, 120, 20, 13)
+	rep, err := Scan(ds, Config{GridSize: 8, MaxWindow: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.WriteReport(&sb, "unit test"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "// unit test") {
+		t.Error("report missing label")
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 8 {
+		t.Errorf("report has %d lines, want ≥ 8", lines)
+	}
+}
+
+func TestLoadMSAll(t *testing.T) {
+	in := "//\nsegsites: 2\npositions: 0.25 0.75\n01\n10\n11\n\n//\nsegsites: 0\npositions:\n\n//\nsegsites: 1\npositions: 0.5\n1\n0\n0\n"
+	all, err := LoadMSAll(strings.NewReader(in), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("got %d replicates, want 3", len(all))
+	}
+	if all[0] == nil || all[0].NumSNPs() != 2 {
+		t.Error("replicate 1 wrong")
+	}
+	if all[1] != nil {
+		t.Error("empty replicate should be nil")
+	}
+	if all[2] == nil || all[2].Samples() != 3 {
+		t.Error("replicate 3 wrong")
+	}
+	if _, err := LoadMSAll(strings.NewReader("nonsense"), 1000); err == nil {
+		t.Error("garbage should error")
+	}
+}

@@ -1,0 +1,129 @@
+package omegago_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline builds the command-line tools and drives the full
+// user workflow end to end: simulate → convert → LD stats → ω scan
+// (with report, HTML and trace outputs) → batch scan. This is the
+// closest thing to a user's first session.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := map[string]string{}
+	for _, tool := range []string{"msgo", "omegago", "ldgo", "convert"} {
+		path := filepath.Join(dir, tool)
+		out, err := exec.Command("go", "build", "-o", path, "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+		bin[tool] = path
+	}
+	run := func(name string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin[name], args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	// 1. Simulate two replicates with a sweep.
+	msPath := filepath.Join(dir, "sweep.ms")
+	msOut := run("msgo", "40", "2", "-s", "250", "-r", "60",
+		"-sweep-pos", "0.5", "-sweep-alpha", "2000", "-seed", "7")
+	if err := os.WriteFile(msPath, []byte(msOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msOut, "segsites: 250") {
+		t.Fatalf("msgo output malformed:\n%.200s", msOut)
+	}
+
+	// 2. Convert replicate 1 to VCF.
+	vcfPath := filepath.Join(dir, "sweep.vcf")
+	run("convert", "-in", msPath, "-informat", "ms", "-length", "200000",
+		"-out", vcfPath, "-outformat", "vcf")
+	vcf, err := os.ReadFile(vcfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(vcf), "#CHROM") {
+		t.Fatal("convert produced no VCF header")
+	}
+
+	// 3. LD decay profile.
+	ldOut := run("ldgo", "-input", msPath, "-length", "200000", "-decay", "5")
+	if !strings.Contains(ldOut, "# bin_center_bp") {
+		t.Fatalf("ldgo output malformed:\n%s", ldOut)
+	}
+
+	// 4. Scan the ms input with every artifact flag.
+	reportPath := filepath.Join(dir, "scan.report")
+	htmlPath := filepath.Join(dir, "scan.html")
+	tracePath := filepath.Join(dir, "scan.trace")
+	scanOut := run("omegago", "-input", msPath, "-length", "200000",
+		"-grid", "20", "-maxwin", "40000", "-quiet", "-top", "1",
+		"-report", reportPath, "-html", htmlPath, "-trace", tracePath)
+	if !strings.Contains(scanOut, "top 1 sweep candidates") {
+		t.Fatalf("scan output malformed:\n%s", scanOut)
+	}
+	for _, p := range []string{reportPath, htmlPath, tracePath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty: %v", p, err)
+		}
+	}
+
+	// 5. Scan the converted VCF and check the candidate agrees with the
+	// ms scan (same data, same grid).
+	vcfScan := run("omegago", "-input", vcfPath, "-format", "vcf",
+		"-grid", "20", "-maxwin", "40000", "-quiet", "-top", "1")
+	msBest := candidateLine(t, scanOut)
+	vcfBest := candidateLine(t, vcfScan)
+	// Positions differ by VCF integer rounding only; compare the ω value
+	// formatted in the candidate line.
+	if msOmega, vcfOmega := omegaField(t, msBest), omegaField(t, vcfBest); msOmega != vcfOmega {
+		t.Errorf("ms scan candidate %q vs VCF scan %q", msBest, vcfBest)
+	}
+
+	// 6. Batch mode over both replicates.
+	batch := run("omegago", "-input", msPath, "-length", "200000",
+		"-grid", "10", "-maxwin", "40000", "-replicate", "all")
+	if strings.Count(batch, "\n") < 4 || !strings.Contains(batch, "batch scan: 2 replicates") {
+		t.Fatalf("batch output malformed:\n%s", batch)
+	}
+
+	// 7. Accelerator backends agree through the CLI too.
+	gpuScan := run("omegago", "-input", msPath, "-length", "200000",
+		"-grid", "20", "-maxwin", "40000", "-quiet", "-top", "1", "-backend", "gpu")
+	if omegaField(t, candidateLine(t, gpuScan)) != omegaField(t, msBest) {
+		t.Error("GPU backend CLI scan diverged")
+	}
+}
+
+func candidateLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "1. position") {
+			return strings.TrimSpace(line)
+		}
+	}
+	t.Fatalf("no candidate line in:\n%s", out)
+	return ""
+}
+
+func omegaField(t *testing.T, line string) string {
+	t.Helper()
+	i := strings.Index(line, "ω = ")
+	if i < 0 {
+		t.Fatalf("no omega field in %q", line)
+	}
+	rest := line[i+len("ω = "):]
+	return strings.Fields(rest)[0]
+}

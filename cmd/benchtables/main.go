@@ -1,0 +1,100 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation section (§VI) using the harness package.
+//
+// Usage:
+//
+//	benchtables            # all experiments, full scale
+//	benchtables -quick     # all experiments, reduced scale
+//	benchtables -only fig12,table3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"omegago/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtables: ")
+	quick := flag.Bool("quick", false, "run reduced-scale experiments")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig12,table3)")
+	charts := flag.Bool("charts", false, "also render figures as terminal plots")
+	jsonOut := flag.String("out", "", "also write all generated tables as JSON to this path")
+	flag.Parse()
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToLower(id)); id != "" {
+			wanted[id] = true
+		}
+	}
+
+	type step struct {
+		id  string
+		run func() (*harness.Table, error)
+	}
+	steps := []step{
+		{"table1", func() (*harness.Table, error) { return harness.Table1(), nil }},
+		{"table2", func() (*harness.Table, error) { return harness.Table2(), nil }},
+		{"fig10", func() (*harness.Table, error) { return harness.Fig10(), nil }},
+		{"fig11", func() (*harness.Table, error) { return harness.Fig11(), nil }},
+		{"fig12", func() (*harness.Table, error) { return harness.Fig12(*quick) }},
+		{"fig13", func() (*harness.Table, error) { return harness.Fig13(*quick) }},
+		{"fig14", func() (*harness.Table, error) { return harness.Fig14(*quick) }},
+		{"table3", func() (*harness.Table, error) { return harness.Table3(*quick) }},
+		{"table4", func() (*harness.Table, error) { return harness.Table4(*quick) }},
+		{"profile", func() (*harness.Table, error) { return harness.Profile(*quick) }},
+		{"ablations", func() (*harness.Table, error) { return harness.Ablations(*quick) }},
+	}
+
+	var generated []*harness.Table
+	ran := 0
+	for _, s := range steps {
+		if len(wanted) > 0 && !wanted[s.id] {
+			continue
+		}
+		t0 := time.Now()
+		tbl, err := s.run()
+		if err != nil {
+			log.Fatalf("%s: %v", s.id, err)
+		}
+		generated = append(generated, tbl)
+		fmt.Println(tbl.Render())
+		if *charts {
+			if plot := tbl.RenderCharts(); plot != "" {
+				fmt.Println(plot)
+			}
+		}
+		fmt.Printf("(%s generated in %.2fs)\n\n", s.id, time.Since(t0).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		log.Println("no experiment matched -only; known ids:")
+		for _, s := range steps {
+			fmt.Fprintf(os.Stderr, "  %s\n", s.id)
+		}
+		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(generated); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d experiment(s) to %s", len(generated), *jsonOut)
+	}
+}

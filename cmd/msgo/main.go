@@ -1,0 +1,140 @@
+// Command msgo is a Hudson's-ms-style coalescent simulator. It writes
+// ms-format output that omegago (and real OmegaPlus) can read.
+//
+// Usage (mirroring ms):
+//
+//	msgo 50 10 -t 20                  # 50 haplotypes, 10 replicates, θ=20
+//	msgo 50 1 -s 2000 -r 100          # fixed 2000 sites, ρ=100
+//	msgo 40 1 -s 500 -r 80 -sweep 0.5 2000   # completed sweep at the midpoint
+//
+// Flags may also be given before the positional arguments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"omegago/internal/mssim"
+	"omegago/internal/seqio"
+)
+
+// epochsFlag collects repeated -eN "t x" size-change flags.
+type epochsFlag []mssim.Epoch
+
+func (e *epochsFlag) String() string {
+	parts := make([]string, len(*e))
+	for i, ep := range *e {
+		parts[i] = fmt.Sprintf("%g %g", ep.Time, ep.Size)
+	}
+	return strings.Join(parts, "; ")
+}
+
+func (e *epochsFlag) Set(v string) error {
+	fields := strings.Fields(v)
+	if len(fields) != 2 {
+		return fmt.Errorf("want %q, got %q", "-eN 't x'", v)
+	}
+	t, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return err
+	}
+	x, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return err
+	}
+	*e = append(*e, mssim.Epoch{Time: t, Size: x})
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msgo: ")
+
+	var (
+		theta      = flag.Float64("t", 0, "scaled mutation rate θ = 4Nμ")
+		segs       = flag.Int("s", 0, "fixed number of segregating sites")
+		rho        = flag.Float64("r", 0, "scaled recombination rate ρ = 4Nr")
+		seed       = flag.Int64("seed", 1, "random seed")
+		sweepPos   = flag.Float64("sweep-pos", -1, "sweep position as a locus fraction (enables the sweep model)")
+		sweepAlpha = flag.Float64("sweep-alpha", 1000, "sweep strength α = 2Ns")
+		trees      = flag.Bool("T", false, "output genealogies in Newick format (no recombination only)")
+		islands    = flag.String("I", "", "island model 'npop n1 n2 … M' (e.g. -I '2 10 10 1.5')")
+		growth     = flag.Float64("G", 0, "exponential growth rate α (single-genealogy engine only)")
+	)
+	var epochs epochsFlag
+	flag.Var(&epochs, "eN", "population size change 't x' (repeatable; time in 4N₀ units, size ratio x)")
+	// Accept "msgo nsam nreps -t 20" (ms order) by splitting positionals
+	// off before flag parsing.
+	args := os.Args[1:]
+	var positionals []string
+	for len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		positionals = append(positionals, args[0])
+		args = args[1:]
+	}
+	if err := flag.CommandLine.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	positionals = append(positionals, flag.Args()...)
+	if len(positionals) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: msgo <nsam> <nreps> [-t θ | -s sites] [-r ρ] [-seed n] [-sweep-pos x -sweep-alpha a]")
+		os.Exit(2)
+	}
+	nsam, err := strconv.Atoi(positionals[0])
+	if err != nil {
+		log.Fatalf("bad sample size %q", positionals[0])
+	}
+	nreps, err := strconv.Atoi(positionals[1])
+	if err != nil {
+		log.Fatalf("bad replicate count %q", positionals[1])
+	}
+
+	cfg := mssim.Config{
+		SampleSize:  nsam,
+		Replicates:  nreps,
+		Theta:       *theta,
+		SegSites:    *segs,
+		Rho:         *rho,
+		Seed:        *seed,
+		Demography:  epochs,
+		GrowthRate:  *growth,
+		OutputTrees: *trees,
+	}
+	if *sweepPos >= 0 {
+		cfg.Sweep = &mssim.SweepConfig{Position: *sweepPos, Alpha: *sweepAlpha}
+	}
+	if *islands != "" {
+		fields := strings.Fields(*islands)
+		if len(fields) < 4 {
+			log.Fatalf("bad -I %q (want 'npop n1 n2 … M')", *islands)
+		}
+		npop, err := strconv.Atoi(fields[0])
+		if err != nil || npop < 2 || len(fields) != npop+2 {
+			log.Fatalf("bad -I %q: npop and %d deme sizes plus M required", *islands, npop)
+		}
+		ic := &mssim.IslandConfig{}
+		for _, f := range fields[1 : 1+npop] {
+			sz, err := strconv.Atoi(f)
+			if err != nil {
+				log.Fatalf("bad -I deme size %q", f)
+			}
+			ic.SampleSizes = append(ic.SampleSizes, sz)
+		}
+		m, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			log.Fatalf("bad -I migration rate %q", fields[len(fields)-1])
+		}
+		ic.MigrationRate = m
+		cfg.Islands = ic
+	}
+	reps, err := mssim.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := seqio.WriteMS(os.Stdout, cfg.CommandEcho(), reps); err != nil {
+		log.Fatal(err)
+	}
+}

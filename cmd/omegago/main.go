@@ -1,0 +1,331 @@
+// Command omegago is an OmegaPlus-style selective sweep scanner.
+//
+// It reads a SNP alignment (ms, FASTA, or VCF format), computes the
+// maximum ω statistic at a grid of positions along the region, and
+// prints one row per grid position plus the best candidate.
+//
+// Usage:
+//
+//	omegago -input data.ms -format ms -length 1000000 -grid 200 -maxwin 20000
+//	omegago -input chr1.vcf -format vcf -grid 1000 -minwin 1000 -maxwin 50000
+//	omegago -input aln.fa -format fasta -backend gpu -threads 4
+//
+// Backends: cpu (default), gpu (simulated Tesla K80 / Radeon HD8750M),
+// fpga (simulated Alveo U200 / ZCU102). Accelerator backends print the
+// modeled device-time breakdown alongside bit-identical results.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"omegago"
+	"omegago/internal/fpga"
+	"omegago/internal/gpu"
+	"omegago/internal/report"
+	"omegago/internal/seqio"
+	"omegago/internal/stats"
+	"omegago/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("omegago: ")
+
+	var (
+		input      = flag.String("input", "", "input file (required)")
+		format     = flag.String("format", "ms", "input format: ms, fasta, vcf")
+		length     = flag.Float64("length", 1e6, "region length in bp (ms format only)")
+		grid       = flag.Int("grid", 100, "number of ω positions")
+		minwin     = flag.Float64("minwin", 0, "minimum window span in bp")
+		maxwin     = flag.Float64("maxwin", 0, "maximum border distance from the ω position in bp (0 = unbounded)")
+		threads    = flag.Int("threads", 1, "CPU threads (cpu backend)")
+		backend    = flag.String("backend", "cpu", "backend: cpu, gpu, fpga")
+		device     = flag.String("device", "", "accelerator device: k80, hd8750m, alveo, zcu102")
+		deviceFile = flag.String("device-file", "", "JSON GPU device profile (overrides -device for the gpu backend)")
+		kernel     = flag.String("kernel", "dynamic", "GPU kernel: 1, 2, dynamic")
+		gemmLD     = flag.Bool("gemm-ld", false, "batch LD through the BLIS-style bit-matrix GEMM (cpu backend)")
+		top        = flag.Int("top", 5, "number of top candidates to print")
+		quiet      = flag.Bool("quiet", false, "print only the candidate summary")
+		reportOut  = flag.String("report", "", "write an OmegaPlus-style report file to this path")
+		asJSON     = flag.Bool("json", false, "print results as JSON instead of the tab layout")
+		repl       = flag.String("replicate", "1", "ms replicate to scan: a 1-based index, or 'all' for a per-replicate summary")
+		htmlOut    = flag.String("html", "", "write a self-contained HTML report (SVG ω landscape) to this path")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run's phases to this path")
+	)
+	flag.Parse()
+	if *input == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		tr = trace.NewTracer()
+	}
+
+	f, closer, err := seqio.OpenMaybeGzip(*input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closer()
+
+	loadDone := tr.Begin("load+parse")
+	var ds *omegago.Dataset
+	var batch []*omegago.Dataset
+	switch strings.ToLower(*format) {
+	case "ms":
+		switch strings.ToLower(*repl) {
+		case "1":
+			ds, err = omegago.LoadMS(f, *length)
+		case "all":
+			batch, err = omegago.LoadMSAll(f, *length)
+		default:
+			idx, cerr := strconv.Atoi(*repl)
+			if cerr != nil || idx < 1 {
+				log.Fatalf("bad -replicate %q (want a 1-based index or 'all')", *repl)
+			}
+			all, lerr := omegago.LoadMSAll(f, *length)
+			if lerr != nil {
+				log.Fatal(lerr)
+			}
+			if idx > len(all) {
+				log.Fatalf("replicate %d requested, stream holds %d", idx, len(all))
+			}
+			ds = all[idx-1]
+			if ds == nil {
+				log.Fatalf("replicate %d has no segregating sites", idx)
+			}
+		}
+	case "fasta", "fa":
+		ds, err = omegago.LoadFASTA(f)
+	case "vcf":
+		ds, err = omegago.LoadVCF(f)
+	default:
+		log.Fatalf("unknown format %q (want ms, fasta, or vcf)", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	loadArgs := map[string]any{}
+	if ds != nil {
+		loadArgs["snps"] = ds.NumSNPs()
+		loadArgs["samples"] = ds.Samples()
+	}
+	loadDone(loadArgs)
+
+	cfg := omegago.Config{
+		GridSize:  *grid,
+		MinWindow: *minwin,
+		MaxWindow: *maxwin,
+		Threads:   *threads,
+		UseGEMMLD: *gemmLD,
+	}
+	switch strings.ToLower(*backend) {
+	case "cpu":
+	case "gpu":
+		cfg.Backend = omegago.BackendGPU
+		if *deviceFile != "" {
+			df, err := os.Open(*deviceFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			d, derr := gpu.DeviceFromJSON(df)
+			df.Close()
+			if derr != nil {
+				log.Fatal(derr)
+			}
+			cfg.GPUDevice = &d
+			break
+		}
+		switch strings.ToLower(*device) {
+		case "", "k80":
+			d := gpu.TeslaK80
+			cfg.GPUDevice = &d
+		case "hd8750m", "radeon":
+			d := gpu.RadeonHD8750M
+			cfg.GPUDevice = &d
+		default:
+			log.Fatalf("unknown GPU device %q (want k80 or hd8750m)", *device)
+		}
+		switch strings.ToLower(*kernel) {
+		case "1", "i":
+			cfg.GPUKernel = gpu.KernelI
+		case "2", "ii":
+			cfg.GPUKernel = gpu.KernelII
+		case "dynamic", "d":
+			cfg.GPUKernel = gpu.Dynamic
+		default:
+			log.Fatalf("unknown kernel %q (want 1, 2, or dynamic)", *kernel)
+		}
+	case "fpga":
+		cfg.Backend = omegago.BackendFPGA
+		switch strings.ToLower(*device) {
+		case "", "alveo", "u200":
+			d := fpga.AlveoU200
+			cfg.FPGADevice = &d
+		case "zcu102", "zcu":
+			d := fpga.ZCU102
+			cfg.FPGADevice = &d
+		default:
+			log.Fatalf("unknown FPGA device %q (want alveo or zcu102)", *device)
+		}
+	default:
+		log.Fatalf("unknown backend %q (want cpu, gpu, or fpga)", *backend)
+	}
+
+	if batch != nil {
+		fmt.Printf("# omegago batch scan: %d replicates, backend=%s\n", len(batch), cfg.Backend)
+		fmt.Println("# replicate\tsnps\tbest_position\tmax_omega")
+		for i, d := range batch {
+			if d == nil {
+				fmt.Printf("%d\t0\t-\t-\n", i+1)
+				continue
+			}
+			r, err := omegago.Scan(d, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			best, ok := r.Best()
+			if !ok {
+				fmt.Printf("%d\t%d\t-\t-\n", i+1, d.NumSNPs())
+				continue
+			}
+			fmt.Printf("%d\t%d\t%.2f\t%.6f\n", i+1, d.NumSNPs(), best.Center, best.MaxOmega)
+		}
+		return
+	}
+
+	fmt.Printf("# omegago scan: %d SNPs, %d samples, backend=%s\n",
+		ds.NumSNPs(), ds.Samples(), cfg.Backend)
+	scanDone := tr.Begin("scan")
+	rep, err := omegago.Scan(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scanDone(map[string]any{
+		"omega_scores":  rep.OmegaScores,
+		"ld_seconds":    rep.LDSeconds,
+		"omega_seconds": rep.OmegaSeconds,
+	})
+	defer func() {
+		if tr == nil {
+			return
+		}
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.ExportChromeJSON(tf); err != nil {
+			log.Fatal(err)
+		}
+		if err := tf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# trace written to %s\n%s", *traceOut, tr.Summary())
+	}()
+
+	if *reportOut != "" {
+		rf, err := os.Create(*reportOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("omegago %s backend=%s grid=%d", *input, cfg.Backend, cfg.GridSize)
+		if err := rep.WriteReport(rf, label); err != nil {
+			log.Fatal(err)
+		}
+		if err := rf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# report written to %s\n", *reportOut)
+	}
+
+	if *htmlOut != "" {
+		hf, err := os.Create(*htmlOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meta := report.Meta{
+			Title:   fmt.Sprintf("omegago scan of %s", *input),
+			Dataset: *input, Backend: rep.Backend.String(),
+			SNPs: ds.NumSNPs(), Samples: ds.Samples(), GridSize: cfg.GridSize,
+			OmegaScans: rep.OmegaScores,
+			Runtime:    fmt.Sprintf("%.3fs wall", rep.WallSeconds),
+		}
+		if err := report.HTML(hf, meta, rep.Results); err != nil {
+			log.Fatal(err)
+		}
+		if err := hf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# HTML report written to %s\n", *htmlOut)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if !*quiet {
+		fmt.Println("# position\tmax_omega\twin_left\twin_right\tscores")
+		for _, r := range rep.Results {
+			if !r.Valid {
+				fmt.Printf("%.2f\t-\t-\t-\t0\n", r.Center)
+				continue
+			}
+			fmt.Printf("%.2f\t%.6f\t%.2f\t%.2f\t%d\n",
+				r.Center, r.MaxOmega, r.LeftPos, r.RightPos, r.Scores)
+		}
+	}
+
+	fmt.Printf("\n# %d grid positions, %s ω scores, %s r² computed (%s reused)\n",
+		len(rep.Results),
+		stats.FormatSI(float64(rep.OmegaScores)),
+		stats.FormatSI(float64(rep.R2Computed)),
+		stats.FormatSI(float64(rep.R2Reused)))
+	if rep.Backend == omegago.BackendCPU {
+		fmt.Printf("# measured: LD %.3fs, ω %.3fs, wall %.3fs (%s ω/s)\n",
+			rep.LDSeconds, rep.OmegaSeconds, rep.WallSeconds,
+			stats.FormatSI(float64(rep.OmegaScores)/rep.OmegaSeconds))
+	} else {
+		fmt.Printf("# modeled device time: LD %.4fs, ω %.4fs (%s ω/s); host simulation wall %.3fs\n",
+			rep.LDSeconds, rep.OmegaSeconds,
+			stats.FormatSI(float64(rep.OmegaScores)/rep.OmegaSeconds), rep.WallSeconds)
+	}
+
+	type cand struct {
+		omegago.Result
+	}
+	sorted := make([]cand, 0, len(rep.Results))
+	for _, r := range rep.Results {
+		if r.Valid {
+			sorted = append(sorted, cand{r})
+		}
+	}
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j].MaxOmega > sorted[i].MaxOmega {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	n := *top
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	fmt.Printf("# top %d sweep candidates:\n", n)
+	for i := 0; i < n; i++ {
+		c := sorted[i]
+		fmt.Printf("#   %2d. position %.2f  ω = %.4f  window [%.2f, %.2f]\n",
+			i+1, c.Center, c.MaxOmega, c.LeftPos, c.RightPos)
+	}
+}

@@ -1,0 +1,94 @@
+// Demography: why non-equilibrium histories matter for sweep detection.
+// Crisci et al. (cited in the paper's introduction) evaluated sweep
+// detectors "under equilibrium and non-equilibrium evolutionary
+// scenarios" precisely because population-size changes mimic sweep
+// signatures. This example measures the ω false-positive pressure a
+// population bottleneck creates: neutral data is simulated under a
+// constant-size history and under a bottleneck, and the distribution of
+// the genome-wide maximum ω is compared. Thresholds calibrated on the
+// wrong demography misfire.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"omegago"
+	"omegago/internal/mssim"
+)
+
+const replicates = 30
+
+func maxOmegas(demography []mssim.Epoch, seedBase int64) ([]float64, error) {
+	out := make([]float64, 0, replicates)
+	for i := 0; i < replicates; i++ {
+		ds, err := omegago.Simulate(omegago.SimConfig{
+			SampleSize: 30,
+			Replicates: 1,
+			SegSites:   300,
+			Rho:        100,
+			Seed:       seedBase + int64(i),
+			Demography: demography,
+		}, 200_000)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := omegago.Scan(ds, omegago.Config{
+			GridSize: 20, MinWindow: 5_000, MaxWindow: 40_000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if best, ok := rep.Best(); ok {
+			out = append(out, best.MaxOmega)
+		}
+	}
+	return out, nil
+}
+
+func quantiles(xs []float64) (median, q95 float64) {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2], s[int(float64(len(s))*0.95)]
+}
+
+func main() {
+	log.SetFlags(0)
+
+	constant, err := maxOmegas(nil, 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bottleneck, err := maxOmegas([]mssim.Epoch{
+		{Time: 0.02, Size: 0.05}, // crash to 5% of N₀...
+		{Time: 0.06, Size: 1.0},  // ...recovering to N₀ further back
+	}, 6000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cMed, c95 := quantiles(constant)
+	bMed, b95 := quantiles(bottleneck)
+	fmt.Printf("genome-wide max ω under NEUTRAL evolution, %d replicates each\n\n", replicates)
+	fmt.Printf("history              median ω     95th percentile ω\n")
+	fmt.Printf("constant size        %8.1f     %8.1f\n", cMed, c95)
+	fmt.Printf("bottleneck (5%% N0)   %8.1f     %8.1f\n", bMed, b95)
+	fmt.Printf("\nbottleneck inflation: median x%.1f, 95th percentile x%.1f\n", bMed/cMed, b95/c95)
+
+	// What the wrong threshold costs: calibrate the 5% threshold on the
+	// constant-size distribution and count bottleneck exceedances.
+	s := append([]float64(nil), constant...)
+	sort.Float64s(s)
+	thr := s[int(float64(len(s))*0.95)]
+	fp := 0
+	for _, v := range bottleneck {
+		if v > thr {
+			fp++
+		}
+	}
+	fmt.Printf("\na 5%% ω threshold calibrated under constant size (ω > %.1f) fires on\n", thr)
+	fmt.Printf("%d/%d = %.0f%% of neutral bottleneck replicates — the non-equilibrium\n",
+		fp, len(bottleneck), 100*float64(fp)/float64(len(bottleneck)))
+	fmt.Println("false-positive problem that motivates demography-aware calibration.")
+}

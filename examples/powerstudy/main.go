@@ -1,0 +1,61 @@
+// Powerstudy: detection power of the LD-based ω statistic vs the
+// SFS-based Tajima's D across sweep strengths — the Crisci-et-al.-style
+// comparison that motivates the paper's focus on accelerating the
+// LD-based method.
+//
+// For each selection strength α = 2Ns, matched neutral and sweep
+// replicate sets are simulated; the detection threshold is fixed at a
+// 10% false positive rate on the neutral arm; power is the fraction of
+// sweep replicates detected.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"omegago/internal/mssim"
+	"omegago/internal/omega"
+	"omegago/internal/power"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const fpr = 0.10
+	alphas := []float64{400, 1000, 2500}
+	fmt.Printf("power at %.0f%% FPR, %d replicates per arm (n=25, 200 SNPs, 200 kb)\n\n", fpr*100, 20)
+	fmt.Println("alpha=2Ns    ω power   ω AUC   ω loc(kb)  TajD power  TajD AUC  TajD loc(kb)")
+	for _, alpha := range alphas {
+		study := power.Study{
+			Base: mssim.Config{
+				SampleSize: 25, SegSites: 200, Rho: 80, Seed: int64(9000 + alpha),
+			},
+			SweepModel: mssim.SweepConfig{Position: 0.5, Alpha: alpha},
+			Replicates: 20,
+			RegionBP:   200000,
+			Params:     omega.Params{GridSize: 12, MinWindow: 5000, MaxWindow: 40000},
+		}
+		omegaRes, err := study.Run(power.MaxOmega, fpr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tajRes, err := study.Run(power.MinTajimaD, fpr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, omegaLoc, err := study.Localization(power.MaxOmega)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, tajLoc, err := study.Localization(power.MinTajimaD)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.0f   %7.2f  %7.2f  %7.1f   %9.2f  %8.2f  %8.1f\n",
+			alpha, omegaRes.Power, omegaRes.AUC, omegaLoc/1000,
+			tajRes.Power, tajRes.AUC, tajLoc/1000)
+	}
+	fmt.Println("\nunder this hitchhiking model both statistics detect strong sweeps; what the")
+	fmt.Println("ω scan uniquely offers is the exhaustive per-position window search — the")
+	fmt.Println("computation whose cost the paper attacks with GPU and FPGA accelerators.")
+}

@@ -1,0 +1,90 @@
+// Sfscompare: LD-based (ω) vs SFS-based (Tajima's D) sweep detection on
+// the same simulated data — the methodological contrast of the paper's
+// background (Crisci et al. found LD-based OmegaPlus the most powerful;
+// a sweep leaves both signatures, but with different sharpness).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"omegago"
+)
+
+const (
+	regionBP = 400_000
+	sweepAt  = 0.5
+	grid     = 40
+	window   = 80_000
+	minWin   = 10_000 // suppresses degenerate few-SNP windows whose cross-LD is ε-dominated
+)
+
+func main() {
+	log.SetFlags(0)
+	ds, err := omegago.Simulate(omegago.SimConfig{
+		SampleSize: 50,
+		Replicates: 1,
+		SegSites:   800,
+		Rho:        150,
+		Seed:       321,
+		Sweep:      &omegago.SweepSimConfig{Position: sweepAt, Alpha: 1500},
+	}, regionBP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueSite := sweepAt * regionBP
+	fmt.Printf("simulated sweep at %.0f bp (%d SNPs, %d haplotypes)\n\n",
+		trueSite, ds.NumSNPs(), ds.Samples())
+
+	// LD-based detector: the ω statistic.
+	ldRep, err := omegago.Scan(ds, omegago.Config{GridSize: grid, MinWindow: minWin, MaxWindow: window})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ldBest, ok := ldRep.Best()
+	if !ok {
+		log.Fatal("ω scan produced no result")
+	}
+
+	// SFS-based detector: minimum Tajima's D over the same grid.
+	windows, err := omegago.ScanSFS(ds, grid, window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sfsBest omegago.SFSWindow
+	found := false
+	for _, w := range windows {
+		if w.SegSites == 0 {
+			continue
+		}
+		if !found || w.TajimaD < sfsBest.TajimaD {
+			sfsBest = w
+			found = true
+		}
+	}
+	if !found {
+		log.Fatal("SFS scan produced no result")
+	}
+
+	fmt.Println("grid position   max ω        Tajima's D   Fay&Wu H")
+	for i, w := range windows {
+		marker := ""
+		if math.Abs(w.Center-trueSite) < regionBP/float64(grid) {
+			marker = "   <-- sweep site"
+		}
+		omegaVal := 0.0
+		if ldRep.Results[i].Valid {
+			omegaVal = ldRep.Results[i].MaxOmega
+		}
+		fmt.Printf("%10.0f  %10.2f   %+10.3f  %+10.3f%s\n",
+			w.Center, omegaVal, w.TajimaD, w.FayWuH, marker)
+	}
+
+	fmt.Printf("\nω detector:        peak %10.2f at %8.0f bp (error %5.1f kb)\n",
+		ldBest.MaxOmega, ldBest.Center, math.Abs(ldBest.Center-trueSite)/1000)
+	fmt.Printf("Tajima's D detector: min %8.3f at %8.0f bp (error %5.1f kb)\n",
+		sfsBest.TajimaD, sfsBest.Center, math.Abs(sfsBest.Center-trueSite)/1000)
+	fmt.Println("\nboth statistics respond to the sweep; the ω peak is the sharper, more")
+	fmt.Println("localized signal — the reason the paper accelerates the LD-based method.")
+}

@@ -1,0 +1,3 @@
+module omegago
+
+go 1.22

@@ -1,0 +1,94 @@
+package omegago
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGoldenScanRegression pins the complete pipeline — simulator,
+// parser-equivalent conversion, LD, DP matrix, ω scan — to exact values
+// recorded from a known-good build. Any unintended change to the
+// numerics (allele packing, r² evaluation order, DP recurrence, window
+// enumeration, reduction tie-breaking) trips this test.
+//
+// The pinned values are NOT from the paper; they are this
+// implementation's deterministic output for a fixed seed. Re-pin only
+// after deliberately changing the numerics, and say so in the commit.
+func TestGoldenScanRegression(t *testing.T) {
+	ds, err := Simulate(SimConfig{
+		SampleSize: 32, Replicates: 1, SegSites: 400, Rho: 120, Seed: 20260706,
+	}, 250000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Scan(ds, Config{GridSize: 25, MinWindow: 4000, MaxWindow: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := rep.Best()
+	if !ok {
+		t.Fatal("no best result")
+	}
+
+	const (
+		wantCenter = 63108.67879679959
+		wantOmega  = 202.90684829087166
+		wantLeft   = 62694.65925366606
+		wantRight  = 67594.55547279993
+	)
+	if best.Center != wantCenter {
+		t.Errorf("best center = %v, want %v", best.Center, wantCenter)
+	}
+	if best.MaxOmega != wantOmega {
+		t.Errorf("best ω = %v, want %v", best.MaxOmega, wantOmega)
+	}
+	if best.LeftPos != wantLeft || best.RightPos != wantRight {
+		t.Errorf("best window = [%v, %v], want [%v, %v]",
+			best.LeftPos, best.RightPos, wantLeft, wantRight)
+	}
+	if rep.OmegaScores != 121519 {
+		t.Errorf("ω scores = %d, want 121519", rep.OmegaScores)
+	}
+	if rep.R2Computed != 49534 {
+		t.Errorf("r² computed = %d, want 49534", rep.R2Computed)
+	}
+
+	wantSamples := map[int]float64{
+		5:  4.917732766538198,
+		10: 5.318195149616676,
+		15: 6.795467386255842,
+		20: 2.6201055588922975,
+	}
+	for idx, want := range wantSamples {
+		got := rep.Results[idx]
+		if !got.Valid || got.MaxOmega != want {
+			t.Errorf("result[%d] ω = %v (valid=%v), want %v", idx, got.MaxOmega, got.Valid, want)
+		}
+	}
+	if rep.Results[0].Valid {
+		t.Error("result[0] should be invalid (left side below MinSNPs)")
+	}
+
+	// The pinned values must also hold through every backend and thread
+	// count (bit-identical contract).
+	for _, cfg := range []Config{
+		{GridSize: 25, MinWindow: 4000, MaxWindow: 50000, Threads: 3},
+		{GridSize: 25, MinWindow: 4000, MaxWindow: 50000, UseGEMMLD: true},
+		{GridSize: 25, MinWindow: 4000, MaxWindow: 50000, Backend: BackendGPU},
+		{GridSize: 25, MinWindow: 4000, MaxWindow: 50000, Backend: BackendFPGA},
+	} {
+		r, err := Scan(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := r.Best()
+		if b.MaxOmega != wantOmega || b.Center != wantCenter {
+			t.Errorf("config %+v diverges from the golden values", cfg)
+		}
+	}
+
+	// Sanity: golden ω is a plain finite number.
+	if math.IsNaN(wantOmega) || math.IsInf(wantOmega, 0) {
+		t.Fatal("golden value corrupt")
+	}
+}

@@ -1,0 +1,173 @@
+// Package fpga simulates the paper's Vivado-HLS ω-statistic pipeline
+// (Section V) at cycle level. The accelerator computes one ω score per
+// clock cycle per pipeline instance (initiation interval 1); the inner
+// (right-side) loop is split across UF parallel instances obtained by
+// partial unrolling; remainder iterations that the unroll factor does
+// not cover execute in software on the host; RS values are prefetched
+// once per grid position and reused across outer iterations (Fig. 9);
+// matrix M is stored column-major so the TS stream is sequential.
+//
+// Functional results flow through omega.Score and are bit-identical to
+// the CPU reference. Time comes from the cycle model: per outer
+// iteration the pipeline pays its fill latency (Depth) plus
+// floor(inner/UF) streaming cycles, which is exactly what produces the
+// throughput-vs-iteration saturation curves of Figures 10 and 11.
+package fpga
+
+import "fmt"
+
+// Resources is a synthesis resource estimate.
+type Resources struct {
+	BRAM, DSP, FF, LUT int
+}
+
+// ResourceModel is a per-device linear synthesis cost model: a fixed
+// infrastructure part (AXI interfaces, control) plus a per-instance part
+// for each unrolled pipeline copy.
+type ResourceModel struct {
+	Fixed, PerInstance Resources
+}
+
+// Estimate returns the utilization of a design with uf instances.
+func (m ResourceModel) Estimate(uf int) Resources {
+	return Resources{
+		BRAM: m.Fixed.BRAM + uf*m.PerInstance.BRAM,
+		DSP:  m.Fixed.DSP + uf*m.PerInstance.DSP,
+		FF:   m.Fixed.FF + uf*m.PerInstance.FF,
+		LUT:  m.Fixed.LUT + uf*m.PerInstance.LUT,
+	}
+}
+
+// Device is an FPGA accelerator card profile.
+type Device struct {
+	Name        string
+	Family      string
+	LogicCellsK int // thousands of logic cells
+	// ClockMHz is the achieved post-place-and-route frequency.
+	ClockMHz float64
+	// UnrollFactor is the deployed number of pipeline instances.
+	UnrollFactor int
+	// MemBandwidthGBs is the external-memory bandwidth available to the
+	// accelerator (the TS stream consumer).
+	MemBandwidthGBs float64
+	// Capacity is the device's total resource pool.
+	Capacity Resources
+	// Model estimates utilization per unroll factor.
+	Model ResourceModel
+	// LDWordsPerSec is the streaming rate (64-bit words/s) of the
+	// companion LD accelerator (the Bozikas et al. system whose
+	// published numbers the paper adopts for the LD phase).
+	LDWordsPerSec float64
+}
+
+// String implements fmt.Stringer.
+func (d Device) String() string {
+	return fmt.Sprintf("%s (UF=%d @ %.0f MHz)", d.Name, d.UnrollFactor, d.ClockMHz)
+}
+
+// BytesPerOmega is the external-memory traffic per ω score: one TS value.
+const BytesPerOmega = 8
+
+// MaxUnrollFactor returns the largest power-of-two unroll factor whose
+// aggregate stream demand (UF·8B·f) fits the device's memory bandwidth —
+// the sizing rule that yields UF=4 on the ZCU102 and UF=32 on the Alveo
+// U200.
+func (d Device) MaxUnrollFactor() int {
+	limit := d.MemBandwidthGBs * 1e9 / (BytesPerOmega * d.ClockMHz * 1e6)
+	uf := 1
+	for uf*2 <= int(limit) {
+		uf *= 2
+	}
+	return uf
+}
+
+// PeakOmegaPerSec is the theoretical maximum throughput: one score per
+// cycle per instance.
+func (d Device) PeakOmegaPerSec() float64 {
+	return float64(d.UnrollFactor) * d.ClockMHz * 1e6
+}
+
+// Utilization returns the estimated resources of the deployed design.
+func (d Device) Utilization() Resources { return d.Model.Estimate(d.UnrollFactor) }
+
+// UtilizationPercent renders a resource as used/capacity percentage.
+func UtilizationPercent(used, capacity int) float64 {
+	if capacity == 0 {
+		return 0
+	}
+	return 100 * float64(used) / float64(capacity)
+}
+
+// The two target platforms of Table I. The resource models are fitted to
+// the paper's post-synthesis reports at the deployed unroll factors.
+var (
+	// ZCU102 is the Zynq UltraScale+ embedded evaluation board.
+	ZCU102 = Device{
+		Name:            "Zynq UltraScale+ ZCU102",
+		Family:          "Zynq UltraScale+",
+		LogicCellsK:     600,
+		ClockMHz:        100,
+		UnrollFactor:    4,
+		MemBandwidthGBs: 3.2, // one PS-DDR HP port
+		Capacity:        Resources{BRAM: 1824, DSP: 2520, FF: 548160, LUT: 274080},
+		Model: ResourceModel{
+			Fixed:       Resources{BRAM: 20, DSP: 8, FF: 2003, LUT: 1647},
+			PerInstance: Resources{BRAM: 4, DSP: 10, FF: 2500, LUT: 2800},
+		},
+		LDWordsPerSec: 0.4e9, // embedded-class LD companion
+	}
+	// AlveoU200 is the datacenter accelerator card.
+	AlveoU200 = Device{
+		Name:            "Alveo U200",
+		Family:          "UltraScale+ (XCU200)",
+		LogicCellsK:     892,
+		ClockMHz:        250,
+		UnrollFactor:    32,
+		MemBandwidthGBs: 76.8, // 4 × DDR4-2400 channels
+		Capacity:        Resources{BRAM: 4320, DSP: 6840, FF: 2400000, LUT: 1200000},
+		Model: ResourceModel{
+			Fixed:       Resources{BRAM: 8, DSP: 23, FF: 6041, LUT: 8984},
+			PerInstance: Resources{BRAM: 1, DSP: 6, FF: 1400, LUT: 1300},
+		},
+		LDWordsPerSec: 4.2e9, // Convey HC-2ex-class multi-controller layout
+	}
+)
+
+// Catalog lists the devices evaluated in the paper.
+func Catalog() []Device { return []Device{ZCU102, AlveoU200} }
+
+// Stage is one pipeline stage group of the custom floating-point ω
+// pipeline (Fig. 8).
+type Stage struct {
+	Name    string
+	Op      string
+	Latency int // cycles
+}
+
+// PipelineStages describes the processing pipeline; latencies are
+// post-synthesis estimates for double-precision operators. Their sum is
+// the pipeline fill latency (Depth).
+func PipelineStages() []Stage {
+	return []Stage{
+		{"fetch", "TS/LS/RS address generation + BRAM read", 4},
+		{"sub1", "TS − LS", 8},
+		{"sub2", "(TS − LS) − RS", 8},
+		{"addLR", "LS + RS", 8},
+		{"addK", "C(l,2) + C(W−l,2)", 8},
+		{"mulN", "(LS + RS) · l(W−l)", 8},
+		{"mulD", "(C(l,2)+C(W−l,2)) · (cross + ε·l(W−l))", 8},
+		{"div", "numerator / denominator", 31},
+		{"cmp", "running max + index", 8},
+		{"write", "omega/index write-back", 4},
+		{"ctrl", "loop control, handshake margins", 20},
+	}
+}
+
+// Depth is the pipeline fill latency in cycles.
+func Depth() int {
+	d := 0
+	for _, s := range PipelineStages() {
+		d += s.Latency
+	}
+	return d
+}

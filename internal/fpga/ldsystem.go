@@ -1,0 +1,60 @@
+package fpga
+
+import "math"
+
+// LDSystem models the multi-FPGA LD accelerator of Bozikas et al.
+// (FPL 2017) whose published performance the paper adopts for the LD
+// phase of the complete FPGA sweep-detection system: a Convey HC-2ex
+// with up to four Virtex-6 FPGAs, where SNP transfer bandwidth limits
+// scaling — four FPGAs deliver ~2.7× one FPGA's throughput (4.7× vs
+// 12.7× a 12-thread CPU), i.e. throughput ∝ n^0.72.
+type LDSystem struct {
+	// FPGAs in use (1–4 on the HC-2ex).
+	FPGAs int
+	// BaseWordsPerSec is one FPGA's 64-bit-word streaming rate through
+	// the pair-count pipelines.
+	BaseWordsPerSec float64
+	// ScalingExponent captures the memory-interleave efficiency of
+	// adding FPGAs (1 = linear; Bozikas measures ≈0.72).
+	ScalingExponent float64
+}
+
+// ConveyHC2ex returns the four-FPGA configuration calibrated so the
+// aggregate rate matches the LD throughputs the paper derives from
+// Bozikas et al. for Table III.
+func ConveyHC2ex(fpgas int) LDSystem {
+	if fpgas < 1 {
+		fpgas = 1
+	}
+	if fpgas > 4 {
+		fpgas = 4
+	}
+	return LDSystem{
+		FPGAs:           fpgas,
+		BaseWordsPerSec: 1.55e9,
+		ScalingExponent: 0.72,
+	}
+}
+
+// WordsPerSec returns the aggregate streaming rate of the system.
+func (s LDSystem) WordsPerSec() float64 {
+	return s.BaseWordsPerSec * math.Pow(float64(s.FPGAs), s.ScalingExponent)
+}
+
+// PairsPerSec returns the LD pair-count throughput for a given sample
+// size: one pair costs ceil(samples/64) streamed words.
+func (s LDSystem) PairsPerSec(samples int) float64 {
+	words := float64((samples + 63) / 64)
+	if words == 0 {
+		return 0
+	}
+	return s.WordsPerSec() / words
+}
+
+// LDSeconds is the modeled time to compute `pairs` LD values.
+func (s LDSystem) LDSeconds(pairs int64, samples int) float64 {
+	if pairs == 0 {
+		return 0
+	}
+	return float64(pairs) / s.PairsPerSec(samples)
+}

@@ -1,0 +1,67 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConveyScaling(t *testing.T) {
+	one := ConveyHC2ex(1)
+	four := ConveyHC2ex(4)
+	ratio := four.WordsPerSec() / one.WordsPerSec()
+	// Bozikas et al.: 4 FPGAs ≈ 12.7/4.7 ≈ 2.70× one FPGA.
+	if math.Abs(ratio-2.70) > 0.05 {
+		t.Errorf("4-FPGA scaling = %.2fx, want ≈2.70x", ratio)
+	}
+	// Clamping.
+	if ConveyHC2ex(0).FPGAs != 1 || ConveyHC2ex(9).FPGAs != 4 {
+		t.Error("FPGA count should clamp to [1,4]")
+	}
+}
+
+func TestLDSystemPairRates(t *testing.T) {
+	s := ConveyHC2ex(4)
+	// 1..64 samples cost one word per pair.
+	if s.PairsPerSec(1) != s.PairsPerSec(64) {
+		t.Error("sub-word sample counts should cost one word")
+	}
+	if s.PairsPerSec(65) >= s.PairsPerSec(64) {
+		t.Error("more words must lower the pair rate")
+	}
+	// Calibration: the aggregate rate must reproduce the paper's
+	// Table III FPGA LD throughputs within a factor ≈2 (they derive
+	// them from the same Bozikas measurements).
+	cases := []struct {
+		samples int
+		paperM  float64 // Mpairs/s
+	}{{7000, 38.2}, {500, 535}, {60000, 4.5}}
+	for _, c := range cases {
+		got := s.PairsPerSec(c.samples) / 1e6
+		if got < c.paperM/2 || got > c.paperM*2 {
+			t.Errorf("%d samples: %.1f Mpairs/s, paper %.1f", c.samples, got, c.paperM)
+		}
+	}
+}
+
+func TestLDSeconds(t *testing.T) {
+	s := ConveyHC2ex(2)
+	if s.LDSeconds(0, 100) != 0 {
+		t.Error("zero pairs cost nothing")
+	}
+	sec := s.LDSeconds(1e6, 640) // 10 words per pair
+	want := 1e6 * 10 / s.WordsPerSec()
+	if math.Abs(sec-want) > 1e-12 {
+		t.Errorf("LDSeconds = %g, want %g", sec, want)
+	}
+}
+
+func TestLDSystemMonotone(t *testing.T) {
+	prev := 0.0
+	for n := 1; n <= 4; n++ {
+		w := ConveyHC2ex(n).WordsPerSec()
+		if w <= prev {
+			t.Errorf("throughput not monotone at %d FPGAs", n)
+		}
+		prev = w
+	}
+}

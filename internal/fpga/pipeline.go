@@ -1,0 +1,137 @@
+package fpga
+
+import (
+	"math"
+
+	"omegago/internal/omega"
+	"omegago/internal/seqio"
+)
+
+// DefaultCPUSecondsPerOmega is the default cost of one software ω score
+// on the host core that handles remainder iterations. Callers with a
+// calibrated host (see harness.CalibrateCPUOmega) should override it in
+// Options.
+const DefaultCPUSecondsPerOmega = 1.0 / 70e6
+
+// Options configure a simulated accelerator run.
+type Options struct {
+	// UnrollFactor overrides the device's deployed UF (0 = device value).
+	UnrollFactor int
+	// CPUSecondsPerOmega is the host cost of one remainder ω score
+	// (0 = DefaultCPUSecondsPerOmega).
+	CPUSecondsPerOmega float64
+}
+
+func (o Options) withDefaults(d Device) (int, float64) {
+	uf := o.UnrollFactor
+	if uf <= 0 {
+		uf = d.UnrollFactor
+	}
+	cpu := o.CPUSecondsPerOmega
+	if cpu <= 0 {
+		cpu = DefaultCPUSecondsPerOmega
+	}
+	return uf, cpu
+}
+
+// LaunchReport describes one grid position's execution on the FPGA.
+type LaunchReport struct {
+	UnrollFactor int
+	// HardwareOmegas/SoftwareOmegas split the ω scores between the
+	// pipeline instances and the host remainder loop.
+	HardwareOmegas, SoftwareOmegas int64
+	// Cycles is the modeled accelerator cycle count (prefetch + per
+	// outer iteration fill latency + streaming cycles).
+	Cycles int64
+	// HardwareSeconds = Cycles/f; SoftwareSeconds is the host remainder.
+	HardwareSeconds, SoftwareSeconds float64
+}
+
+// TotalSeconds is the modeled wall time of the launch (host remainder
+// overlaps poorly with the pipeline in the HLS design, so they add).
+func (r LaunchReport) TotalSeconds() float64 {
+	return r.HardwareSeconds + r.SoftwareSeconds
+}
+
+// LaunchOmega executes one grid position on the simulated pipeline:
+// inner iterations are interleaved across UF instances; the inner-count
+// remainder modulo UF runs in software. Results are bit-identical to the
+// CPU reference.
+func LaunchOmega(d Device, in *omega.KernelInput, a *seqio.Alignment, opts Options) (omega.Result, LaunchReport) {
+	uf, cpuCost := opts.withDefaults(d)
+	rep := LaunchReport{UnrollFactor: uf}
+	if in == nil || in.Total() == 0 {
+		return omega.Result{}, rep
+	}
+	outer, inner := in.Outer(), in.Inner()
+	hwInner := inner - inner%uf // iterations covered by the instances
+
+	best := math.Inf(-1)
+	bestSlot := -1
+	var scores int64
+	consider := func(slot int) {
+		v := in.ScoreAt(slot)
+		if math.IsInf(v, -1) {
+			return
+		}
+		scores++
+		if v > best || (v == best && slot < bestSlot) {
+			best = v
+			bestSlot = slot
+		}
+	}
+	// Hardware portion: for each outer iteration, instance u consumes
+	// inner iterations u, u+UF, u+2·UF, … (the switched loop order of
+	// Fig. 7 that keeps every instance's stream fully pipelined).
+	for o := 0; o < outer; o++ {
+		base := o * inner
+		for u := 0; u < uf; u++ {
+			for i := u; i < hwInner; i += uf {
+				consider(base + i)
+				rep.HardwareOmegas++
+			}
+		}
+		// Software remainder of this outer iteration.
+		for i := hwInner; i < inner; i++ {
+			consider(base + i)
+			rep.SoftwareOmegas++
+		}
+	}
+
+	// Cycle model: RS prefetch once per grid position, then per outer
+	// iteration a pipeline fill plus floor(inner/UF) streaming cycles.
+	perInstance := int64(hwInner / uf)
+	rep.Cycles = int64(inner) + int64(outer)*(int64(Depth())+perInstance)
+	rep.HardwareSeconds = float64(rep.Cycles) / (d.ClockMHz * 1e6)
+	rep.SoftwareSeconds = float64(rep.SoftwareOmegas) * cpuCost
+
+	return in.ResultFromInput(a, bestSlot, best, scores), rep
+}
+
+// ModelThroughput returns the modeled steady-state hardware throughput
+// (ω/s) for a run whose right-side loop executes `inner` iterations —
+// the quantity plotted against right-side loop iterations in Figures 10
+// and 11. It assumes a long outer loop so the per-position RS prefetch
+// amortizes away.
+func ModelThroughput(d Device, uf, inner int) float64 {
+	if uf <= 0 {
+		uf = d.UnrollFactor
+	}
+	if inner <= 0 {
+		return 0
+	}
+	hwInner := inner - inner%uf
+	cyclesPerOuter := float64(Depth()) + float64(hwInner/uf)
+	return float64(hwInner) / cyclesPerOuter * d.ClockMHz * 1e6
+}
+
+// ModelLDSeconds estimates the LD phase on the companion FPGA LD system
+// (Bozikas et al.): pair counts stream sample words at the device's
+// aggregate memory rate, one 64-bit word per cycle per controller.
+func ModelLDSeconds(d Device, pairs int64, samples int) float64 {
+	if pairs == 0 {
+		return 0
+	}
+	wordsPerPair := float64((samples + 63) / 64)
+	return float64(pairs) * wordsPerPair / d.LDWordsPerSec
+}

@@ -1,0 +1,79 @@
+package fpga
+
+import (
+	"time"
+
+	"omegago/internal/ld"
+	"omegago/internal/omega"
+	"omegago/internal/seqio"
+)
+
+// ScanReport is the outcome of a complete FPGA-accelerated sweep scan:
+// LD on the companion LD accelerator (modeled after Bozikas et al., as
+// the paper does), the DP update of M on the host, and the ω pipeline on
+// the FPGA with software remainder iterations.
+type ScanReport struct {
+	Results []omega.Result
+
+	OmegaScores    int64
+	HardwareOmegas int64
+	SoftwareOmegas int64
+	R2Computed     int64
+	R2Reused       int64
+	Cycles         int64
+
+	// Modeled seconds.
+	LDSeconds       float64
+	HardwareSeconds float64
+	SoftwareSeconds float64
+
+	// WallSeconds is the measured host time of the functional simulation.
+	WallSeconds float64
+}
+
+// OmegaSeconds is the modeled ω-phase time.
+func (r *ScanReport) OmegaSeconds() float64 { return r.HardwareSeconds + r.SoftwareSeconds }
+
+// TotalSeconds is the modeled end-to-end accelerator time.
+func (r *ScanReport) TotalSeconds() float64 { return r.LDSeconds + r.OmegaSeconds() }
+
+// Scan runs the complete FPGA-accelerated OmegaPlus workflow on the
+// simulated device.
+func Scan(d Device, a *seqio.Alignment, p omega.Params, opts Options) (*ScanReport, error) {
+	p = p.WithDefaults()
+	regions, err := omega.BuildRegions(a, p)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	comp := ld.NewComputer(a, ld.Direct, 1)
+	m := omega.NewDPMatrix(comp)
+	rep := &ScanReport{Results: make([]omega.Result, 0, len(regions))}
+	for _, reg := range regions {
+		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {
+			rep.Results = append(rep.Results, omega.Result{GridIndex: reg.Index, Center: reg.Center})
+			continue
+		}
+		before := m.R2Computed()
+		m.Advance(reg.Lo, reg.Hi)
+		rep.LDSeconds += ModelLDSeconds(d, m.R2Computed()-before, a.Samples())
+
+		in := omega.BuildKernelInput(m, a, reg, p)
+		if in == nil {
+			rep.Results = append(rep.Results, omega.Result{GridIndex: reg.Index, Center: reg.Center})
+			continue
+		}
+		res, lr := LaunchOmega(d, in, a, opts)
+		rep.Results = append(rep.Results, res)
+		rep.OmegaScores += res.Scores
+		rep.HardwareOmegas += lr.HardwareOmegas
+		rep.SoftwareOmegas += lr.SoftwareOmegas
+		rep.Cycles += lr.Cycles
+		rep.HardwareSeconds += lr.HardwareSeconds
+		rep.SoftwareSeconds += lr.SoftwareSeconds
+	}
+	rep.R2Computed = m.R2Computed()
+	rep.R2Reused = m.R2Reused()
+	rep.WallSeconds = time.Since(t0).Seconds()
+	return rep, nil
+}

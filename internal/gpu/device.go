@@ -1,0 +1,106 @@
+// Package gpu simulates the paper's OpenCL ω-statistic accelerator on
+// ordinary goroutines. Everything the paper's Section IV describes is
+// implemented mechanically — Kernel I (one ω per work-item), Kernel II
+// (WILD ω scores per work-item with ×4 loop unrolling and padded
+// buffers), the dynamic two-kernel deployment threshold Nthr = NCU·Ws·32
+// (Equation 4), and the sub-region order-switch optimization — while
+// device *time* comes from an analytic cycle model parameterized only by
+// datasheet numbers (compute units, stream processors, clock, memory and
+// PCIe bandwidth). ω results are produced by real computation through
+// omega.Score and are bit-identical to the CPU reference; the model
+// clock makes throughput curves comparable with the paper's Figures
+// 12–13 without owning the hardware (see DESIGN.md, substitution table).
+package gpu
+
+import (
+	"fmt"
+	"time"
+)
+
+// Device describes an OpenCL-capable GPU.
+type Device struct {
+	Name string
+	// ComputeUnits is the number of CUs (AMD) / SMs (Nvidia).
+	ComputeUnits int
+	// WarpSize is the wavefront/warp width Ws.
+	WarpSize int
+	// SPsPerCU is the number of stream processors (CUDA cores) per CU.
+	SPsPerCU int
+	// ClockMHz is the sustained shader clock.
+	ClockMHz float64
+	// MemBandwidthGBs is device-memory bandwidth in GB/s.
+	MemBandwidthGBs float64
+	// PCIeBandwidthGBs is effective host↔device bandwidth in GB/s.
+	PCIeBandwidthGBs float64
+	// LaunchLatency is the fixed host-side cost of one kernel launch
+	// plus transfer initiation.
+	LaunchLatency time.Duration
+	// HostNsPerByte is the host-side packing cost per buffer byte while
+	// the gather source (the DP matrix M, read with a strided pattern
+	// when packing TS) fits the per-core L2; HostNsPerByteCold applies
+	// beyond HostCacheBytes. This two-tier model reproduces the
+	// data-preparation slowdown the paper observes past ~7,000 SNPs,
+	// where M outgrows L2.
+	HostNsPerByte     float64
+	HostNsPerByteCold float64
+	HostCacheBytes    int64
+}
+
+// Lanes returns the total number of stream processors.
+func (d Device) Lanes() int { return d.ComputeUnits * d.SPsPerCU }
+
+// Threshold implements Equation 4: the per-grid-position ω-count above
+// which Kernel II is deployed. 32 warps per CU is the optimal-occupancy
+// upper limit cited from both vendors' tuning guides.
+func (d Device) Threshold() int64 {
+	return int64(d.ComputeUnits) * int64(d.WarpSize) * 32
+}
+
+// FullOccupancyWarps is the number of resident warps that saturates the
+// device's latency hiding.
+func (d Device) FullOccupancyWarps() int { return d.ComputeUnits * 32 }
+
+// String implements fmt.Stringer.
+func (d Device) String() string {
+	return fmt.Sprintf("%s (%d CU × %d SP @ %.0f MHz)",
+		d.Name, d.ComputeUnits, d.SPsPerCU, d.ClockMHz)
+}
+
+// The two systems of Table II. Datasheet-derived numbers; host-side
+// constants are shared order-of-magnitude estimates for the paired CPUs.
+var (
+	// RadeonHD8750M is System I: the desktop-class GPU of an
+	// off-the-shelf laptop (AMD A10-5757M host).
+	RadeonHD8750M = Device{
+		Name:              "AMD Radeon HD8750M",
+		ComputeUnits:      6,
+		WarpSize:          64, // GCN wavefront
+		SPsPerCU:          64,
+		ClockMHz:          620,
+		MemBandwidthGBs:   32,
+		PCIeBandwidthGBs:  6,
+		LaunchLatency:     30 * time.Microsecond,
+		HostNsPerByte:     0.45,
+		HostNsPerByteCold: 1.4,
+		HostCacheBytes:    512 << 10, // effective per-core L2 share of the host
+	}
+	// TeslaK80 is System II: the datacenter GPU of the Google Colab
+	// node (Intel Xeon E5-2699 v3 host). Numbers are per GK210 die as
+	// used by the paper (13 SMs, 2496 CUDA cores).
+	TeslaK80 = Device{
+		Name:              "NVIDIA Tesla K80",
+		ComputeUnits:      13,
+		WarpSize:          32,
+		SPsPerCU:          192,
+		ClockMHz:          875,
+		MemBandwidthGBs:   240,
+		PCIeBandwidthGBs:  10,
+		LaunchLatency:     20 * time.Microsecond,
+		HostNsPerByte:     0.3,
+		HostNsPerByteCold: 1.1,
+		HostCacheBytes:    256 << 10, // per-core L2 of the host CPU
+	}
+)
+
+// Catalog lists the devices evaluated in the paper.
+func Catalog() []Device { return []Device{RadeonHD8750M, TeslaK80} }

@@ -1,0 +1,115 @@
+package gpu
+
+import (
+	"math"
+	"sync"
+
+	"omegago/internal/omega"
+	"omegago/internal/seqio"
+)
+
+// LaunchOmegaQueued runs one grid position's ω computation through the
+// explicit OpenCL-like runtime (buffers → NDRange → reduction), the
+// structurally faithful version of the host workflow in Fig. 3. It
+// produces results identical to LaunchOmega; its timing comes from the
+// queue's event log rather than LaunchOmega's specialized kernel model,
+// so it is used for structural validation and profiling dumps, while
+// LaunchOmega remains the calibrated path for the paper's figures.
+func LaunchOmegaQueued(q *Queue, kind Kind, in *omega.KernelInput, a *seqio.Alignment) (omega.Result, []Event) {
+	if in == nil || in.Total() == 0 {
+		return omega.Result{}, nil
+	}
+	d := q.Device()
+	actual := kind
+	if kind == Dynamic {
+		if int64(in.Total()) < d.Threshold() {
+			actual = KernelI
+		} else {
+			actual = KernelII
+		}
+	}
+
+	// Host→device buffers (the LR, km and TS buffers of Fig. 4/5).
+	q.CreateFloatBuffer("LR.LS", in.LS)
+	q.CreateFloatBuffer("LR.RS", in.RS)
+	q.CreateFloatBuffer("km.KL", in.KL)
+	q.CreateFloatBuffer("km.KR", in.KR)
+	q.CreateFloatBuffer("km.LN", in.LN)
+	q.CreateFloatBuffer("km.RN", in.RN)
+	q.CreateFloatBuffer("TS", in.TS)
+
+	total := in.Total()
+	var items, wild int
+	var perItemCycles float64
+	switch actual {
+	case KernelI:
+		wild = 1
+		items = total
+		perItemCycles = cyclesPerItemKernelI
+	default:
+		gs := int(d.Threshold())
+		if gs > total {
+			gs = total
+		}
+		items = roundUp(gs, WorkGroupSize)
+		wild = (total + items - 1) / items
+		perItemCycles = setupCyclesKernelII + float64(wild)*cyclesPerIterKernelII
+	}
+
+	groups := roundUp(items, WorkGroupSize) / WorkGroupSize
+	type groupBest struct {
+		omega  float64
+		slot   int
+		scores int64
+	}
+	bests := make([]groupBest, groups)
+	for g := range bests {
+		bests[g] = groupBest{omega: math.Inf(-1), slot: -1}
+	}
+	var mu sync.Mutex
+	kernelName := "omega-" + actual.String()
+	q.EnqueueNDRange(kernelName, items, WorkGroupSize, perItemCycles, func(wi WorkItem) {
+		local := groupBest{omega: math.Inf(-1), slot: -1}
+		for it := 0; it < wild; it++ {
+			slot := wi.Global + it*items
+			if slot >= total {
+				continue
+			}
+			v := in.ScoreAt(slot)
+			if math.IsInf(v, -1) {
+				continue
+			}
+			local.scores++
+			if v > local.omega || (v == local.omega && slot < local.slot) {
+				local.omega = v
+				local.slot = slot
+			}
+		}
+		if local.scores == 0 {
+			return
+		}
+		mu.Lock()
+		b := &bests[wi.Group]
+		b.scores += local.scores
+		if local.omega > b.omega || (local.omega == b.omega && local.slot < b.slot) {
+			b.omega = local.omega
+			b.slot = local.slot
+		}
+		mu.Unlock()
+	})
+
+	best := math.Inf(-1)
+	bestSlot := -1
+	var scores int64
+	for _, b := range bests {
+		scores += b.scores
+		if b.slot < 0 {
+			continue
+		}
+		if b.omega > best || (b.omega == best && b.slot < bestSlot) {
+			best = b.omega
+			bestSlot = b.slot
+		}
+	}
+	return in.ResultFromInput(a, bestSlot, best, scores), q.Events()
+}

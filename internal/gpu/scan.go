@@ -1,0 +1,147 @@
+package gpu
+
+import (
+	"time"
+
+	"omegago/internal/ld"
+	"omegago/internal/omega"
+	"omegago/internal/seqio"
+)
+
+// LD GEMM model constants (BLIS kernel on the device, Binder et al.).
+const (
+	// ldPeakEfficiency is the fraction of peak FMA throughput the
+	// SNP-comparison GEMM sustains at a large inner dimension.
+	ldPeakEfficiency = 0.55
+	// ldHalfEfficiencySamples is the inner-dimension (sample count) at
+	// which GEMM efficiency reaches half its peak — small-k GEMMs are
+	// launch- and bandwidth-bound.
+	ldHalfEfficiencySamples = 4000.0
+	// ldHostNsPerPair is the host-side cost of unpacking one pair count
+	// into the DP update.
+	ldHostNsPerPair = 1.0
+)
+
+// ModelLDSeconds estimates the device + transfer time of computing
+// `pairs` LD values over `samples` sequences with the GEMM kernel:
+// 2·samples FLOPs per pair at a saturating efficiency, the packed SNP
+// rows and the count matrix crossing PCIe, plus one launch latency.
+func ModelLDSeconds(d Device, pairs int64, newRows, windowRows, samples int) float64 {
+	if pairs == 0 {
+		return 0
+	}
+	clockHz := d.ClockMHz * 1e6
+	peakFlops := float64(d.Lanes()) * clockHz * 2 // FMA
+	eff := ldPeakEfficiency * float64(samples) / (float64(samples) + ldHalfEfficiencySamples)
+	compute := float64(pairs) * 2 * float64(samples) / (peakFlops * eff)
+	rowBytes := float64((newRows+windowRows)*(samples+7)/8 + 63)
+	readback := float64(pairs) * 4
+	transfer := (rowBytes+readback)/(d.PCIeBandwidthGBs*1e9) + d.LaunchLatency.Seconds()
+	host := float64(pairs) * ldHostNsPerPair * 1e-9
+	return compute + transfer + host
+}
+
+// ScanReport is the outcome of a full GPU-accelerated sweep scan
+// (Fig. 3 workflow: GEMM LD on the device, DP update of M on the host,
+// ω kernels on the device).
+type ScanReport struct {
+	Results []omega.Result
+
+	// Functional counters.
+	OmegaScores      int64
+	R2Computed       int64
+	R2Reused         int64
+	KernelILaunches  int
+	KernelIILaunches int
+	OrderSwitches    int
+	BytesTransferred int64
+
+	// Modeled accelerator cost (seconds).
+	LDSeconds            float64 // GEMM kernel + transfers
+	OmegaKernelSeconds   float64
+	OmegaPrepSeconds     float64
+	OmegaTransferSeconds float64
+
+	// WallSeconds is the measured host wall-clock of the simulation run
+	// (functional work; not a performance claim about a real GPU).
+	WallSeconds float64
+}
+
+// OmegaSeconds is the total modeled cost of the ω phase. When the scan
+// ran with OverlapTransfers, the PCIe time hidden behind kernel
+// execution is already excluded from OmegaTransferSeconds.
+func (r *ScanReport) OmegaSeconds() float64 {
+	return r.OmegaKernelSeconds + r.OmegaPrepSeconds + r.OmegaTransferSeconds
+}
+
+// TotalSeconds is the total modeled accelerator time (LD + ω).
+func (r *ScanReport) TotalSeconds() float64 { return r.LDSeconds + r.OmegaSeconds() }
+
+// Scan runs the complete GPU-accelerated OmegaPlus workflow on the
+// simulated device.
+func Scan(d Device, kind Kind, a *seqio.Alignment, p omega.Params, opts Options) (*ScanReport, error) {
+	p = p.WithDefaults()
+	regions, err := omega.BuildRegions(a, p)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	comp := ld.NewComputer(a, ld.GEMM, maxInt(1, opts.Workers))
+	m := omega.NewDPMatrix(comp)
+	rep := &ScanReport{Results: make([]omega.Result, 0, len(regions))}
+	for _, reg := range regions {
+		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {
+			rep.Results = append(rep.Results, omega.Result{GridIndex: reg.Index, Center: reg.Center})
+			continue
+		}
+		// LD phase: the DP extension computes r² for entering SNPs via
+		// the GEMM engine; its device time is modeled from the fresh
+		// pair count.
+		before := m.R2Computed()
+		newRows := reg.Hi - m.Hi()
+		if m.Lo() > reg.Lo {
+			newRows = reg.Hi - reg.Lo + 1
+		}
+		m.Advance(reg.Lo, reg.Hi)
+		pairs := m.R2Computed() - before
+		rep.LDSeconds += ModelLDSeconds(d, pairs, newRows, reg.Hi-reg.Lo+1, a.Samples())
+
+		// ω phase: pack buffers (host), transfer, launch.
+		in := omega.BuildKernelInput(m, a, reg, p)
+		if in == nil {
+			rep.Results = append(rep.Results, omega.Result{GridIndex: reg.Index, Center: reg.Center})
+			continue
+		}
+		o := opts
+		windowSNPs := int64(reg.Hi - reg.Lo + 1)
+		o.PrepWorkingSetBytes = in.Bytes() + windowSNPs*windowSNPs*4 // buffers + triangular M
+		res, lr := LaunchOmega(d, kind, in, a, o)
+		rep.Results = append(rep.Results, res)
+		rep.OmegaScores += lr.Omegas
+		rep.BytesTransferred += lr.Bytes
+		rep.OmegaKernelSeconds += lr.KernelSeconds
+		rep.OmegaPrepSeconds += lr.PrepSeconds
+		if opts.OverlapTransfers {
+			// Double buffering hides PCIe time behind the kernel; only
+			// the excess is exposed on the critical path.
+			if exposed := lr.TransferSeconds - lr.KernelSeconds; exposed > 0 {
+				rep.OmegaTransferSeconds += exposed
+			}
+		} else {
+			rep.OmegaTransferSeconds += lr.TransferSeconds
+		}
+		switch lr.Kind {
+		case KernelI:
+			rep.KernelILaunches++
+		case KernelII:
+			rep.KernelIILaunches++
+		}
+		if lr.OrderSwitched {
+			rep.OrderSwitches++
+		}
+	}
+	rep.R2Computed = m.R2Computed()
+	rep.R2Reused = m.R2Reused()
+	rep.WallSeconds = time.Since(t0).Seconds()
+	return rep, nil
+}

@@ -1,0 +1,449 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"omegago/internal/fpga"
+	"omegago/internal/gpu"
+	"omegago/internal/omega"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tbl := Table1()
+	text := tbl.Render()
+	// The paper's Table I utilization figures, reproduced exactly.
+	for _, want := range []string{
+		"36/1824 (1.97%)", "48/2520 (1.90%)", "12003/548160 (2.19%)", "12847/274080 (4.69%)",
+		"40/4320 (0.93%)", "215/6840 (3.14%)", "50841/2400000 (2.12%)", "50584/1200000 (4.22%)",
+		"100 MHz", "250 MHz",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2ListsBothSystems(t *testing.T) {
+	text := Table2().Render()
+	for _, want := range []string{"Radeon HD8750M", "Tesla K80", "2496", "384", "Google Colab"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}
+
+// parseCol extracts a numeric column from a rendered table row set.
+func parseCol(t *testing.T, tbl *Table, col int) []float64 {
+	t.Helper()
+	out := make([]float64, 0, len(tbl.Rows))
+	for _, row := range tbl.Rows {
+		cell := strings.TrimSuffix(strings.TrimSpace(row[col]), "x")
+		cell = strings.TrimSuffix(cell, "%")
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("%s: cannot parse %q in column %d", tbl.ID, row[col], col)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestFig10And11Saturate(t *testing.T) {
+	for _, tbl := range []*Table{Fig10(), Fig11()} {
+		fracs := parseCol(t, tbl, 2)
+		for i := 1; i < len(fracs); i++ {
+			if fracs[i] < fracs[i-1] {
+				t.Errorf("%s: fraction of peak not monotone at row %d", tbl.ID, i)
+			}
+		}
+		last := fracs[len(fracs)-1]
+		if last < 0.85 || last > 1.0 {
+			t.Errorf("%s: final fraction %.3f, want ≈0.9 (the paper's operating region)", tbl.ID, last)
+		}
+	}
+}
+
+func TestFig12KernelCrossover(t *testing.T) {
+	tbl, err := Fig12(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: SNPs, I#1, I#2, I-D, II#1, II#2, II-D.
+	for _, dev := range []struct {
+		name   string
+		k1, k2 int
+	}{{"System I", 1, 2}, {"System II", 4, 5}} {
+		k1 := parseCol(t, tbl, dev.k1)
+		k2 := parseCol(t, tbl, dev.k2)
+		if k1[0] <= k2[0] {
+			t.Errorf("%s: Kernel I (%.3f) should beat Kernel II (%.3f) at the smallest workload",
+				dev.name, k1[0], k2[0])
+		}
+		ratio := k1[0] / k2[0]
+		if ratio < 1.02 || ratio > 1.25 {
+			t.Errorf("%s: Kernel I advantage %.2f, paper reports ≈10%%", dev.name, ratio)
+		}
+		last := len(k1) - 1
+		if k2[last] <= k1[last] {
+			t.Errorf("%s: Kernel II (%.3f) should beat Kernel I (%.3f) at the largest workload",
+				dev.name, k2[last], k1[last])
+		}
+	}
+	// Dynamic must match the better kernel at both extremes.
+	d2 := parseCol(t, tbl, 6)
+	k1 := parseCol(t, tbl, 4)
+	k2 := parseCol(t, tbl, 5)
+	if d2[0] < k1[0]*0.99 {
+		t.Errorf("dynamic (%.3f) should track Kernel I (%.3f) at small loads", d2[0], k1[0])
+	}
+	last := len(d2) - 1
+	if d2[last] < k2[last]*0.99 {
+		t.Errorf("dynamic (%.3f) should track Kernel II (%.3f) at large loads", d2[last], k2[last])
+	}
+}
+
+func TestFig13RisesToPeak(t *testing.T) {
+	tbl, err := Fig13(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 1; col <= 2; col++ {
+		v := parseCol(t, tbl, col)
+		if v[0] >= v[len(v)/2] {
+			t.Errorf("column %d: end-to-end throughput should rise from tiny workloads", col)
+		}
+	}
+}
+
+func TestFig13DeclinesPastPeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale Fig 13 in -short mode")
+	}
+	// Full-scale sweep: the peak must not be at the largest SNP count
+	// (the paper's decline beyond ~7,000 SNPs).
+	tbl, err := Fig13(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 1; col <= 2; col++ {
+		v := parseCol(t, tbl, col)
+		peak, peakIdx := 0.0, 0
+		for i, x := range v {
+			if x > peak {
+				peak, peakIdx = x, i
+			}
+		}
+		if peakIdx == len(v)-1 {
+			t.Errorf("column %d: no decline past the peak (peak at the largest dataset)", col)
+		}
+		if last := v[len(v)-1]; last > 0.95*peak {
+			t.Errorf("column %d: final throughput %.1f too close to peak %.1f", col, last, peak)
+		}
+	}
+}
+
+func TestFig14WorkloadClasses(t *testing.T) {
+	ws := Workloads(true)
+	// LD-share bounds per class. Generous: absolute shares shift with
+	// machine load on a single-core host; the ordinal structure
+	// (high-ω lightest, high-LD heaviest) is asserted separately below.
+	cpuShares := map[string][2]float64{
+		ws[0].Name: {0.10, 0.95},
+		ws[1].Name: {0.0, 0.60},
+		ws[2].Name: {0.55, 1.0},
+	}
+	shares := map[string]float64{}
+	for _, w := range ws {
+		cpu, g, f, err := runWorkload(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		share := cpu.LDSeconds / cpu.total()
+		shares[w.Name] = share
+		b := cpuShares[w.Name]
+		if share < b[0] || share > b[1] {
+			t.Errorf("%s: CPU LD share %.2f outside [%.2f, %.2f]", w.Name, share, b[0], b[1])
+		}
+		fSpeed := cpu.total() / f.total()
+		gSpeed := cpu.total() / g.total()
+		if fSpeed <= 1 || gSpeed <= 1 {
+			t.Errorf("%s: accelerators should beat one CPU core (FPGA %.1fx, GPU %.1fx)",
+				w.Name, fSpeed, gSpeed)
+		}
+		switch w.Name {
+		case ws[1].Name: // high-ω: FPGA wins big (paper: 57.1x vs 2.8x)
+			if fSpeed <= gSpeed {
+				t.Errorf("high-ω: FPGA (%.1fx) should beat GPU (%.1fx)", fSpeed, gSpeed)
+			}
+		case ws[2].Name: // high-LD: GPU wins (paper: 12.9x vs 11.8x)
+			if gSpeed <= fSpeed {
+				t.Errorf("high-LD: GPU (%.1fx) should beat FPGA (%.1fx)", gSpeed, fSpeed)
+			}
+		}
+	}
+	if !(shares[ws[1].Name] < shares[ws[2].Name]) {
+		t.Errorf("LD share ordering violated: high-ω %.2f should be below high-LD %.2f",
+			shares[ws[1].Name], shares[ws[2].Name])
+	}
+}
+
+func TestTable3SpeedupOrdering(t *testing.T) {
+	for _, w := range Workloads(true) {
+		cpu, g, f, err := runWorkload(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpuOmega := float64(cpu.OmScores) / cpu.OmSeconds
+		fpgaOmega := float64(f.OmScores) / f.OmSeconds
+		gpuOmega := float64(g.OmScores) / g.OmSeconds
+		if !(fpgaOmega > gpuOmega && gpuOmega > cpuOmega) {
+			t.Errorf("%s: ω throughput ordering FPGA(%.0f) > GPU(%.0f) > CPU(%.0f) violated",
+				w.Name, fpgaOmega/1e6, gpuOmega/1e6, cpuOmega/1e6)
+		}
+		cpuLD := float64(cpu.LDScores) / cpu.LDSeconds
+		gpuLD := float64(g.LDScores) / g.LDSeconds
+		if gpuLD <= cpuLD {
+			t.Errorf("%s: GPU LD (%.1fM/s) should beat CPU LD (%.1fM/s)", w.Name, gpuLD/1e6, cpuLD/1e6)
+		}
+	}
+}
+
+func TestTable4Runs(t *testing.T) {
+	tbl, err := Table4(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 3 {
+		t.Fatalf("Table 4 has %d rows", len(tbl.Rows))
+	}
+	thr := parseCol(t, tbl, 1)
+	for i, v := range thr {
+		if v <= 0 {
+			t.Errorf("row %d: non-positive throughput", i)
+		}
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	perOmega := CalibrateCPUOmega()
+	if perOmega <= 0 || perOmega > 1e-6 {
+		t.Errorf("ω calibration %.3g s/score out of plausible range", perOmega)
+	}
+	ldNs := CalibrateCPULDNsPerWord()
+	if ldNs <= 0 || ldNs > 1000 {
+		t.Errorf("LD calibration %.3g ns/word out of plausible range", ldNs)
+	}
+}
+
+func TestDatasetCaching(t *testing.T) {
+	a, err := Dataset(100, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Dataset(100, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("dataset cache should return the same alignment")
+	}
+	if a.NumSNPs() != 100 || a.Samples() != 20 {
+		t.Errorf("dataset shape %dx%d", a.NumSNPs(), a.Samples())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID: "x", Title: "T", Header: []string{"a", "bb"},
+		Rows:  [][]string{{"1", "2"}, {"333", "4"}},
+		Notes: []string{"n1"},
+	}
+	text := tbl.Render()
+	for _, want := range []string{"== X: T ==", "333", "note: n1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestKernelInputsCoverGrid(t *testing.T) {
+	a, err := Dataset(300, 30, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := omega.Params{GridSize: 10, MaxWindow: 100000}
+	ins, err := kernelInputs(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) == 0 || len(ins) > 10 {
+		t.Fatalf("%d kernel inputs for 10 grid positions", len(ins))
+	}
+	thr, endToEnd := gpuKernelThroughput(gpu.TeslaK80, gpu.Dynamic, ins, a)
+	if thr <= 0 || endToEnd <= 0 || endToEnd >= thr {
+		t.Errorf("throughputs wrong: kernel %.3g, end-to-end %.3g", thr, endToEnd)
+	}
+}
+
+func TestPaperReferenceData(t *testing.T) {
+	if len(PaperTable3()) != 3 {
+		t.Error("paper Table III should have 3 rows")
+	}
+	if PaperTable4()[4] != 390.0 {
+		t.Error("paper Table IV wrong")
+	}
+	if len(PaperFig14Speedups()) != 3 || len(PaperAnchors()) == 0 {
+		t.Error("paper reference data incomplete")
+	}
+	for _, w := range Workloads(false) {
+		if _, ok := PaperFig14Speedups()[w.Name]; !ok {
+			t.Errorf("workload %q missing from paper speedup map", w.Name)
+		}
+	}
+}
+
+func TestFPGAModelUsesCalibratedCPU(t *testing.T) {
+	// The FPGA software-remainder cost must accept the calibrated value.
+	a, err := Dataset(120, 20, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := omega.Params{GridSize: 4}
+	rep, err := fpga.Scan(fpga.ZCU102, a, p, fpga.Options{CPUSecondsPerOmega: CalibrateCPUOmega()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalSeconds() <= 0 {
+		t.Error("empty FPGA cost model")
+	}
+}
+
+func TestProfileReproduces98PercentClaim(t *testing.T) {
+	tbl, err := Profile(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("profile has %d rows", len(tbl.Rows))
+	}
+	// LD + ω must dominate: the paper's §I claim is >98% on full-size
+	// datasets; at quick scale allow ≥90%.
+	secs := parseCol(t, tbl, 1)
+	ldOmega := secs[2] + secs[3]
+	total := secs[4]
+	if share := ldOmega / total; share < 0.90 {
+		t.Errorf("LD+ω share %.2f, want ≥ 0.90 (paper: >0.98)", share)
+	}
+}
+
+func TestFigureChartsRender(t *testing.T) {
+	for _, tbl := range []*Table{Fig10(), Fig11()} {
+		plot := tbl.RenderCharts()
+		if !strings.Contains(plot, "90% of peak") {
+			t.Errorf("%s chart missing the 90%% line legend", tbl.ID)
+		}
+	}
+	if Table1().RenderCharts() != "" {
+		t.Error("tables should have no charts")
+	}
+}
+
+func TestAblationsTable(t *testing.T) {
+	tbl, err := Ablations(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 12 {
+		t.Fatalf("ablations table has %d rows", len(tbl.Rows))
+	}
+	byChoice := map[string][][]string{}
+	for _, row := range tbl.Rows {
+		byChoice[row[0]] = append(byChoice[row[0]], row)
+	}
+	// Data reuse must avoid a meaningful fraction of r² work.
+	saving := byChoice["data reuse (relocation)"][2][3]
+	if !strings.HasSuffix(saving, "%") {
+		t.Errorf("saving cell %q", saving)
+	}
+	// Order switch: 'on' must not be slower than 'off'.
+	rows := byChoice["GPU order switch"]
+	if len(rows) != 2 {
+		t.Fatalf("order switch rows: %d", len(rows))
+	}
+	var on, off float64
+	fmt.Sscanf(rows[0][3], "%f", &on)
+	fmt.Sscanf(rows[1][3], "%f", &off)
+	if on > off {
+		t.Errorf("order switch on (%.2fµs) slower than off (%.2fµs)", on, off)
+	}
+	// Multi-FPGA LD scaling must be monotone.
+	ld := byChoice["multi-FPGA LD"]
+	prev := 0.0
+	for _, row := range ld {
+		var v float64
+		fmt.Sscanf(row[3], "%f", &v)
+		if v <= prev {
+			t.Errorf("multi-FPGA scaling not monotone at %s", row[1])
+		}
+		prev = v
+	}
+}
+
+func TestFig14AndTable3Render(t *testing.T) {
+	f14, err := Fig14(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f14.Rows) != 9 { // 3 workloads × 3 platforms
+		t.Fatalf("Fig14 has %d rows", len(f14.Rows))
+	}
+	text := f14.Render()
+	for _, want := range []string{"CPU (1 core)", "GPU (Tesla K80, model)", "FPGA (Alveo U200, model)", "%"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Fig14 missing %q", want)
+		}
+	}
+	t3, err := Table3(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Rows) != 3 {
+		t.Fatalf("Table3 has %d rows", len(t3.Rows))
+	}
+	for _, row := range t3.Rows {
+		if len(row) != len(t3.Header) {
+			t.Fatalf("ragged Table3 row: %v", row)
+		}
+		for _, cell := range row[1:] {
+			if cell == "" || strings.Contains(cell, "NaN") || strings.Contains(cell, "Inf") {
+				t.Fatalf("bad Table3 cell %q", cell)
+			}
+		}
+	}
+}
+
+func TestAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	tables, err := AllExperiments(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 10 {
+		t.Fatalf("%d tables, want 10", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tbl := range tables {
+		if tbl.ID == "" || seen[tbl.ID] {
+			t.Fatalf("duplicate or empty table id %q", tbl.ID)
+		}
+		seen[tbl.ID] = true
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("table %s is empty", tbl.ID)
+		}
+	}
+}

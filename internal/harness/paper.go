@@ -1,0 +1,71 @@
+package harness
+
+import "fmt"
+
+// PaperTable3 holds the throughput numbers the paper reports in Table
+// III (million scores/second), for side-by-side comparison in
+// EXPERIMENTS.md. Order: balanced (50/50), high-ω (90/10), high-LD
+// (10/90).
+type PaperTable3Row struct {
+	Dist                string
+	CPUOmega, CPULD     float64
+	FPGAOmega, FPGALD   float64
+	GPUOmega, GPULD     float64
+	FPGAOmegaX, FPGALDX float64
+	GPUOmegaX, GPULDX   float64
+}
+
+// PaperTable3 is Table III as printed in the paper.
+func PaperTable3() []PaperTable3Row {
+	return []PaperTable3Row{
+		{"50/50", 71.26, 2.98, 3500, 38.20, 206.72, 37.14, 49.1, 12.8, 2.9, 12.5},
+		{"90/10", 60.76, 13.91, 3750, 535.00, 173.26, 32.25, 61.7, 38.5, 2.9, 2.3},
+		{"10/90", 72.50, 0.41, 1500, 4.50, 181.10, 15.84, 20.7, 11.0, 2.5, 38.9},
+	}
+}
+
+// PaperTable4 is the paper's multithreaded ω throughput (Mω/s) for
+// 1, 2, 3, 4 and 8 threads on a 4-core Intel CPU.
+func PaperTable4() map[int]float64 {
+	return map[int]float64{1: 99.8, 2: 198.1, 3: 300.1, 4: 390.0, 8: 433.1}
+}
+
+// PaperFig14Speedups is the complete-analysis speedup over one CPU core
+// per workload: {FPGA, GPU}.
+func PaperFig14Speedups() map[string][2]float64 {
+	return map[string][2]float64{
+		"balanced (50/50)":   {21.4, 4.5},
+		"high-omega (90/10)": {57.1, 2.8},
+		"high-LD (10/90)":    {11.8, 12.9},
+	}
+}
+
+// PaperAnchors lists the headline scalar claims of the paper used by
+// EXPERIMENTS.md and the shape-checking tests.
+func PaperAnchors() []string {
+	return []string{
+		"FPGA ω computation up to 57.1x–61.7x faster than one CPU core",
+		"GPU ω computation up to 2.9x faster than one CPU core",
+		"Kernel I ~10% faster than Kernel II at the smallest workloads",
+		"Kernel II up to ~2.5x faster than Kernel I at the largest workloads",
+		"dynamic deployment up to 14% faster than Kernel II alone (K80)",
+		"Kernel I plateaus near 7 Gω/s, Kernel II reaches 17.3 Gω/s on the K80",
+		"complete GPU ω throughput (incl. transfers) declines beyond ~7,000 SNPs",
+		"FPGA best on high-ω workloads; GPU best on high-LD workloads",
+	}
+}
+
+// AllExperiments runs every table and figure, in paper order, plus the
+// §I profiling observation.
+func AllExperiments(quick bool) ([]*Table, error) {
+	out := []*Table{Table1(), Table2(), Fig10(), Fig11()}
+	steps := []func(bool) (*Table, error){Fig12, Fig13, Fig14, Table3, Table4, Profile}
+	for _, f := range steps {
+		t, err := f(quick)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

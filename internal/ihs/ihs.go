@@ -1,0 +1,288 @@
+// Package ihs implements the integrated haplotype score of Voight et
+// al. (PLoS Biology 2006) — the second LD-based sweep detector the
+// paper's background discusses alongside OmegaPlus (both were evaluated
+// by Crisci et al.). iHS detects *ongoing* sweeps from extended
+// haplotype homozygosity (EHH): haplotypes carrying a selected allele
+// are unusually long because recombination has not yet broken them up.
+//
+// For a core SNP, EHH at distance x is the probability that two
+// randomly drawn haplotypes carrying the same core allele are identical
+// over the whole interval from the core to x. iHH integrates EHH over
+// distance (trapezoid rule, truncated when EHH drops below a cutoff),
+// separately for carriers of the ancestral (A) and derived (D) core
+// alleles; the unstandardized score is ln(iHH_A / iHH_D), and iHS is
+// that value standardized within derived-allele-frequency bins so that
+// neutral scores are ≈ N(0,1).
+package ihs
+
+import (
+	"fmt"
+	"math"
+
+	"omegago/internal/seqio"
+)
+
+// Params configures an iHS scan.
+type Params struct {
+	// EHHCutoff truncates the EHH integration (default 0.05, the value
+	// of Voight et al.).
+	EHHCutoff float64
+	// MaxDistanceBP bounds the integration span per side (0 = to the
+	// ends of the region).
+	MaxDistanceBP float64
+	// MinMAF skips core SNPs whose minor-allele frequency is below this
+	// (default 0.05: EHH is undefined-ish for near-fixed cores).
+	MinMAF float64
+	// FrequencyBins for standardization (default 20).
+	FrequencyBins int
+}
+
+// WithDefaults fills unset fields.
+func (p Params) WithDefaults() Params {
+	if p.EHHCutoff == 0 {
+		p.EHHCutoff = 0.05
+	}
+	if p.MinMAF == 0 {
+		p.MinMAF = 0.05
+	}
+	if p.FrequencyBins == 0 {
+		p.FrequencyBins = 20
+	}
+	return p
+}
+
+// Score is the iHS result at one core SNP.
+type Score struct {
+	SNP        int     // core SNP index
+	Position   float64 // bp
+	DerivedFrq float64
+	IHHA, IHHD float64 // integrated EHH for ancestral/derived carriers
+	Unstd      float64 // ln(iHH_A / iHH_D)
+	IHS        float64 // standardized within frequency bins
+	Valid      bool
+}
+
+// ehhGroups tracks haplotype identity classes while extending from the
+// core: haplotypes in the same class are identical over the interval
+// covered so far. EHH = Σ C(n_c,2) / C(n,2).
+type ehhGroups struct {
+	class []int // class id per haplotype (indices into the carrier set)
+	next  int
+}
+
+func newEHHGroups(n int) *ehhGroups {
+	return &ehhGroups{class: make([]int, n), next: 1}
+}
+
+// split refines classes by the alleles at one SNP; returns the EHH.
+func (g *ehhGroups) split(alleleAt func(h int) bool) float64 {
+	// Pair (class, allele) → new class.
+	type key struct {
+		class  int
+		allele bool
+	}
+	remap := make(map[key]int, g.next)
+	for h := range g.class {
+		k := key{g.class[h], alleleAt(h)}
+		id, ok := remap[k]
+		if !ok {
+			id = len(remap)
+			remap[k] = id
+		}
+		g.class[h] = id
+	}
+	g.next = len(remap)
+	// EHH from class sizes.
+	sizes := make([]int, g.next)
+	for _, c := range g.class {
+		sizes[c]++
+	}
+	n := len(g.class)
+	if n < 2 {
+		return 0
+	}
+	num := 0.0
+	for _, s := range sizes {
+		num += float64(s) * float64(s-1)
+	}
+	return num / (float64(n) * float64(n-1))
+}
+
+// ihh integrates EHH away from the core for the carrier set (haplotype
+// indices) in one direction. step enumerates SNP indices outward.
+func ihh(a *seqio.Alignment, carriers []int, core int, dir int, p Params) float64 {
+	if len(carriers) < 2 {
+		return 0
+	}
+	g := newEHHGroups(len(carriers))
+	pos := a.Positions
+	prevEHH := 1.0
+	prevPos := pos[core]
+	integral := 0.0
+	for i := core + dir; i >= 0 && i < a.NumSNPs(); i += dir {
+		if p.MaxDistanceBP > 0 && math.Abs(pos[i]-pos[core]) > p.MaxDistanceBP {
+			break
+		}
+		row := a.Matrix.Row(i)
+		e := g.split(func(h int) bool { return row.Get(carriers[h]) })
+		d := math.Abs(pos[i] - prevPos)
+		integral += (prevEHH + e) / 2 * d
+		prevEHH, prevPos = e, pos[i]
+		if e < p.EHHCutoff {
+			break
+		}
+	}
+	return integral
+}
+
+// Compute returns the per-SNP scores of an alignment (unstandardized
+// and, after binned standardization, the final iHS). SNPs failing the
+// MAF filter or with a degenerate iHH are marked invalid.
+func Compute(a *seqio.Alignment, p Params) ([]Score, error) {
+	if a == nil || a.NumSNPs() == 0 {
+		return nil, fmt.Errorf("ihs: empty alignment")
+	}
+	if a.Matrix.HasMissing() {
+		return nil, fmt.Errorf("ihs: missing data is not supported (filter or impute first)")
+	}
+	p = p.WithDefaults()
+	n := a.Samples()
+	scores := make([]Score, a.NumSNPs())
+	for i := range scores {
+		row := a.Matrix.Row(i)
+		derived := row.OnesCount()
+		frq := float64(derived) / float64(n)
+		scores[i] = Score{SNP: i, Position: a.Positions[i], DerivedFrq: frq}
+		maf := math.Min(frq, 1-frq)
+		if maf < p.MinMAF {
+			continue
+		}
+		var dCarriers, aCarriers []int
+		for h := 0; h < n; h++ {
+			if row.Get(h) {
+				dCarriers = append(dCarriers, h)
+			} else {
+				aCarriers = append(aCarriers, h)
+			}
+		}
+		ihhD := ihh(a, dCarriers, i, -1, p) + ihh(a, dCarriers, i, +1, p)
+		ihhA := ihh(a, aCarriers, i, -1, p) + ihh(a, aCarriers, i, +1, p)
+		if ihhD <= 0 || ihhA <= 0 {
+			continue
+		}
+		scores[i].IHHA, scores[i].IHHD = ihhA, ihhD
+		scores[i].Unstd = math.Log(ihhA / ihhD)
+		scores[i].Valid = true
+	}
+	standardize(scores, p.FrequencyBins)
+	return scores, nil
+}
+
+// standardize converts unstandardized scores to iHS by subtracting the
+// mean and dividing by the standard deviation within derived-frequency
+// bins (bins with fewer than 2 valid scores inherit the global moments).
+func standardize(scores []Score, bins int) {
+	type moments struct {
+		n          int
+		sum, sumSq float64
+	}
+	binOf := func(f float64) int {
+		b := int(f * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		return b
+	}
+	perBin := make([]moments, bins)
+	var global moments
+	for _, s := range scores {
+		if !s.Valid {
+			continue
+		}
+		b := binOf(s.DerivedFrq)
+		perBin[b].n++
+		perBin[b].sum += s.Unstd
+		perBin[b].sumSq += s.Unstd * s.Unstd
+		global.n++
+		global.sum += s.Unstd
+		global.sumSq += s.Unstd * s.Unstd
+	}
+	meanSD := func(m moments) (float64, float64) {
+		if m.n < 2 {
+			return 0, 0
+		}
+		mean := m.sum / float64(m.n)
+		v := m.sumSq/float64(m.n) - mean*mean
+		if v <= 0 {
+			return mean, 0
+		}
+		return mean, math.Sqrt(v)
+	}
+	gMean, gSD := meanSD(global)
+	for i := range scores {
+		if !scores[i].Valid {
+			continue
+		}
+		mean, sd := meanSD(perBin[binOf(scores[i].DerivedFrq)])
+		if sd == 0 {
+			mean, sd = gMean, gSD
+		}
+		if sd == 0 {
+			scores[i].IHS = 0
+			continue
+		}
+		scores[i].IHS = (scores[i].Unstd - mean) / sd
+	}
+}
+
+// MaxAbs returns the score with the largest |iHS| (the candidate).
+func MaxAbs(scores []Score) (Score, bool) {
+	best := Score{}
+	ok := false
+	for _, s := range scores {
+		if !s.Valid {
+			continue
+		}
+		if !ok || math.Abs(s.IHS) > math.Abs(best.IHS) {
+			best = s
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// EHHProfile returns the EHH decay curve around one core SNP for the
+// given allele class (derived = true), as (distances bp, EHH values),
+// for visualization and tests.
+func EHHProfile(a *seqio.Alignment, core int, derived bool, p Params) (dist, ehhs []float64, err error) {
+	if core < 0 || core >= a.NumSNPs() {
+		return nil, nil, fmt.Errorf("ihs: core %d out of range", core)
+	}
+	p = p.WithDefaults()
+	row := a.Matrix.Row(core)
+	var carriers []int
+	for h := 0; h < a.Samples(); h++ {
+		if row.Get(h) == derived {
+			carriers = append(carriers, h)
+		}
+	}
+	if len(carriers) < 2 {
+		return nil, nil, fmt.Errorf("ihs: fewer than 2 carriers")
+	}
+	for _, dir := range []int{-1, +1} {
+		g := newEHHGroups(len(carriers))
+		for i := core + dir; i >= 0 && i < a.NumSNPs(); i += dir {
+			if p.MaxDistanceBP > 0 && math.Abs(a.Positions[i]-a.Positions[core]) > p.MaxDistanceBP {
+				break
+			}
+			r := a.Matrix.Row(i)
+			e := g.split(func(h int) bool { return r.Get(carriers[h]) })
+			dist = append(dist, a.Positions[i]-a.Positions[core])
+			ehhs = append(ehhs, e)
+			if e < p.EHHCutoff {
+				break
+			}
+		}
+	}
+	return dist, ehhs, nil
+}

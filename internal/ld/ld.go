@@ -1,0 +1,230 @@
+// Package ld computes linkage disequilibrium as the squared Pearson
+// correlation coefficient r² between SNP pairs (Equation 1 of the paper,
+// in its standard corrected form):
+//
+//	r²_ij = (p_ij − p_i·p_j)² / (p_i(1−p_i)·p_j(1−p_j))
+//
+// Two execution engines are provided, mirroring the tools the paper
+// builds on:
+//
+//   - Direct: one AND+popcount per pair over the bit-packed alignment
+//     (the OmegaPlus CPU path), mask-aware for missing data;
+//   - GEMM: pair counts for whole rectangles of the pair matrix computed
+//     as a bit-matrix multiplication (internal/gemm), the dense-linear-
+//     algebra cast of Binder et al. / Alachiotis-Popovici-Low that the
+//     paper's GPU LD implementation uses.
+//
+// Both engines produce bit-identical r² values (a property test holds
+// them to that), so backends may switch freely between them.
+package ld
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"omegago/internal/bitvec"
+	"omegago/internal/gemm"
+	"omegago/internal/seqio"
+)
+
+// Engine selects how pair counts are obtained.
+type Engine int
+
+const (
+	// Direct computes one popcount per SNP pair.
+	Direct Engine = iota
+	// GEMM batches pair counts through the bit-matrix multiply kernel.
+	GEMM
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case Direct:
+		return "direct"
+	case GEMM:
+		return "gemm"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// RSquaredFromCounts converts co-occurrence counts to r²: n is the number
+// of valid samples, ci and cj the derived-allele counts at the two SNPs,
+// cij the count of samples derived at both. Monomorphic sites (within the
+// valid subset) yield 0. The result is clamped to [0, 1] against
+// floating-point drift.
+func RSquaredFromCounts(n, ci, cj, cij int) float64 {
+	if n <= 0 || ci <= 0 || cj <= 0 || ci >= n || cj >= n {
+		return 0
+	}
+	fn := float64(n)
+	pi := float64(ci) / fn
+	pj := float64(cj) / fn
+	pij := float64(cij) / fn
+	num := pij - pi*pj
+	// Grouping the variance terms keeps the expression exactly
+	// symmetric in (i, j) under IEEE rounding.
+	den := (pi * (1 - pi)) * (pj * (1 - pj))
+	r2 := num * num / den
+	if r2 < 0 {
+		return 0
+	}
+	if r2 > 1 {
+		return 1
+	}
+	return r2
+}
+
+// Computer evaluates r² over one alignment with a chosen engine.
+// It caches per-SNP derived-allele counts and counts every r² evaluation
+// (the "LD scores" metric of the paper's Table III).
+type Computer struct {
+	aln     *seqio.Alignment
+	engine  Engine
+	workers int
+	ones    []int // derived-allele count per SNP (unmasked)
+	scores  atomic.Int64
+}
+
+// NewComputer builds a Computer. workers bounds the goroutines used by
+// the GEMM engine; values < 1 mean serial.
+func NewComputer(a *seqio.Alignment, engine Engine, workers int) *Computer {
+	if workers < 1 {
+		workers = 1
+	}
+	c := &Computer{aln: a, engine: engine, workers: workers}
+	c.ones = make([]int, a.NumSNPs())
+	for i := range c.ones {
+		c.ones[i] = a.Matrix.Row(i).OnesCount()
+	}
+	return c
+}
+
+// Alignment returns the alignment the computer operates on.
+func (c *Computer) Alignment() *seqio.Alignment { return c.aln }
+
+// Engine returns the computer's execution engine.
+func (c *Computer) Engine() Engine { return c.engine }
+
+// Batched reports whether Rect calls are worth batching into large
+// rectangles (the GEMM engine on mask-free data).
+func (c *Computer) Batched() bool {
+	return c.engine == GEMM && !c.aln.Matrix.HasMissing()
+}
+
+// Scores returns the number of r² values computed so far.
+func (c *Computer) Scores() int64 { return c.scores.Load() }
+
+// R2 computes r² between SNPs i and j (any order), honouring masks.
+func (c *Computer) R2(i, j int) float64 {
+	c.scores.Add(1)
+	m := c.aln.Matrix
+	if m.Mask(i) == nil && m.Mask(j) == nil {
+		cij := bitvec.AndCount(m.Row(i), m.Row(j))
+		return RSquaredFromCounts(c.aln.Samples(), c.ones[i], c.ones[j], cij)
+	}
+	n, ci, cj, cij := m.PairCounts(i, j)
+	return RSquaredFromCounts(n, ci, cj, cij)
+}
+
+// Rect computes r² for every pair (i, j) with i in [iLo, iHi) and j in
+// [jLo, jHi), writing results through set(i, j, r²). With the GEMM
+// engine the pair counts for the whole rectangle come from one batched
+// bit-matrix multiplication; alignments containing missing data fall
+// back to the mask-aware direct path pair by pair.
+func (c *Computer) Rect(iLo, iHi, jLo, jHi int, set func(i, j int, r2 float64)) {
+	if iLo < 0 || jLo < 0 || iHi > c.aln.NumSNPs() || jHi > c.aln.NumSNPs() || iLo > iHi || jLo > jHi {
+		panic(fmt.Sprintf("ld: bad rectangle [%d,%d)x[%d,%d) of %d SNPs",
+			iLo, iHi, jLo, jHi, c.aln.NumSNPs()))
+	}
+	if iLo == iHi || jLo == jHi {
+		return
+	}
+	if c.engine == GEMM && !c.aln.Matrix.HasMissing() {
+		c.rectGEMM(iLo, iHi, jLo, jHi, set)
+		return
+	}
+	if c.workers > 1 && iHi-iLo > 1 {
+		// Fine-grain LD parallelism (the OmegaPlus-F strategy): rows of
+		// the rectangle are independent, so workers split them. The
+		// callback must tolerate concurrent invocations on distinct
+		// (i, j) pairs — DP-fill targets distinct cells, so it does.
+		c.rectParallelDirect(iLo, iHi, jLo, jHi, set)
+		return
+	}
+	for i := iLo; i < iHi; i++ {
+		for j := jLo; j < jHi; j++ {
+			set(i, j, c.R2(i, j))
+		}
+	}
+}
+
+func (c *Computer) rectParallelDirect(iLo, iHi, jLo, jHi int, set func(i, j int, r2 float64)) {
+	workers := c.workers
+	if workers > iHi-iLo {
+		workers = iHi - iLo
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	next.Store(int64(iLo))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= iHi {
+					return
+				}
+				for j := jLo; j < jHi; j++ {
+					set(i, j, c.R2(i, j))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func (c *Computer) rectGEMM(iLo, iHi, jLo, jHi int, set func(i, j int, r2 float64)) {
+	rowsA := make([]*bitvec.Vector, iHi-iLo)
+	for i := range rowsA {
+		rowsA[i] = c.aln.Matrix.Row(iLo + i)
+	}
+	rowsB := make([]*bitvec.Vector, jHi-jLo)
+	for j := range rowsB {
+		rowsB[j] = c.aln.Matrix.Row(jLo + j)
+	}
+	a := gemm.FromVectors(rowsA)
+	b := gemm.FromVectors(rowsB)
+	counts := gemm.PopcountGemm(a, b, c.workers)
+	n := c.aln.Samples()
+	for i := iLo; i < iHi; i++ {
+		for j := jLo; j < jHi; j++ {
+			cij := int(counts.At(i-iLo, j-jLo))
+			set(i, j, RSquaredFromCounts(n, c.ones[i], c.ones[j], cij))
+		}
+	}
+	c.scores.Add(int64((iHi - iLo) * (jHi - jLo)))
+}
+
+// PairwiseMatrix computes the full upper-triangular r² matrix of an
+// alignment (diagonal excluded), returned row-major as out[i][j] for
+// j > i. Primarily a convenience for examples and tests; the scan engine
+// uses Rect incrementally instead.
+func PairwiseMatrix(a *seqio.Alignment, engine Engine, workers int) [][]float64 {
+	c := NewComputer(a, engine, workers)
+	w := a.NumSNPs()
+	out := make([][]float64, w)
+	for i := 0; i < w; i++ {
+		out[i] = make([]float64, w)
+	}
+	if w == 0 {
+		return out
+	}
+	c.Rect(0, w, 0, w, func(i, j int, r2 float64) {
+		out[i][j] = r2
+	})
+	return out
+}

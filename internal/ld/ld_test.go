@@ -1,0 +1,404 @@
+package ld
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"omegago/internal/bitvec"
+	"omegago/internal/mssim"
+	"omegago/internal/seqio"
+)
+
+func TestRSquaredFromCountsKnown(t *testing.T) {
+	cases := []struct {
+		n, ci, cj, cij int
+		want           float64
+	}{
+		{4, 2, 2, 2, 1},    // perfect association
+		{4, 2, 2, 0, 1},    // perfect repulsion
+		{4, 2, 2, 1, 0},    // independence
+		{4, 0, 2, 0, 0},    // monomorphic i
+		{4, 2, 4, 2, 0},    // fixed j
+		{0, 0, 0, 0, 0},    // degenerate
+		{8, 4, 4, 3, 0.25}, // D = 3/8-1/4 = 1/8; den = 1/16 → 1/4
+	}
+	for _, c := range cases {
+		got := RSquaredFromCounts(c.n, c.ci, c.cj, c.cij)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RSquaredFromCounts(%d,%d,%d,%d) = %g, want %g",
+				c.n, c.ci, c.cj, c.cij, got, c.want)
+		}
+	}
+}
+
+func TestRSquaredRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 1
+		ci := rng.Intn(n + 1)
+		cj := rng.Intn(n + 1)
+		lo := ci + cj - n
+		if lo < 0 {
+			lo = 0
+		}
+		hi := ci
+		if cj < hi {
+			hi = cj
+		}
+		cij := lo
+		if hi > lo {
+			cij = lo + rng.Intn(hi-lo+1)
+		}
+		r2 := RSquaredFromCounts(n, ci, cj, cij)
+		return r2 >= 0 && r2 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// naiveR2 computes r² from the textbook definition over explicit columns.
+func naiveR2(x, y []bool, valid []bool) float64 {
+	n, ci, cj, cij := 0, 0, 0, 0
+	for k := range x {
+		if valid != nil && !valid[k] {
+			continue
+		}
+		n++
+		if x[k] {
+			ci++
+		}
+		if y[k] {
+			cj++
+		}
+		if x[k] && y[k] {
+			cij++
+		}
+	}
+	return RSquaredFromCounts(n, ci, cj, cij)
+}
+
+func alignmentFromBools(cols [][]bool, masks [][]bool) *seqio.Alignment {
+	n := len(cols[0])
+	m := bitvec.NewMatrix(n)
+	pos := make([]float64, len(cols))
+	for i, col := range cols {
+		var mask *bitvec.Vector
+		if masks != nil && masks[i] != nil {
+			mask = bitvec.FromBools(masks[i])
+		}
+		m.AppendRow(bitvec.FromBools(col), mask)
+		pos[i] = float64(i + 1)
+	}
+	return &seqio.Alignment{Positions: pos, Length: float64(len(cols) + 1), Matrix: m}
+}
+
+func TestComputerSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cols := make([][]bool, 12)
+	for i := range cols {
+		cols[i] = make([]bool, 30)
+		for k := range cols[i] {
+			cols[i][k] = rng.Intn(2) == 1
+		}
+	}
+	c := NewComputer(alignmentFromBools(cols, nil), Direct, 1)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			if c.R2(i, j) != c.R2(j, i) {
+				t.Errorf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+	if c.R2(3, 3) != 0 && c.R2(3, 3) != 1 {
+		// self-LD of a polymorphic site is exactly 1
+		t.Errorf("self r² = %g", c.R2(3, 3))
+	}
+}
+
+func TestComputerSelfIsOne(t *testing.T) {
+	cols := [][]bool{{true, false, true, false}}
+	c := NewComputer(alignmentFromBools(cols, nil), Direct, 1)
+	if got := c.R2(0, 0); got != 1 {
+		t.Errorf("self r² of polymorphic site = %g, want 1", got)
+	}
+}
+
+func TestEnginesAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := rng.Intn(25) + 2
+		n := rng.Intn(120) + 2
+		cols := make([][]bool, w)
+		for i := range cols {
+			cols[i] = make([]bool, n)
+			for k := range cols[i] {
+				cols[i][k] = rng.Intn(2) == 1
+			}
+		}
+		a := alignmentFromBools(cols, nil)
+		direct := PairwiseMatrix(a, Direct, 1)
+		batched := PairwiseMatrix(a, GEMM, 2)
+		for i := 0; i < w; i++ {
+			for j := 0; j < w; j++ {
+				if direct[i][j] != batched[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputerMatchesNaiveWithMasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w, n := 10, 40
+	cols := make([][]bool, w)
+	masks := make([][]bool, w)
+	for i := range cols {
+		cols[i] = make([]bool, n)
+		masks[i] = make([]bool, n)
+		for k := range cols[i] {
+			cols[i][k] = rng.Intn(2) == 1
+			masks[i][k] = rng.Intn(8) != 0
+		}
+	}
+	a := alignmentFromBools(cols, masks)
+	c := NewComputer(a, Direct, 1)
+	for i := 0; i < w; i++ {
+		for j := 0; j < w; j++ {
+			joint := make([]bool, n)
+			for k := range joint {
+				joint[k] = masks[i][k] && masks[j][k]
+			}
+			want := naiveR2(cols[i], cols[j], joint)
+			if got := c.R2(i, j); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("masked r²(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestRectGEMMFallsBackWithMissing(t *testing.T) {
+	cols := [][]bool{{true, false, true, false}, {true, true, false, false}}
+	masks := [][]bool{{true, true, true, false}, nil}
+	a := alignmentFromBools(cols, masks)
+	c := NewComputer(a, GEMM, 2)
+	var got float64
+	c.Rect(0, 1, 1, 2, func(i, j int, r2 float64) { got = r2 })
+	want := NewComputer(a, Direct, 1).R2(0, 1)
+	if got != want {
+		t.Errorf("fallback r² = %g, want %g", got, want)
+	}
+}
+
+func TestRectBoundsPanics(t *testing.T) {
+	a := alignmentFromBools([][]bool{{true, false}}, nil)
+	c := NewComputer(a, Direct, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Rect(0, 2, 0, 1, func(int, int, float64) {})
+}
+
+func TestRectEmptyIsNoop(t *testing.T) {
+	a := alignmentFromBools([][]bool{{true, false}, {false, true}}, nil)
+	c := NewComputer(a, GEMM, 1)
+	calls := 0
+	c.Rect(1, 1, 0, 2, func(int, int, float64) { calls++ })
+	if calls != 0 {
+		t.Errorf("empty rect produced %d calls", calls)
+	}
+}
+
+func TestScoresCounter(t *testing.T) {
+	a := alignmentFromBools([][]bool{
+		{true, false, true}, {false, true, true}, {true, true, false},
+	}, nil)
+	c := NewComputer(a, GEMM, 1)
+	c.Rect(0, 3, 0, 3, func(int, int, float64) {})
+	if c.Scores() != 9 {
+		t.Errorf("Scores = %d, want 9", c.Scores())
+	}
+	d := NewComputer(a, Direct, 1)
+	d.R2(0, 1)
+	d.R2(1, 2)
+	if d.Scores() != 2 {
+		t.Errorf("Scores = %d, want 2", d.Scores())
+	}
+}
+
+func TestOnSimulatedData(t *testing.T) {
+	// Recombination is required for LD decay with distance: on a single
+	// genealogy LD is distance-independent.
+	reps, err := mssim.Simulate(mssim.Config{SampleSize: 30, Replicates: 1, SegSites: 80, Rho: 30, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := reps[0].ToAlignment(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := PairwiseMatrix(a, Direct, 1)
+	batched := PairwiseMatrix(a, GEMM, 4)
+	for i := range direct {
+		for j := range direct[i] {
+			if direct[i][j] != batched[i][j] {
+				t.Fatalf("engines disagree at (%d,%d)", i, j)
+			}
+			if direct[i][j] < 0 || direct[i][j] > 1 {
+				t.Fatalf("r² out of range at (%d,%d): %g", i, j, direct[i][j])
+			}
+		}
+	}
+	// Coalescent data must show LD decay: mean r² of adjacent SNPs should
+	// exceed mean r² of distant pairs.
+	adj, far := 0.0, 0.0
+	na, nf := 0, 0
+	w := a.NumSNPs()
+	for i := 0; i+1 < w; i++ {
+		adj += direct[i][i+1]
+		na++
+	}
+	for i := 0; i < w; i++ {
+		j := i + w/2
+		if j < w {
+			far += direct[i][j]
+			nf++
+		}
+	}
+	if adj/float64(na) <= far/float64(nf) {
+		t.Errorf("no LD decay: adjacent %.4f vs distant %.4f", adj/float64(na), far/float64(nf))
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if Direct.String() != "direct" || GEMM.String() != "gemm" {
+		t.Error("engine names wrong")
+	}
+	if !strings.Contains(Engine(9).String(), "9") {
+		t.Error("unknown engine should include numeric value")
+	}
+}
+
+func BenchmarkR2Direct50Samples(b *testing.B) {
+	reps, err := mssim.Simulate(mssim.Config{SampleSize: 50, Replicates: 1, SegSites: 500, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, _ := reps[0].ToAlignment(1e6)
+	c := NewComputer(a, Direct, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.R2(i%499, (i+1)%500)
+	}
+}
+
+func BenchmarkRectGEMM500x500(b *testing.B) {
+	reps, err := mssim.Simulate(mssim.Config{SampleSize: 50, Replicates: 1, SegSites: 500, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, _ := reps[0].ToAlignment(1e6)
+	c := NewComputer(a, GEMM, 1)
+	sink := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Rect(0, 500, 0, 500, func(_, _ int, r2 float64) { sink += r2 })
+	}
+	_ = sink
+}
+
+func TestAccessorsAndBatched(t *testing.T) {
+	a := alignmentFromBools([][]bool{{true, false, true}, {false, true, true}}, nil)
+	c := NewComputer(a, GEMM, 2)
+	if c.Alignment() != a {
+		t.Error("Alignment accessor wrong")
+	}
+	if c.Engine() != GEMM {
+		t.Error("Engine accessor wrong")
+	}
+	if !c.Batched() {
+		t.Error("mask-free GEMM computer should be batched")
+	}
+	masked := alignmentFromBools([][]bool{{true, false, true}},
+		[][]bool{{true, true, false}})
+	if NewComputer(masked, GEMM, 1).Batched() {
+		t.Error("masked data must not take the batched path")
+	}
+	if NewComputer(a, Direct, 1).Batched() {
+		t.Error("direct engine is never batched")
+	}
+}
+
+func TestRectParallelDirectMatchesSerial(t *testing.T) {
+	// The fine-grain (OmegaPlus-F) parallel path must produce the exact
+	// values of the serial loop for any worker count.
+	rng := rand.New(rand.NewSource(33))
+	w, n := 40, 70
+	cols := make([][]bool, w)
+	for i := range cols {
+		cols[i] = make([]bool, n)
+		for k := range cols[i] {
+			cols[i][k] = rng.Intn(2) == 1
+		}
+	}
+	a := alignmentFromBools(cols, nil)
+	serial := NewComputer(a, Direct, 1)
+	want := make(map[[2]int]float64)
+	serial.Rect(5, 35, 0, 40, func(i, j int, r2 float64) { want[[2]int{i, j}] = r2 })
+	for _, workers := range []int{2, 4, 64} {
+		par := NewComputer(a, Direct, workers)
+		var mu sync.Mutex
+		got := make(map[[2]int]float64)
+		par.Rect(5, 35, 0, 40, func(i, j int, r2 float64) {
+			mu.Lock()
+			got[[2]int{i, j}] = r2
+			mu.Unlock()
+		})
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d cells, want %d", workers, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("workers=%d: cell %v = %g, want %g", workers, k, got[k], v)
+			}
+		}
+	}
+	// Single-row rect stays on the serial path regardless of workers.
+	par := NewComputer(a, Direct, 8)
+	calls := 0
+	par.Rect(3, 4, 0, 10, func(int, int, float64) { calls++ })
+	if calls != 10 {
+		t.Fatalf("single-row rect made %d calls", calls)
+	}
+}
+
+func TestScanParallelLDWorkersEndToEnd(t *testing.T) {
+	// DP fill through the parallel direct path must equal the serial fill.
+	reps, err := mssim.Simulate(mssim.Config{SampleSize: 25, Replicates: 1, SegSites: 80, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := reps[0].ToAlignment(1e5)
+	serial := PairwiseMatrix(a, Direct, 1)
+	parallel := PairwiseMatrix(a, Direct, 4)
+	for i := range serial {
+		for j := range serial[i] {
+			if serial[i][j] != parallel[i][j] {
+				t.Fatalf("parallel LD differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package ld
+
+import "math"
+
+// Measures holds the classic pairwise LD statistics computed from one
+// pair of SNPs — the statistic surface of quickLD (Theodoris et al.),
+// which the paper's GPU LD path derives from. All are functions of the
+// same four counts, so any engine that produces counts supports all of
+// them.
+type Measures struct {
+	// D is the raw coefficient of linkage disequilibrium
+	// p_ij − p_i·p_j.
+	D float64
+	// DPrime is Lewontin's normalized |D′| in [0, 1].
+	DPrime float64
+	// R2 is the squared correlation coefficient (Equation 1).
+	R2 float64
+	// PI, PJ are the derived-allele frequencies at the two sites.
+	PI, PJ float64
+	// N is the number of samples valid at both sites.
+	N int
+}
+
+// MeasuresFromCounts computes all LD statistics from co-occurrence
+// counts: n valid samples, ci/cj derived counts, cij joint count.
+// Monomorphic sites yield zero-valued statistics.
+func MeasuresFromCounts(n, ci, cj, cij int) Measures {
+	m := Measures{N: n}
+	if n <= 0 {
+		return m
+	}
+	fn := float64(n)
+	m.PI = float64(ci) / fn
+	m.PJ = float64(cj) / fn
+	if ci <= 0 || cj <= 0 || ci >= n || cj >= n {
+		return m
+	}
+	m.D = float64(cij)/fn - m.PI*m.PJ
+	m.R2 = RSquaredFromCounts(n, ci, cj, cij)
+
+	// Lewontin's normalization: D′ = D / Dmax.
+	var dmax float64
+	if m.D >= 0 {
+		dmax = math.Min(m.PI*(1-m.PJ), m.PJ*(1-m.PI))
+	} else {
+		dmax = math.Min(m.PI*m.PJ, (1-m.PI)*(1-m.PJ))
+	}
+	if dmax > 0 {
+		m.DPrime = math.Abs(m.D) / dmax
+		if m.DPrime > 1 { // guard floating-point overshoot
+			m.DPrime = 1
+		}
+	}
+	return m
+}
+
+// Pair computes the full measure set for SNPs i and j, honouring
+// missing-data masks.
+func (c *Computer) Pair(i, j int) Measures {
+	c.scores.Add(1)
+	n, ci, cj, cij := c.aln.Matrix.PairCounts(i, j)
+	return MeasuresFromCounts(n, ci, cj, cij)
+}
+
+// PairResult is one scored SNP pair of a windowed LD sweep.
+type PairResult struct {
+	I, J     int     // SNP indices
+	Distance float64 // bp between the sites
+	Measures
+}
+
+// SweepWindow computes all LD statistics for every SNP pair at most
+// maxDistBP apart (0 = all pairs), streaming results through emit in
+// (i, j) order with i < j — the two-step parse/process structure of
+// quickLD that bounds memory regardless of dataset size.
+func (c *Computer) SweepWindow(maxDistBP float64, emit func(PairResult)) {
+	pos := c.aln.Positions
+	w := c.aln.NumSNPs()
+	for i := 0; i < w; i++ {
+		for j := i + 1; j < w; j++ {
+			d := pos[j] - pos[i]
+			if maxDistBP > 0 && d > maxDistBP {
+				break // positions sorted: no further j qualifies
+			}
+			emit(PairResult{I: i, J: j, Distance: d, Measures: c.Pair(i, j)})
+		}
+	}
+}
+
+// DecayProfile bins mean r² by pairwise distance — the classic LD-decay
+// curve used to sanity-check simulated data and real inputs alike.
+// Returns bin centers (bp) and mean r² per bin; bins without pairs hold
+// NaN.
+func (c *Computer) DecayProfile(maxDistBP float64, bins int) (centers, meanR2 []float64) {
+	if bins <= 0 || maxDistBP <= 0 {
+		return nil, nil
+	}
+	sums := make([]float64, bins)
+	counts := make([]int, bins)
+	c.SweepWindow(maxDistBP, func(p PairResult) {
+		b := int(p.Distance / maxDistBP * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		sums[b] += p.R2
+		counts[b]++
+	})
+	centers = make([]float64, bins)
+	meanR2 = make([]float64, bins)
+	width := maxDistBP / float64(bins)
+	for b := 0; b < bins; b++ {
+		centers[b] = (float64(b) + 0.5) * width
+		if counts[b] > 0 {
+			meanR2[b] = sums[b] / float64(counts[b])
+		} else {
+			meanR2[b] = math.NaN()
+		}
+	}
+	return centers, meanR2
+}

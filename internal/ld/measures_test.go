@@ -1,0 +1,149 @@
+package ld
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"omegago/internal/mssim"
+)
+
+func TestMeasuresFromCountsKnown(t *testing.T) {
+	// Perfect association: D = 0.25, D' = 1, r² = 1.
+	m := MeasuresFromCounts(4, 2, 2, 2)
+	if m.D != 0.25 || m.DPrime != 1 || m.R2 != 1 {
+		t.Errorf("perfect association wrong: %+v", m)
+	}
+	// Perfect repulsion: D = −0.25, D' = 1, r² = 1.
+	m = MeasuresFromCounts(4, 2, 2, 0)
+	if m.D != -0.25 || m.DPrime != 1 || m.R2 != 1 {
+		t.Errorf("perfect repulsion wrong: %+v", m)
+	}
+	// Independence.
+	m = MeasuresFromCounts(4, 2, 2, 1)
+	if m.D != 0 || m.DPrime != 0 || m.R2 != 0 {
+		t.Errorf("independence wrong: %+v", m)
+	}
+	// Monomorphic site.
+	m = MeasuresFromCounts(4, 0, 2, 0)
+	if m.D != 0 || m.DPrime != 0 || m.R2 != 0 {
+		t.Errorf("monomorphic wrong: %+v", m)
+	}
+	if m.PJ != 0.5 {
+		t.Errorf("PJ = %v, want 0.5", m.PJ)
+	}
+	// Degenerate n.
+	if MeasuresFromCounts(0, 0, 0, 0).N != 0 {
+		t.Error("degenerate n wrong")
+	}
+}
+
+func TestMeasuresRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		ci := rng.Intn(n + 1)
+		cj := rng.Intn(n + 1)
+		lo := ci + cj - n
+		if lo < 0 {
+			lo = 0
+		}
+		hi := ci
+		if cj < hi {
+			hi = cj
+		}
+		cij := lo
+		if hi > lo {
+			cij = lo + rng.Intn(hi-lo+1)
+		}
+		m := MeasuresFromCounts(n, ci, cj, cij)
+		if m.DPrime < 0 || m.DPrime > 1 || m.R2 < 0 || m.R2 > 1 {
+			return false
+		}
+		// |D| ≤ 0.25 always; r² ≤ D′² is a classical inequality... not
+		// universally tight — instead check r² ≤ D′ (true since both
+		// normalize |D| and D′ uses the smaller denominator).
+		if math.Abs(m.D) > 0.25+1e-12 {
+			return false
+		}
+		return m.R2 <= m.DPrime+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairMatchesR2(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cols := make([][]bool, 10)
+	for i := range cols {
+		cols[i] = make([]bool, 24)
+		for k := range cols[i] {
+			cols[i][k] = rng.Intn(2) == 1
+		}
+	}
+	c := NewComputer(alignmentFromBools(cols, nil), Direct, 1)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if got := c.Pair(i, j).R2; got != c.R2(i, j) {
+				t.Fatalf("Pair.R2(%d,%d) = %g != R2 %g", i, j, got, c.R2(i, j))
+			}
+		}
+	}
+}
+
+func TestSweepWindowDistanceBound(t *testing.T) {
+	reps, err := mssim.Simulate(mssim.Config{SampleSize: 20, Replicates: 1, SegSites: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := reps[0].ToAlignment(100000)
+	c := NewComputer(a, Direct, 1)
+	count := 0
+	c.SweepWindow(10000, func(p PairResult) {
+		count++
+		if p.Distance > 10000 {
+			t.Fatalf("pair (%d,%d) at distance %g exceeds bound", p.I, p.J, p.Distance)
+		}
+		if p.I >= p.J {
+			t.Fatalf("pair order wrong: (%d,%d)", p.I, p.J)
+		}
+	})
+	if count == 0 {
+		t.Fatal("no pairs emitted")
+	}
+	// Unbounded sweep must emit all C(60,2) pairs.
+	all := 0
+	c.SweepWindow(0, func(PairResult) { all++ })
+	if all != 60*59/2 {
+		t.Fatalf("unbounded sweep emitted %d pairs, want %d", all, 60*59/2)
+	}
+}
+
+func TestDecayProfile(t *testing.T) {
+	reps, err := mssim.Simulate(mssim.Config{SampleSize: 30, Replicates: 1, SegSites: 150, Rho: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := reps[0].ToAlignment(1e6)
+	c := NewComputer(a, Direct, 1)
+	centers, mean := c.DecayProfile(5e5, 10)
+	if len(centers) != 10 || len(mean) != 10 {
+		t.Fatalf("profile shape wrong")
+	}
+	if centers[0] != 25000 || centers[9] != 475000 {
+		t.Errorf("bin centers wrong: %v", centers)
+	}
+	// LD decay: the first bin must exceed the last non-NaN bin.
+	lastIdx := 9
+	for math.IsNaN(mean[lastIdx]) && lastIdx > 0 {
+		lastIdx--
+	}
+	if !(mean[0] > mean[lastIdx]) {
+		t.Errorf("no decay: first bin %.4f vs bin %d %.4f", mean[0], lastIdx, mean[lastIdx])
+	}
+	if c, m := c.DecayProfile(0, 10); c != nil || m != nil {
+		t.Error("degenerate profile should be nil")
+	}
+}

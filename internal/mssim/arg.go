@@ -1,0 +1,471 @@
+package mssim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"omegago/internal/bitvec"
+	"omegago/internal/seqio"
+)
+
+// segment is a piece of ancestral material [a,b) carried by a lineage,
+// together with the set of sampled haplotypes descending from it. desc
+// vectors are immutable once created and may be shared between segments.
+type segment struct {
+	a, b float64
+	desc *bitvec.Vector
+}
+
+// lineage is an ancestral chromosome: sorted, non-overlapping segments.
+type lineage struct {
+	segs []segment
+	deme int // island-model deme (0 in panmictic runs)
+}
+
+// materialLength is the total ancestral material (mutation target).
+func (l *lineage) materialLength() float64 {
+	s := 0.0
+	for _, sg := range l.segs {
+		s += sg.b - sg.a
+	}
+	return s
+}
+
+// span is the breakable extent (recombination target): the distance
+// between the outermost ancestral material boundaries.
+func (l *lineage) span() float64 {
+	if len(l.segs) == 0 {
+		return 0
+	}
+	return l.segs[len(l.segs)-1].b - l.segs[0].a
+}
+
+// areaElement records that a segment [a,b) with descendant set desc
+// persisted for dt time units; mutations are drawn from these elements
+// after the ARG is complete, weighted by area = dt·(b−a).
+type areaElement struct {
+	area float64
+	a, b float64
+	desc *bitvec.Vector
+}
+
+// argSim holds the state of one ancestral-recombination-graph run.
+type argSim struct {
+	n        int
+	rho      float64
+	cfg      Config
+	now      float64 // current backward time in 4N units
+	rng      *rand.Rand
+	active   []*lineage
+	elements []areaElement
+	area     float64
+}
+
+// simulateARG runs the ARG engine (recombination and/or sweep).
+func simulateARG(cfg Config, rng *rand.Rand) (*seqio.MSReplicate, error) {
+	n := cfg.SampleSize
+	sim := &argSim{n: n, rho: cfg.Rho, cfg: cfg, rng: rng}
+	demeOf := func(i int) int { return 0 }
+	if cfg.Islands != nil {
+		bounds := make([]int, len(cfg.Islands.SampleSizes))
+		acc := 0
+		for d, sz := range cfg.Islands.SampleSizes {
+			acc += sz
+			bounds[d] = acc
+		}
+		demeOf = func(i int) int {
+			for d, b := range bounds {
+				if i < b {
+					return d
+				}
+			}
+			return len(bounds) - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		d := bitvec.New(n)
+		d.Set(i, true)
+		sim.active = append(sim.active, &lineage{
+			segs: []segment{{a: 0, b: 1, desc: d}},
+			deme: demeOf(i),
+		})
+	}
+	if cfg.Sweep != nil {
+		sim.applySweep(cfg.Sweep)
+	}
+	if err := sim.run(); err != nil {
+		return nil, err
+	}
+	nMut := cfg.SegSites
+	if nMut == 0 {
+		nMut = poisson(rng, cfg.Theta*sim.area)
+	}
+	muts := sim.drawMutations(nMut)
+	return renderReplicate(n, muts), nil
+}
+
+// run executes coalescence/recombination events until every position has
+// reached its marginal MRCA (no ancestral material remains active).
+func (s *argSim) run() error {
+	const maxEvents = 50_000_000
+	for events := 0; ; events++ {
+		// drop empty lineages
+		out := s.active[:0]
+		for _, l := range s.active {
+			if len(l.segs) > 0 {
+				out = append(out, l)
+			}
+		}
+		s.active = out
+		k := len(s.active)
+		if k == 0 {
+			return nil
+		}
+		if k == 1 {
+			return fmt.Errorf("mssim: single active lineage still carries material (invariant violation)")
+		}
+		if events > maxEvents {
+			return fmt.Errorf("mssim: event budget exceeded (rho too large?)")
+		}
+		// Coalescence happens within demes only; the panmictic case is a
+		// single deme.
+		size := s.cfg.sizeAt(s.now)
+		coalRate := 0.0
+		migRate := 0.0
+		if s.cfg.Islands == nil {
+			coalRate = float64(k) * float64(k-1) / size
+		} else {
+			for _, kd := range s.demeCounts() {
+				coalRate += float64(kd) * float64(kd-1) / size
+			}
+			migRate = s.cfg.Islands.MigrationRate / 2 * float64(k)
+		}
+		recRate := 0.0
+		if s.rho > 0 {
+			for _, l := range s.active {
+				recRate += s.rho * l.span()
+			}
+		}
+		total := coalRate + recRate + migRate
+		dt := s.rng.ExpFloat64() / total
+		// A draw that crosses a population-size change is valid only up
+		// to the boundary: accumulate the partial interval and redraw
+		// with the new epoch's rates.
+		if boundary := s.cfg.nextEpochAfter(s.now); s.now+dt > boundary {
+			s.accumulate(boundary - s.now)
+			s.now = boundary
+			continue
+		}
+		s.accumulate(dt)
+		s.now += dt
+		switch u := s.rng.Float64() * total; {
+		case u < coalRate:
+			s.coalesceRandomPair()
+		case u < coalRate+recRate:
+			s.recombine(recRate)
+		default:
+			s.migrate()
+		}
+	}
+}
+
+// demeCounts returns the number of active lineages per deme.
+func (s *argSim) demeCounts() []int {
+	nd := 1
+	if s.cfg.Islands != nil {
+		nd = len(s.cfg.Islands.SampleSizes)
+	}
+	counts := make([]int, nd)
+	for _, l := range s.active {
+		counts[l.deme]++
+	}
+	return counts
+}
+
+// migrate moves one uniformly chosen lineage to a different deme.
+func (s *argSim) migrate() {
+	nd := len(s.cfg.Islands.SampleSizes)
+	l := s.active[s.rng.Intn(len(s.active))]
+	to := s.rng.Intn(nd - 1)
+	if to >= l.deme {
+		to++
+	}
+	l.deme = to
+}
+
+// accumulate records mutation-target area for all active material.
+func (s *argSim) accumulate(dt float64) {
+	for _, l := range s.active {
+		for _, sg := range l.segs {
+			a := dt * (sg.b - sg.a)
+			s.elements = append(s.elements, areaElement{area: a, a: sg.a, b: sg.b, desc: sg.desc})
+			s.area += a
+		}
+	}
+}
+
+// coalesceRandomPair merges two uniformly chosen lineages (within one
+// deme under the island model, deme chosen k_d(k_d−1)-weighted).
+func (s *argSim) coalesceRandomPair() {
+	k := len(s.active)
+	var i, j int
+	if s.cfg.Islands == nil {
+		i = s.rng.Intn(k)
+		j = s.rng.Intn(k - 1)
+		if j >= i {
+			j++
+		}
+	} else {
+		counts := s.demeCounts()
+		total := 0.0
+		for _, kd := range counts {
+			total += float64(kd) * float64(kd-1)
+		}
+		x := s.rng.Float64() * total
+		deme := 0
+		for d, kd := range counts {
+			w := float64(kd) * float64(kd-1)
+			if x < w {
+				deme = d
+				break
+			}
+			x -= w
+		}
+		var members []int
+		for idx, l := range s.active {
+			if l.deme == deme {
+				members = append(members, idx)
+			}
+		}
+		a := s.rng.Intn(len(members))
+		b := s.rng.Intn(len(members) - 1)
+		if b >= a {
+			b++
+		}
+		i, j = members[a], members[b]
+	}
+	merged := mergeLineages(s.active[i], s.active[j], s.n)
+	merged.deme = s.active[i].deme
+	if i > j {
+		i, j = j, i
+	}
+	s.active[i] = merged
+	s.active[j] = s.active[k-1]
+	s.active = s.active[:k-1]
+}
+
+// recombine splits one lineage (chosen span-weighted) at a uniform point
+// within its breakable span.
+func (s *argSim) recombine(totalRate float64) {
+	x := s.rng.Float64() * totalRate
+	var target *lineage
+	idx := -1
+	for i, l := range s.active {
+		w := s.rho * l.span()
+		if x < w {
+			target, idx = l, i
+			break
+		}
+		x -= w
+	}
+	if target == nil { // floating-point edge: take the last breakable lineage
+		for i := len(s.active) - 1; i >= 0; i-- {
+			if s.active[i].span() > 0 {
+				target, idx = s.active[i], i
+				break
+			}
+		}
+		if target == nil {
+			return
+		}
+	}
+	lo := target.segs[0].a
+	p := lo + s.rng.Float64()*target.span()
+	left, right := splitLineage(target, p)
+	if len(left.segs) == 0 || len(right.segs) == 0 {
+		// split at the extreme edge: no-op event
+		return
+	}
+	left.deme = target.deme
+	right.deme = target.deme
+	s.active[idx] = left
+	s.active = append(s.active, right)
+}
+
+// splitLineage cuts a lineage at point p: material < p goes left,
+// material ≥ p goes right; a straddling segment is divided.
+func splitLineage(l *lineage, p float64) (left, right *lineage) {
+	left, right = &lineage{}, &lineage{}
+	for _, sg := range l.segs {
+		switch {
+		case sg.b <= p:
+			left.segs = append(left.segs, sg)
+		case sg.a >= p:
+			right.segs = append(right.segs, sg)
+		default:
+			left.segs = append(left.segs, segment{a: sg.a, b: p, desc: sg.desc})
+			right.segs = append(right.segs, segment{a: p, b: sg.b, desc: sg.desc})
+		}
+	}
+	return left, right
+}
+
+// mergeLineages coalesces two lineages: where only one carries material
+// the segment survives unchanged; where both do, the descendant sets are
+// unioned; segments whose union covers all n samples have reached their
+// marginal MRCA and are dropped.
+func mergeLineages(x, y *lineage, n int) *lineage {
+	bounds := make([]float64, 0, 2*(len(x.segs)+len(y.segs)))
+	for _, sg := range x.segs {
+		bounds = append(bounds, sg.a, sg.b)
+	}
+	for _, sg := range y.segs {
+		bounds = append(bounds, sg.a, sg.b)
+	}
+	sortFloats(bounds)
+	bounds = dedupFloats(bounds)
+
+	merged := &lineage{}
+	xi, yi := 0, 0
+	for bi := 0; bi+1 < len(bounds); bi++ {
+		a, b := bounds[bi], bounds[bi+1]
+		if b <= a {
+			continue
+		}
+		for xi < len(x.segs) && x.segs[xi].b <= a {
+			xi++
+		}
+		for yi < len(y.segs) && y.segs[yi].b <= a {
+			yi++
+		}
+		var dx, dy *bitvec.Vector
+		if xi < len(x.segs) && x.segs[xi].a <= a {
+			dx = x.segs[xi].desc
+		}
+		if yi < len(y.segs) && y.segs[yi].a <= a {
+			dy = y.segs[yi].desc
+		}
+		switch {
+		case dx == nil && dy == nil:
+			continue
+		case dy == nil:
+			merged.appendSegment(segment{a: a, b: b, desc: dx})
+		case dx == nil:
+			merged.appendSegment(segment{a: a, b: b, desc: dy})
+		default:
+			u := unionVectors(dx, dy)
+			if u.OnesCount() == n {
+				continue // marginal MRCA reached: no segregating mutations above
+			}
+			merged.appendSegment(segment{a: a, b: b, desc: u})
+		}
+	}
+	return merged
+}
+
+// appendSegment adds a segment, fusing it with the previous one when they
+// are contiguous and share the same descendant set.
+func (l *lineage) appendSegment(sg segment) {
+	if k := len(l.segs); k > 0 {
+		last := &l.segs[k-1]
+		if last.b == sg.a && (last.desc == sg.desc || last.desc.Equal(sg.desc)) {
+			last.b = sg.b
+			return
+		}
+	}
+	l.segs = append(l.segs, sg)
+}
+
+func unionVectors(a, b *bitvec.Vector) *bitvec.Vector {
+	u := a.Clone()
+	uw, bw := u.Words(), b.Words()
+	for i := range uw {
+		uw[i] |= bw[i]
+	}
+	return u
+}
+
+// applySweep superimposes a completed hitchhiking event at the sampling
+// time: per lineage and per side, material beyond an Exp(λ) recombination
+// distance from the selected site escapes; everything else star-coalesces
+// instantly. λ = ρ·ln(α)/α follows the classic approximation of the
+// escape probability during a sweep of duration ~2·ln(α)/α (4N units).
+func (s *argSim) applySweep(sw *SweepConfig) {
+	lambda := s.rho * math.Log(sw.Alpha) / sw.Alpha
+	if lambda <= 0 {
+		return
+	}
+	var escaped []*lineage
+	var sweptParts []*lineage
+	for _, l := range s.active {
+		dL := s.rng.ExpFloat64() / lambda
+		dR := s.rng.ExpFloat64() / lambda
+		cutL := sw.Position - dL
+		cutR := sw.Position + dR
+		leftRest, mid := splitLineage(l, cutL)
+		midOnly, rightRest := splitLineage(mid, cutR)
+		if len(leftRest.segs) > 0 {
+			escaped = append(escaped, leftRest)
+		}
+		if len(rightRest.segs) > 0 {
+			escaped = append(escaped, rightRest)
+		}
+		if len(midOnly.segs) > 0 {
+			sweptParts = append(sweptParts, midOnly)
+		}
+	}
+	// star coalescence of all swept material (instantaneous on the
+	// coalescent time scale; sweep-phase mutations are neglected).
+	var hitched *lineage
+	for _, part := range sweptParts {
+		if hitched == nil {
+			hitched = part
+			continue
+		}
+		hitched = mergeLineages(hitched, part, s.n)
+	}
+	s.active = escaped
+	if hitched != nil && len(hitched.segs) > 0 {
+		s.active = append(s.active, hitched)
+	}
+}
+
+// drawMutations samples nMut mutations from the recorded area elements,
+// area-weighted, with uniform positions inside each element's interval.
+func (s *argSim) drawMutations(nMut int) []mutation {
+	if nMut == 0 || len(s.elements) == 0 {
+		return nil
+	}
+	cum := make([]float64, len(s.elements)+1)
+	for i, e := range s.elements {
+		cum[i+1] = cum[i] + e.area
+	}
+	total := cum[len(cum)-1]
+	muts := make([]mutation, 0, nMut)
+	for m := 0; m < nMut; m++ {
+		e := &s.elements[sampleCumulative(cum, s.rng.Float64()*total)]
+		desc := e.desc
+		muts = append(muts, mutation{
+			pos:     e.a + s.rng.Float64()*(e.b-e.a),
+			carrier: func(h int) bool { return desc.Get(h) },
+		})
+	}
+	return muts
+}
+
+func sortFloats(xs []float64) { sort.Float64s(xs) }
+
+func dedupFloats(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package mssim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"omegago/internal/seqio"
+)
+
+func meanSegsites(t *testing.T, cfg Config) float64 {
+	t.Helper()
+	reps, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, rep := range reps {
+		sum += float64(rep.SegSites)
+	}
+	return sum / float64(len(reps))
+}
+
+func TestDemographyValidate(t *testing.T) {
+	good := Config{SampleSize: 5, Replicates: 1, Theta: 2,
+		Demography: []Epoch{{0.1, 0.5}, {0.5, 2}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SampleSize: 5, Replicates: 1, Theta: 2, Demography: []Epoch{{-1, 1}}},
+		{SampleSize: 5, Replicates: 1, Theta: 2, Demography: []Epoch{{0.1, 0}}},
+		{SampleSize: 5, Replicates: 1, Theta: 2, Demography: []Epoch{{0.5, 1}, {0.1, 2}}},
+		{SampleSize: 5, Replicates: 1, Theta: 2, Rho: 3, OutputTrees: true},
+		{SampleSize: 5, Replicates: 1, Theta: 2, Rho: 3, OutputTrees: true,
+			Sweep: &SweepConfig{Position: 0.5, Alpha: 100}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail: %+v", i, c)
+		}
+	}
+}
+
+func TestSizeAt(t *testing.T) {
+	c := Config{Demography: []Epoch{{0.1, 0.5}, {0.5, 3}}}
+	cases := []struct {
+		t, want float64
+	}{{0, 1}, {0.05, 1}, {0.1, 0.5}, {0.3, 0.5}, {0.5, 3}, {9, 3}}
+	for _, cs := range cases {
+		if got := c.sizeAt(cs.t); got != cs.want {
+			t.Errorf("sizeAt(%g) = %g, want %g", cs.t, got, cs.want)
+		}
+	}
+	if next := c.nextEpochAfter(0); next != 0.1 {
+		t.Errorf("nextEpochAfter(0) = %g", next)
+	}
+	if next := c.nextEpochAfter(0.3); next != 0.5 {
+		t.Errorf("nextEpochAfter(0.3) = %g", next)
+	}
+	if !math.IsInf(c.nextEpochAfter(1), 1) {
+		t.Error("nextEpochAfter past last epoch should be +Inf")
+	}
+}
+
+func TestBottleneckReducesDiversity(t *testing.T) {
+	// An ancestral crash to 5% of N₀ at t=0.05 forces most coalescences
+	// early → far fewer segregating sites than the constant-size model.
+	base := Config{SampleSize: 15, Replicates: 150, Theta: 10, Seed: 31}
+	crash := base
+	crash.Demography = []Epoch{{0.05, 0.05}}
+	mBase := meanSegsites(t, base)
+	mCrash := meanSegsites(t, crash)
+	if mCrash > 0.6*mBase {
+		t.Errorf("bottleneck mean S = %.1f, constant = %.1f; expected strong reduction", mCrash, mBase)
+	}
+}
+
+func TestExpansionIncreasesDiversity(t *testing.T) {
+	base := Config{SampleSize: 15, Replicates: 150, Theta: 10, Seed: 37}
+	grow := base
+	grow.Demography = []Epoch{{0.05, 5}} // larger ancestral population
+	mBase := meanSegsites(t, base)
+	mGrow := meanSegsites(t, grow)
+	if mGrow < 1.5*mBase {
+		t.Errorf("ancestral expansion mean S = %.1f, constant = %.1f; expected clear increase", mGrow, mBase)
+	}
+}
+
+func TestARGDemography(t *testing.T) {
+	// The bottleneck effect must also hold in the recombination engine.
+	base := Config{SampleSize: 10, Replicates: 80, Theta: 8, Rho: 5, Seed: 41}
+	crash := base
+	crash.Demography = []Epoch{{0.05, 0.05}}
+	mBase := meanSegsites(t, base)
+	mCrash := meanSegsites(t, crash)
+	if mCrash > 0.7*mBase {
+		t.Errorf("ARG bottleneck mean S = %.1f vs %.1f; expected reduction", mCrash, mBase)
+	}
+}
+
+func TestOutputTreesNewick(t *testing.T) {
+	cfg := Config{SampleSize: 8, Replicates: 3, SegSites: 10, Seed: 43, OutputTrees: true}
+	reps, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reps {
+		if len(rep.Trees) != 1 {
+			t.Fatalf("replicate has %d trees, want 1", len(rep.Trees))
+		}
+		tree := rep.Trees[0]
+		if !strings.HasSuffix(tree, ";") {
+			t.Fatalf("tree %q not terminated", tree)
+		}
+		open := strings.Count(tree, "(")
+		closed := strings.Count(tree, ")")
+		if open != closed || open != cfg.SampleSize-1 {
+			t.Fatalf("tree %q has %d/%d parens, want %d each", tree, open, closed, cfg.SampleSize-1)
+		}
+		// Every sample label 1..n appears exactly once.
+		for s := 1; s <= cfg.SampleSize; s++ {
+			found := 0
+			for _, tok := range strings.FieldsFunc(tree, func(r rune) bool {
+				return r == '(' || r == ')' || r == ',' || r == ':' || r == ';'
+			}) {
+				if tok == itoa(s) {
+					found++
+				}
+			}
+			if found == 0 {
+				t.Fatalf("label %d missing from %q", s, tree)
+			}
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return string(rune('0'+v/10)) + string(rune('0'+v%10))
+}
+
+func TestTreesRoundTripThroughMSFormat(t *testing.T) {
+	cfg := Config{SampleSize: 6, Replicates: 2, SegSites: 5, Seed: 47, OutputTrees: true}
+	reps, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := seqio.WriteMS(&sb, cfg.CommandEcho(), reps); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := seqio.ParseMS(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range reps {
+		if len(parsed[r].Trees) != 1 || parsed[r].Trees[0] != reps[r].Trees[0] {
+			t.Fatalf("replicate %d: trees did not round-trip", r)
+		}
+	}
+	if !strings.Contains(cfg.CommandEcho(), "-T") {
+		t.Error("echo should mention -T")
+	}
+	withDemo := Config{SampleSize: 4, Replicates: 1, Theta: 1,
+		Demography: []Epoch{{0.1, 0.5}}}
+	if !strings.Contains(withDemo.CommandEcho(), "-eN 0.1 0.5") {
+		t.Errorf("echo %q should mention -eN", withDemo.CommandEcho())
+	}
+}
+
+func TestGrowthValidate(t *testing.T) {
+	good := Config{SampleSize: 10, Replicates: 1, Theta: 5, GrowthRate: 20}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(good.CommandEcho(), "-G 20") {
+		t.Errorf("echo %q missing -G", good.CommandEcho())
+	}
+	bad := []Config{
+		{SampleSize: 10, Replicates: 1, Theta: 5, GrowthRate: 20, Rho: 5},
+		{SampleSize: 10, Replicates: 1, Theta: 5, GrowthRate: -3},
+		{SampleSize: 10, Replicates: 1, Theta: 5, GrowthRate: 20,
+			Islands: &IslandConfig{SampleSizes: []int{5, 5}, MigrationRate: 1}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail: %+v", i, c)
+		}
+	}
+}
+
+func TestGrowthShrinksTrees(t *testing.T) {
+	// Backward-shrinking populations coalesce faster: E[S] under strong
+	// growth must be well below the constant-size expectation.
+	base := Config{SampleSize: 15, Replicates: 150, Theta: 10, Seed: 61}
+	grown := base
+	grown.GrowthRate = 50
+	mBase := meanSegsites(t, base)
+	mGrown := meanSegsites(t, grown)
+	if mGrown > 0.7*mBase {
+		t.Errorf("growth mean S = %.1f vs constant %.1f; expected clear reduction", mGrown, mBase)
+	}
+}
+
+func TestGrowthSkewsSFSNegativeD(t *testing.T) {
+	// Recent expansion leaves an excess of rare variants: genealogies
+	// become star-like, so the fraction of singletons must clearly
+	// exceed the constant-size expectation (1/H(n-1) of sites).
+	singles := func(cfg Config) float64 {
+		reps, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, total := 0, 0
+		for _, rep := range reps {
+			for s := 0; s < rep.SegSites; s++ {
+				ones := 0
+				for h := range rep.Haplotypes {
+					if rep.Haplotypes[h][s] == '1' {
+						ones++
+					}
+				}
+				total++
+				if ones == 1 {
+					single++
+				}
+			}
+		}
+		return float64(single) / float64(total)
+	}
+	base := Config{SampleSize: 20, Replicates: 60, SegSites: 100, Seed: 67}
+	grown := base
+	grown.GrowthRate = 100
+	fBase := singles(base)
+	fGrown := singles(grown)
+	if fGrown < fBase+0.1 {
+		t.Errorf("singleton fraction under growth %.3f vs constant %.3f; expected strong excess", fGrown, fBase)
+	}
+}

@@ -1,0 +1,146 @@
+package mssim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"omegago/internal/seqio"
+)
+
+func TestIslandValidate(t *testing.T) {
+	good := Config{SampleSize: 10, Replicates: 1, Theta: 5,
+		Islands: &IslandConfig{SampleSizes: []int{5, 5}, MigrationRate: 2}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SampleSize: 10, Replicates: 1, Theta: 5,
+			Islands: &IslandConfig{SampleSizes: []int{10}, MigrationRate: 2}},
+		{SampleSize: 10, Replicates: 1, Theta: 5,
+			Islands: &IslandConfig{SampleSizes: []int{5, 4}, MigrationRate: 2}},
+		{SampleSize: 10, Replicates: 1, Theta: 5,
+			Islands: &IslandConfig{SampleSizes: []int{5, 5}, MigrationRate: 0}},
+		{SampleSize: 10, Replicates: 1, Theta: 5,
+			Islands: &IslandConfig{SampleSizes: []int{-1, 11}, MigrationRate: 2}},
+		{SampleSize: 10, Replicates: 1, Theta: 5, OutputTrees: true,
+			Islands: &IslandConfig{SampleSizes: []int{5, 5}, MigrationRate: 2}},
+		{SampleSize: 10, Replicates: 1, Theta: 5, Rho: 5,
+			Sweep:   &SweepConfig{Position: 0.5, Alpha: 100},
+			Islands: &IslandConfig{SampleSizes: []int{5, 5}, MigrationRate: 2}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail: %+v", i, c)
+		}
+	}
+	if !strings.Contains(good.CommandEcho(), "-I 2 5 5 2") {
+		t.Errorf("echo %q missing -I", good.CommandEcho())
+	}
+}
+
+func TestIslandStructuralInvariants(t *testing.T) {
+	cfg := Config{SampleSize: 16, Replicates: 5, SegSites: 60, Seed: 91,
+		Islands: &IslandConfig{SampleSizes: []int{8, 8}, MigrationRate: 1}}
+	reps, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reps {
+		checkReplicate(t, rep, 16)
+	}
+}
+
+func TestIslandWithRecombination(t *testing.T) {
+	cfg := Config{SampleSize: 12, Replicates: 3, SegSites: 40, Rho: 10, Seed: 93,
+		Islands: &IslandConfig{SampleSizes: []int{6, 6}, MigrationRate: 2}}
+	reps, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reps {
+		checkReplicate(t, rep, 12)
+	}
+}
+
+// fst computes a simple Hudson-style FST estimate from mean pairwise
+// differences within and between the two demes.
+func fst(rep *seqio.MSReplicate, n1 int) float64 {
+	n := len(rep.Haplotypes)
+	diff := func(a, b int) int {
+		d := 0
+		for s := 0; s < rep.SegSites; s++ {
+			if rep.Haplotypes[a][s] != rep.Haplotypes[b][s] {
+				d++
+			}
+		}
+		return d
+	}
+	var within, between, nw, nb float64
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			d := float64(diff(a, b))
+			if (a < n1) == (b < n1) {
+				within += d
+				nw++
+			} else {
+				between += d
+				nb++
+			}
+		}
+	}
+	if nw == 0 || nb == 0 || between == 0 {
+		return 0
+	}
+	return 1 - (within/nw)/(between/nb)
+}
+
+func TestLowMigrationRaisesFST(t *testing.T) {
+	// Weak migration must differentiate the demes far more than strong
+	// migration: FST ≈ 1/(1+M) under the island model, so M=0.2 vs
+	// M=20 should be clearly ordered.
+	run := func(m float64, seed int64) float64 {
+		cfg := Config{SampleSize: 20, Replicates: 10, SegSites: 100, Seed: seed,
+			Islands: &IslandConfig{SampleSizes: []int{10, 10}, MigrationRate: m}}
+		reps, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, rep := range reps {
+			sum += fst(rep, 10)
+		}
+		return sum / float64(len(reps))
+	}
+	low := run(0.2, 95)
+	high := run(20, 96)
+	if !(low > high+0.15) {
+		t.Errorf("FST(M=0.2) = %.3f should clearly exceed FST(M=20) = %.3f", low, high)
+	}
+	if low < 0.3 {
+		t.Errorf("FST at M=0.2 = %.3f, expected strong structure (≈0.8)", low)
+	}
+	if math.Abs(high) > 0.25 {
+		t.Errorf("FST at M=20 = %.3f, expected near panmixia", high)
+	}
+}
+
+func TestIslandDeterminism(t *testing.T) {
+	cfg := Config{SampleSize: 12, Replicates: 2, SegSites: 30, Seed: 97,
+		Islands: &IslandConfig{SampleSizes: []int{6, 6}, MigrationRate: 1}}
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range a {
+		for h := range a[r].Haplotypes {
+			if string(a[r].Haplotypes[h]) != string(b[r].Haplotypes[h]) {
+				t.Fatal("island simulation not deterministic")
+			}
+		}
+	}
+}

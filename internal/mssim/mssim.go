@@ -1,0 +1,297 @@
+// Package mssim is a Wright–Fisher coalescent simulator in the spirit of
+// Hudson's ms (Hudson, Bioinformatics 2002). It generates the simulated
+// datasets used throughout the performance evaluation of the paper
+// ("We generated simulated datasets using Hudson's ms").
+//
+// Two simulation engines are provided behind one Config:
+//
+//   - a fast single-tree engine (no recombination) that scales to the
+//     tens of thousands of sequences needed for the high-LD workload of
+//     §VI.D, using the contiguous-leaf-interval representation of subtree
+//     descendant sets plus one random leaf permutation per replicate
+//     (exact under exchangeability);
+//
+//   - an ancestral-recombination-graph (ARG) engine for ρ > 0, tracking
+//     per-lineage ancestral segments with explicit descendant sets, with
+//     an optional hitchhiking (selective sweep) model.
+//
+// Time is measured in units of 4N generations as in ms: the coalescence
+// rate with k lineages is k(k−1), the mutation intensity is θ per unit
+// (branch length × locus fraction), and the recombination intensity is
+// ρ × breakable span per lineage, so that E[S] = θ·H(n−1) (Watterson).
+//
+// The sweep model is the classic star-like approximation of the
+// hitchhiking effect (Smith & Haigh 1974; Kim & Nielsen 2004): at sweep
+// fixation each lineage escapes the sweep on each side of the selected
+// site beyond an Exp(λ)-distributed recombination distance, with
+// λ = ρ·ln(α)/α and α = 2Ns; all non-escaped material coalesces
+// instantly. Left and right escape distances are independent, which is
+// precisely what produces elevated LD within each flank and depressed LD
+// across the selected site. This approximation is documented in
+// DESIGN.md and is used by examples and tests, not by the paper's
+// performance workloads (which are neutral).
+package mssim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"omegago/internal/seqio"
+)
+
+// SweepConfig parameterizes the hitchhiking model.
+type SweepConfig struct {
+	// Position of the selected site as a fraction of the locus in [0,1].
+	Position float64
+	// Alpha is the scaled selection coefficient 2Ns (> 1).
+	Alpha float64
+}
+
+// Epoch is one piecewise-constant population-size change (ms -eN t x):
+// backward in time from Time (in units of 4N₀ generations), the
+// population size is Size·N₀, scaling the coalescence rate by 1/Size.
+type Epoch struct {
+	Time float64
+	Size float64
+}
+
+// IslandConfig is a symmetric island model (ms -I npop n1 n2 … M):
+// Demes carry SampleSizes[i] sampled haplotypes each; lineages migrate
+// between demes at rate M = 4Nm (total per lineage), and within-deme
+// pairs coalesce at the single-deme rate.
+type IslandConfig struct {
+	SampleSizes []int
+	// MigrationRate is 4Nm, the scaled total migration rate per lineage.
+	MigrationRate float64
+}
+
+// Config describes one simulation run (mirroring ms's command line).
+type Config struct {
+	// SampleSize is the number of haplotypes to sample (ms "nsam").
+	SampleSize int
+	// Replicates is the number of independent replicates (ms "howmany").
+	Replicates int
+	// Theta is the scaled mutation rate 4Nμ over the locus (ms -t).
+	// Ignored when SegSites > 0.
+	Theta float64
+	// SegSites, when positive, fixes the number of segregating sites per
+	// replicate (ms -s): exactly this many mutations are placed on the
+	// genealogy, branch-length weighted.
+	SegSites int
+	// Rho is the scaled recombination rate 4Nr over the locus (ms -r).
+	Rho float64
+	// Seed seeds the deterministic generator.
+	Seed int64
+	// Sweep, when non-nil, superimposes a completed selective sweep.
+	// Requires Rho > 0 (with no recombination nothing escapes the sweep
+	// and the sample is monomorphic).
+	Sweep *SweepConfig
+	// Demography lists population-size changes (ms -eN), times
+	// ascending. Empty means a constant population of size N₀.
+	Demography []Epoch
+	// Islands, when non-nil, samples from a symmetric island model
+	// (ms -I): population structure is the classic non-sweep source of
+	// LD signal alongside bottlenecks.
+	Islands *IslandConfig
+	// GrowthRate is the exponential growth rate α (ms -G): backward in
+	// time the population shrinks as N(t) = N₀·e^(−αt), so coalescence
+	// accelerates into the past. Positive α models recent expansion —
+	// the classic source of excess rare variants. Supported by the
+	// single-genealogy engine only (no recombination/sweep/structure).
+	GrowthRate float64
+	// OutputTrees records the genealogy of each replicate in Newick
+	// format (ms -T). Only supported without recombination and sweeps
+	// (a single tree exists only in that case).
+	OutputTrees bool
+}
+
+// Validate checks config consistency.
+func (c Config) Validate() error {
+	if c.SampleSize < 2 {
+		return fmt.Errorf("mssim: sample size %d < 2", c.SampleSize)
+	}
+	if c.Replicates < 1 {
+		return fmt.Errorf("mssim: replicates %d < 1", c.Replicates)
+	}
+	if c.SegSites < 0 {
+		return fmt.Errorf("mssim: negative segsites %d", c.SegSites)
+	}
+	if c.SegSites == 0 && c.Theta <= 0 {
+		return fmt.Errorf("mssim: need -t theta > 0 or -s segsites > 0")
+	}
+	if c.Rho < 0 {
+		return fmt.Errorf("mssim: negative rho %g", c.Rho)
+	}
+	if c.Sweep != nil {
+		if c.Sweep.Position < 0 || c.Sweep.Position > 1 {
+			return fmt.Errorf("mssim: sweep position %g outside [0,1]", c.Sweep.Position)
+		}
+		if c.Sweep.Alpha <= 1 {
+			return fmt.Errorf("mssim: sweep alpha %g must exceed 1", c.Sweep.Alpha)
+		}
+		if c.Rho <= 0 {
+			return fmt.Errorf("mssim: a sweep requires rho > 0 (otherwise the sample is monomorphic)")
+		}
+	}
+	prev := 0.0
+	for i, e := range c.Demography {
+		if e.Time < 0 || e.Size <= 0 {
+			return fmt.Errorf("mssim: epoch %d has time %g, size %g (want time ≥ 0, size > 0)", i, e.Time, e.Size)
+		}
+		if e.Time < prev {
+			return fmt.Errorf("mssim: epoch times must ascend (epoch %d at %g after %g)", i, e.Time, prev)
+		}
+		prev = e.Time
+	}
+	if c.OutputTrees && (c.Rho > 0 || c.Sweep != nil || c.Islands != nil) {
+		return fmt.Errorf("mssim: tree output requires a single plain genealogy (no recombination, sweep, or structure)")
+	}
+	if c.GrowthRate != 0 {
+		if c.Rho > 0 || c.Sweep != nil || c.Islands != nil {
+			return fmt.Errorf("mssim: -G growth requires the single-genealogy engine (no recombination, sweep, or structure)")
+		}
+		if c.GrowthRate < 0 {
+			return fmt.Errorf("mssim: negative growth (backward expansion) is not supported")
+		}
+	}
+	if c.Islands != nil {
+		if len(c.Islands.SampleSizes) < 2 {
+			return fmt.Errorf("mssim: island model needs ≥ 2 demes")
+		}
+		sum := 0
+		for i, n := range c.Islands.SampleSizes {
+			if n < 0 {
+				return fmt.Errorf("mssim: deme %d has negative sample size", i)
+			}
+			sum += n
+		}
+		if sum != c.SampleSize {
+			return fmt.Errorf("mssim: deme sample sizes sum to %d, want %d", sum, c.SampleSize)
+		}
+		if c.Islands.MigrationRate <= 0 {
+			return fmt.Errorf("mssim: migration rate must be positive (isolated demes never find a common ancestor)")
+		}
+		if c.Sweep != nil {
+			return fmt.Errorf("mssim: sweep and island models cannot be combined")
+		}
+	}
+	return nil
+}
+
+// sizeAt returns the population-size ratio in force at time t.
+func (c Config) sizeAt(t float64) float64 {
+	size := 1.0
+	for _, e := range c.Demography {
+		if e.Time <= t {
+			size = e.Size
+		} else {
+			break
+		}
+	}
+	return size
+}
+
+// nextEpochAfter returns the time of the first size change after t, or
+// +Inf if none remains.
+func (c Config) nextEpochAfter(t float64) float64 {
+	for _, e := range c.Demography {
+		if e.Time > t {
+			return e.Time
+		}
+	}
+	return math.Inf(1)
+}
+
+// CommandEcho renders an ms-style command line for the output header.
+func (c Config) CommandEcho() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "msgo %d %d", c.SampleSize, c.Replicates)
+	if c.SegSites > 0 {
+		fmt.Fprintf(&sb, " -s %d", c.SegSites)
+	} else {
+		fmt.Fprintf(&sb, " -t %g", c.Theta)
+	}
+	if c.Rho > 0 {
+		fmt.Fprintf(&sb, " -r %g", c.Rho)
+	}
+	if c.Sweep != nil {
+		fmt.Fprintf(&sb, " -sweep %g %g", c.Sweep.Position, c.Sweep.Alpha)
+	}
+	for _, e := range c.Demography {
+		fmt.Fprintf(&sb, " -eN %g %g", e.Time, e.Size)
+	}
+	if c.Islands != nil {
+		fmt.Fprintf(&sb, " -I %d", len(c.Islands.SampleSizes))
+		for _, n := range c.Islands.SampleSizes {
+			fmt.Fprintf(&sb, " %d", n)
+		}
+		fmt.Fprintf(&sb, " %g", c.Islands.MigrationRate)
+	}
+	if c.GrowthRate != 0 {
+		fmt.Fprintf(&sb, " -G %g", c.GrowthRate)
+	}
+	if c.OutputTrees {
+		sb.WriteString(" -T")
+	}
+	fmt.Fprintf(&sb, " -seed %d", c.Seed)
+	return sb.String()
+}
+
+// Simulate runs the configured simulation and returns one MSReplicate per
+// replicate, each with positions sorted ascending in [0,1].
+func Simulate(cfg Config) ([]*seqio.MSReplicate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reps := make([]*seqio.MSReplicate, cfg.Replicates)
+	for i := range reps {
+		var rep *seqio.MSReplicate
+		var err error
+		if cfg.Rho > 0 || cfg.Sweep != nil || cfg.Islands != nil {
+			rep, err = simulateARG(cfg, rng)
+		} else {
+			rep, err = simulateTree(cfg, rng)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mssim: replicate %d: %w", i+1, err)
+		}
+		reps[i] = rep
+	}
+	return reps, nil
+}
+
+// mutation is a placed mutation before rendering to haplotype strings.
+type mutation struct {
+	pos     float64
+	carrier func(sample int) bool
+}
+
+// renderReplicate sorts mutations by position and emits the ms matrix.
+func renderReplicate(n int, muts []mutation) *seqio.MSReplicate {
+	sortMutations(muts)
+	rep := &seqio.MSReplicate{SegSites: len(muts)}
+	rep.Positions = make([]float64, len(muts))
+	rep.Haplotypes = make([][]byte, n)
+	for h := range rep.Haplotypes {
+		rep.Haplotypes[h] = make([]byte, len(muts))
+	}
+	for s, m := range muts {
+		rep.Positions[s] = m.pos
+		for h := 0; h < n; h++ {
+			if m.carrier(h) {
+				rep.Haplotypes[h][s] = '1'
+			} else {
+				rep.Haplotypes[h][s] = '0'
+			}
+		}
+	}
+	return rep
+}
+
+func sortMutations(muts []mutation) {
+	sort.Slice(muts, func(i, j int) bool { return muts[i].pos < muts[j].pos })
+}

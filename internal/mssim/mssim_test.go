@@ -1,0 +1,346 @@
+package mssim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"omegago/internal/seqio"
+	"omegago/internal/stats"
+)
+
+func TestValidate(t *testing.T) {
+	good := Config{SampleSize: 10, Replicates: 1, Theta: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SampleSize: 1, Replicates: 1, Theta: 5},
+		{SampleSize: 10, Replicates: 0, Theta: 5},
+		{SampleSize: 10, Replicates: 1},
+		{SampleSize: 10, Replicates: 1, SegSites: -1},
+		{SampleSize: 10, Replicates: 1, Theta: 5, Rho: -1},
+		{SampleSize: 10, Replicates: 1, Theta: 5, Sweep: &SweepConfig{Position: 2, Alpha: 100}},
+		{SampleSize: 10, Replicates: 1, Theta: 5, Rho: 10, Sweep: &SweepConfig{Position: 0.5, Alpha: 0.5}},
+		{SampleSize: 10, Replicates: 1, Theta: 5, Sweep: &SweepConfig{Position: 0.5, Alpha: 100}}, // rho=0
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail validation: %+v", i, c)
+		}
+	}
+}
+
+func TestCommandEcho(t *testing.T) {
+	c := Config{SampleSize: 50, Replicates: 2, Theta: 20, Rho: 10, Seed: 7,
+		Sweep: &SweepConfig{Position: 0.5, Alpha: 1000}}
+	echo := c.CommandEcho()
+	for _, want := range []string{"msgo 50 2", "-t 20", "-r 10", "-sweep 0.5 1000", "-seed 7"} {
+		if !strings.Contains(echo, want) {
+			t.Errorf("echo %q missing %q", echo, want)
+		}
+	}
+	c2 := Config{SampleSize: 10, Replicates: 1, SegSites: 30}
+	if !strings.Contains(c2.CommandEcho(), "-s 30") {
+		t.Errorf("echo %q missing -s", c2.CommandEcho())
+	}
+}
+
+// checkReplicate asserts the structural invariants every engine must obey.
+func checkReplicate(t *testing.T, rep *seqio.MSReplicate, n int) {
+	t.Helper()
+	if len(rep.Haplotypes) != n {
+		t.Fatalf("haplotypes %d, want %d", len(rep.Haplotypes), n)
+	}
+	if len(rep.Positions) != rep.SegSites {
+		t.Fatalf("positions %d != segsites %d", len(rep.Positions), rep.SegSites)
+	}
+	prev := -1.0
+	for i, p := range rep.Positions {
+		if p < 0 || p > 1 {
+			t.Fatalf("position %d = %g outside [0,1]", i, p)
+		}
+		if p < prev {
+			t.Fatalf("positions not sorted at %d", i)
+		}
+		prev = p
+	}
+	for s := 0; s < rep.SegSites; s++ {
+		ones := 0
+		for h := 0; h < n; h++ {
+			if rep.Haplotypes[h][s] == '1' {
+				ones++
+			}
+		}
+		if ones == 0 || ones == n {
+			t.Fatalf("site %d is not segregating (count %d of %d)", s, ones, n)
+		}
+	}
+}
+
+func TestTreeFixedSegsites(t *testing.T) {
+	cfg := Config{SampleSize: 20, Replicates: 5, SegSites: 40, Seed: 1}
+	reps, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 5 {
+		t.Fatalf("got %d replicates", len(reps))
+	}
+	for _, rep := range reps {
+		if rep.SegSites != 40 {
+			t.Errorf("segsites = %d, want 40", rep.SegSites)
+		}
+		checkReplicate(t, rep, 20)
+	}
+}
+
+func TestTreeWattersonExpectation(t *testing.T) {
+	// E[S] = θ·H(n−1). n=10, θ=5 → 5·H(9) ≈ 14.14. 300 deterministic
+	// replicates give a standard error ≈ 0.42; allow 4σ.
+	cfg := Config{SampleSize: 10, Replicates: 300, Theta: 5, Seed: 42}
+	reps, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, rep := range reps {
+		sum += float64(rep.SegSites)
+		checkReplicate(t, rep, 10)
+	}
+	mean := sum / float64(len(reps))
+	want := 5 * stats.HarmonicNumber(9)
+	if math.Abs(mean-want) > 1.7 {
+		t.Errorf("mean segsites = %.2f, want %.2f ± 1.7", mean, want)
+	}
+}
+
+func TestARGWattersonExpectation(t *testing.T) {
+	// Recombination does not change E[total branch length], so E[S] is
+	// still θ·H(n−1). n=8, θ=5 → 5·H(7) ≈ 12.96.
+	cfg := Config{SampleSize: 8, Replicates: 200, Theta: 5, Rho: 5, Seed: 7}
+	reps, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, rep := range reps {
+		sum += float64(rep.SegSites)
+		checkReplicate(t, rep, 8)
+	}
+	mean := sum / float64(len(reps))
+	want := 5 * stats.HarmonicNumber(7)
+	if math.Abs(mean-want) > 1.8 {
+		t.Errorf("mean segsites = %.2f, want %.2f ± 1.8", mean, want)
+	}
+}
+
+func TestARGFixedSegsites(t *testing.T) {
+	cfg := Config{SampleSize: 12, Replicates: 3, SegSites: 60, Rho: 10, Seed: 3}
+	reps, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reps {
+		if rep.SegSites != 60 {
+			t.Errorf("segsites = %d, want 60", rep.SegSites)
+		}
+		checkReplicate(t, rep, 12)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{SampleSize: 15, Replicates: 2, Theta: 10, Rho: 8, Seed: 99}
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range a {
+		if a[r].SegSites != b[r].SegSites {
+			t.Fatalf("replicate %d segsites differ", r)
+		}
+		for h := range a[r].Haplotypes {
+			if string(a[r].Haplotypes[h]) != string(b[r].Haplotypes[h]) {
+				t.Fatalf("replicate %d haplotype %d differs", r, h)
+			}
+		}
+	}
+}
+
+func TestSweepReducesDiversityNearSite(t *testing.T) {
+	// With -s fixed total sites, a sweep at 0.5 must deplete SNP density
+	// around the selected site relative to the uniform 20% expectation
+	// for the window [0.4, 0.6].
+	const sites = 200
+	cfg := Config{SampleSize: 30, Replicates: 20, SegSites: sites, Rho: 40, Seed: 11,
+		Sweep: &SweepConfig{Position: 0.5, Alpha: 5000}}
+	reps, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, total := 0, 0
+	for _, rep := range reps {
+		checkReplicate(t, rep, 30)
+		for _, p := range rep.Positions {
+			total++
+			if p >= 0.4 && p <= 0.6 {
+				near++
+			}
+		}
+	}
+	frac := float64(near) / float64(total)
+	if frac > 0.15 { // uniform would be 0.20
+		t.Errorf("SNP fraction near sweep = %.3f, expected clear depletion below 0.15", frac)
+	}
+}
+
+func TestSweepVsNeutralDensity(t *testing.T) {
+	// Sanity check of the control: without a sweep the same window holds
+	// roughly its uniform share of SNPs.
+	cfg := Config{SampleSize: 30, Replicates: 20, SegSites: 200, Rho: 40, Seed: 11}
+	reps, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, total := 0, 0
+	for _, rep := range reps {
+		for _, p := range rep.Positions {
+			total++
+			if p >= 0.4 && p <= 0.6 {
+				near++
+			}
+		}
+	}
+	frac := float64(near) / float64(total)
+	if frac < 0.15 || frac > 0.26 {
+		t.Errorf("neutral SNP fraction near centre = %.3f, expected ≈ 0.20", frac)
+	}
+}
+
+func TestTreeLeafIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tree := simulateCoalTree(20, Config{}, rng)
+	root := 2*tree.n - 2
+	if tree.leafLo[root] != 0 || tree.leafHi[root] != tree.n {
+		t.Fatalf("root interval [%d,%d), want [0,%d)", tree.leafLo[root], tree.leafHi[root], tree.n)
+	}
+	// Each internal node's interval must be the disjoint union of its
+	// children's intervals.
+	for v := tree.n; v <= root; v++ {
+		l, r := tree.left[v], tree.right[v]
+		span := (tree.leafHi[l] - tree.leafLo[l]) + (tree.leafHi[r] - tree.leafLo[r])
+		if span != tree.leafHi[v]-tree.leafLo[v] {
+			t.Errorf("node %d: child intervals don't partition parent", v)
+		}
+		if tree.time[v] < tree.time[l] || tree.time[v] < tree.time[r] {
+			t.Errorf("node %d older than parent", v)
+		}
+	}
+	// leafAt must be a permutation of the leaves.
+	seen := make(map[int]bool)
+	for _, leaf := range tree.leafAt {
+		if leaf < 0 || leaf >= tree.n || seen[leaf] {
+			t.Fatalf("leafAt not a permutation: %v", tree.leafAt)
+		}
+		seen[leaf] = true
+	}
+}
+
+func TestTreeTotalLength(t *testing.T) {
+	// With coalescence rate k(k−1) in 4N units, E[L] = H(n−1).
+	rng := rand.New(rand.NewSource(123))
+	sum := 0.0
+	const reps = 400
+	for i := 0; i < reps; i++ {
+		sum += simulateCoalTree(10, Config{}, rng).totalLength()
+	}
+	mean := sum / reps
+	want := stats.HarmonicNumber(9)
+	if math.Abs(mean-want) > 0.25 {
+		t.Errorf("mean tree length = %.3f, want %.3f ± 0.25", mean, want)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if poisson(rng, 0) != 0 || poisson(rng, -3) != 0 {
+		t.Error("non-positive lambda should give 0")
+	}
+	for _, lambda := range []float64{3, 40, 2000} {
+		sum := 0.0
+		const draws = 3000
+		for i := 0; i < draws; i++ {
+			sum += float64(poisson(rng, lambda))
+		}
+		mean := sum / draws
+		tol := 4 * math.Sqrt(lambda/draws)
+		if math.Abs(mean-lambda) > tol {
+			t.Errorf("poisson(%g) mean = %.2f, want %.2f ± %.2f", lambda, mean, lambda, tol)
+		}
+	}
+}
+
+func TestSampleCumulative(t *testing.T) {
+	cum := []float64{0, 1, 3, 6}
+	cases := []struct {
+		x    float64
+		want int
+	}{{0, 0}, {0.5, 0}, {1, 1}, {2.9, 1}, {3, 2}, {5.9, 2}}
+	for _, c := range cases {
+		if got := sampleCumulative(cum, c.x); got != c.want {
+			t.Errorf("sampleCumulative(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestSplitLineage(t *testing.T) {
+	l := &lineage{segs: []segment{{a: 0, b: 0.3}, {a: 0.5, b: 1}}}
+	left, right := splitLineage(l, 0.7)
+	if len(left.segs) != 2 || left.segs[1].b != 0.7 {
+		t.Errorf("left wrong: %+v", left.segs)
+	}
+	if len(right.segs) != 1 || right.segs[0].a != 0.7 {
+		t.Errorf("right wrong: %+v", right.segs)
+	}
+	// split in the gap
+	left, right = splitLineage(l, 0.4)
+	if len(left.segs) != 1 || len(right.segs) != 1 {
+		t.Errorf("gap split wrong: %+v / %+v", left.segs, right.segs)
+	}
+	if l.span() != 1 || math.Abs(l.materialLength()-0.8) > 1e-12 {
+		t.Errorf("span/material wrong: %g %g", l.span(), l.materialLength())
+	}
+}
+
+func TestSimulateToAlignmentIntegration(t *testing.T) {
+	reps, err := Simulate(Config{SampleSize: 25, Replicates: 1, SegSites: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := reps[0].ToAlignment(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSNPs() != 100 || a.Samples() != 25 {
+		t.Fatalf("alignment shape %dx%d", a.NumSNPs(), a.Samples())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTreeSimulate50x2000(b *testing.B) {
+	cfg := Config{SampleSize: 50, Replicates: 1, SegSites: 2000, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

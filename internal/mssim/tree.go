@@ -1,0 +1,254 @@
+package mssim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"omegago/internal/seqio"
+)
+
+// coalTree is a Kingman coalescent genealogy over n leaves.
+// Nodes 0..n-1 are leaves; nodes n..2n-2 are internal, in merge order.
+type coalTree struct {
+	n      int
+	time   []float64 // node times in 4N units; leaves at 0
+	left   []int     // children of internal nodes (len 2n-1, -1 for leaves)
+	right  []int
+	parent []int // -1 for root
+	// leafLo/leafHi give the contiguous DFS leaf interval [lo,hi) of the
+	// subtree rooted at each node, after indexLeaves.
+	leafLo, leafHi []int
+	leafAt         []int // DFS order → leaf node id
+}
+
+// simulateCoalTree draws a neutral genealogy for n samples.
+// Backward-time coalescence rates honour the piecewise-constant
+// population sizes of cfg.Demography.
+func simulateCoalTree(n int, cfg Config, rng *rand.Rand) *coalTree {
+	total := 2*n - 1
+	t := &coalTree{
+		n:      n,
+		time:   make([]float64, total),
+		left:   make([]int, total),
+		right:  make([]int, total),
+		parent: make([]int, total),
+	}
+	for i := range t.left {
+		t.left[i], t.right[i], t.parent[i] = -1, -1, -1
+	}
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	now := 0.0
+	next := n
+	for k := n; k > 1; k-- {
+		// Draw the waiting time. Under exponential growth the hazard is
+		// k(k−1)·e^(αt); inverting its integral gives the waiting time in
+		// closed form. Otherwise draw epoch by epoch: within an epoch of
+		// relative size x the rate is k(k−1)/x, and a draw that crosses
+		// the next size change is discarded from the boundary onward.
+		if alpha := cfg.GrowthRate; alpha > 0 {
+			pairRate := float64(k) * float64(k-1)
+			e := rng.ExpFloat64()
+			now = math.Log(math.Exp(alpha*now)+alpha*e/pairRate) / alpha
+		} else {
+			for {
+				rate := float64(k) * float64(k-1) / cfg.sizeAt(now)
+				dt := rng.ExpFloat64() / rate
+				if boundary := cfg.nextEpochAfter(now); now+dt > boundary {
+					now = boundary
+					continue
+				}
+				now += dt
+				break
+			}
+		}
+		i := rng.Intn(k)
+		j := rng.Intn(k - 1)
+		if j >= i {
+			j++
+		}
+		a, b := active[i], active[j]
+		t.time[next] = now
+		t.left[next], t.right[next] = a, b
+		t.parent[a], t.parent[b] = next, next
+		// replace a with the merged node, swap-remove b
+		if i > j {
+			i, j = j, i
+		}
+		active[i] = next
+		active[j] = active[k-1]
+		active = active[:k-1]
+		next++
+	}
+	t.indexLeaves()
+	return t
+}
+
+// indexLeaves computes DFS leaf intervals so that the descendant set of
+// any node is the contiguous range leafAt[leafLo[v]:leafHi[v]].
+func (t *coalTree) indexLeaves() {
+	total := 2*t.n - 1
+	t.leafLo = make([]int, total)
+	t.leafHi = make([]int, total)
+	t.leafAt = make([]int, 0, t.n)
+	root := total - 1
+	// iterative post-order DFS
+	type frame struct {
+		node  int
+		stage int
+	}
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		v := f.node
+		if t.left[v] == -1 { // leaf
+			t.leafLo[v] = len(t.leafAt)
+			t.leafAt = append(t.leafAt, v)
+			t.leafHi[v] = len(t.leafAt)
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		switch f.stage {
+		case 0:
+			f.stage = 1
+			t.leafLo[v] = len(t.leafAt)
+			stack = append(stack, frame{t.left[v], 0})
+		case 1:
+			f.stage = 2
+			stack = append(stack, frame{t.right[v], 0})
+		default:
+			t.leafHi[v] = len(t.leafAt)
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// branchLength returns the length of the branch above node v (0 for root).
+func (t *coalTree) branchLength(v int) float64 {
+	p := t.parent[v]
+	if p == -1 {
+		return 0
+	}
+	return t.time[p] - t.time[v]
+}
+
+// totalLength returns the sum of all branch lengths.
+func (t *coalTree) totalLength() float64 {
+	s := 0.0
+	for v := 0; v < 2*t.n-1; v++ {
+		s += t.branchLength(v)
+	}
+	return s
+}
+
+// Newick renders the genealogy in Newick format with branch lengths in
+// 4N units, sample labels mapped through perm (ms labels are 1-based).
+func (t *coalTree) Newick(perm []int) string {
+	var sb strings.Builder
+	var write func(v int)
+	write = func(v int) {
+		if t.left[v] == -1 {
+			fmt.Fprintf(&sb, "%d", perm[v]+1)
+		} else {
+			sb.WriteByte('(')
+			write(t.left[v])
+			sb.WriteByte(',')
+			write(t.right[v])
+			sb.WriteByte(')')
+		}
+		if p := t.parent[v]; p != -1 {
+			fmt.Fprintf(&sb, ":%.6f", t.time[p]-t.time[v])
+		}
+	}
+	write(2*t.n - 2)
+	sb.WriteByte(';')
+	return sb.String()
+}
+
+// simulateTree is the no-recombination fast path: one genealogy, mutations
+// dropped branch-length weighted, descendant sets realized through the
+// contiguous leaf intervals plus a random leaf→sample permutation (exact
+// by exchangeability of the coalescent).
+func simulateTree(cfg Config, rng *rand.Rand) (*seqio.MSReplicate, error) {
+	n := cfg.SampleSize
+	tree := simulateCoalTree(n, cfg, rng)
+	total := tree.totalLength()
+
+	nMut := cfg.SegSites
+	if nMut == 0 {
+		nMut = poisson(rng, cfg.Theta*total)
+	}
+
+	// cumulative branch lengths for weighted branch sampling
+	nodes := 2*n - 2 // root excluded
+	cum := make([]float64, nodes+1)
+	for v := 0; v < nodes; v++ {
+		cum[v+1] = cum[v] + tree.branchLength(v)
+	}
+
+	// random leaf→sample permutation shared by all mutations
+	perm := rng.Perm(n)
+
+	muts := make([]mutation, 0, nMut)
+	for m := 0; m < nMut; m++ {
+		v := sampleCumulative(cum, rng.Float64()*total)
+		lo, hi := tree.leafLo[v], tree.leafHi[v]
+		carriers := make([]bool, n)
+		for idx := lo; idx < hi; idx++ {
+			carriers[perm[tree.leafAt[idx]]] = true
+		}
+		muts = append(muts, mutation{
+			pos:     rng.Float64(),
+			carrier: func(s int) bool { return carriers[s] },
+		})
+	}
+	rep := renderReplicate(n, muts)
+	if cfg.OutputTrees {
+		rep.Trees = []string{tree.Newick(perm)}
+	}
+	return rep, nil
+}
+
+// sampleCumulative returns the index v with cum[v] ≤ x < cum[v+1] by
+// binary search.
+func sampleCumulative(cum []float64, x float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		if cum[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// poisson draws from Poisson(lambda) — inversion for small lambda, the
+// normal approximation (rounded, clamped at 0) beyond 500 where the
+// relative error is far below sampling noise.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 500 {
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(math.Round(v))
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

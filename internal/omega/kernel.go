@@ -1,0 +1,213 @@
+package omega
+
+import (
+	"math"
+
+	"omegago/internal/seqio"
+	"omegago/internal/stats"
+)
+
+// Score evaluates Equation 2 for one border combination:
+//
+//	ω = ((LS+RS)/(C(ln,2)+C(rn,2))) / ((TS−LS−RS)/(ln·rn) + ε)
+//
+// where LS and RS are the r² sums within the left and right sub-regions,
+// TS the sum over the whole window, and kl = C(ln,2), kr = C(rn,2).
+// Every execution path — CPU reference, simulated GPU work-items and the
+// simulated FPGA pipeline — funnels through this function, so results
+// are bit-identical across backends by construction.
+func Score(ls, rs, ts, kl, kr, ln, rn, eps float64) float64 {
+	num := (ls + rs) / (kl + kr)
+	den := (ts-ls-rs)/(ln*rn) + eps
+	return num / den
+}
+
+// Result is the outcome of evaluating one grid position.
+type Result struct {
+	GridIndex int
+	Center    float64 // ω position in bp
+	Valid     bool    // false when the region has no admissible window
+	MaxOmega  float64
+	// LeftBorder/RightBorder are the global SNP indices of the maximizing
+	// window; LeftPos/RightPos their bp positions.
+	LeftBorder, RightBorder int
+	LeftPos, RightPos       float64
+	// Scores is the number of ω values evaluated at this position.
+	Scores int64
+}
+
+// ComputeOmega evaluates all admissible window combinations of a region
+// directly against the DP matrix (the OmegaPlus CPU nested loop: outer
+// over left borders, inner over right borders) and returns the maximum.
+// The matrix must already cover [reg.Lo, reg.Hi].
+func ComputeOmega(m MatrixView, a *seqio.Alignment, reg Region, p Params) Result {
+	p = p.WithDefaults()
+	res := Result{GridIndex: reg.Index, Center: reg.Center, MaxOmega: math.Inf(-1)}
+	lMax, lMin, rMin, rMax, ok := reg.borders(p)
+	if !ok {
+		return Result{GridIndex: reg.Index, Center: reg.Center}
+	}
+	pos := a.Positions
+	c2 := stats.Choose2Table(maxInt(reg.K-lMin+1, rMax-reg.K) + 1)
+	eps := p.Epsilon
+	for l := lMax; l >= lMin; l-- {
+		ln := reg.K - l + 1
+		ls := m.At(reg.K, l)
+		kl := c2[ln]
+		fln := float64(ln)
+		for r := rMin; r <= rMax; r++ {
+			if pos[r]-pos[l] < p.MinWindow {
+				continue
+			}
+			rn := r - reg.K
+			rs := m.At(r, reg.K+1)
+			ts := m.At(r, l)
+			w := Score(ls, rs, ts, kl, c2[rn], fln, float64(rn), eps)
+			res.Scores++
+			if w > res.MaxOmega {
+				res.MaxOmega = w
+				res.LeftBorder, res.RightBorder = l, r
+			}
+		}
+	}
+	if res.Scores == 0 {
+		return Result{GridIndex: reg.Index, Center: reg.Center}
+	}
+	res.Valid = true
+	res.LeftPos = pos[res.LeftBorder]
+	res.RightPos = pos[res.RightBorder]
+	return res
+}
+
+// KernelInput is the packed per-grid-position buffer set handed to the
+// accelerator backends, mirroring the paper's GPU buffers: LS/RS sums
+// and combination counts per border (the LR and km buffers), and the TS
+// buffer flattened as outer×inner sections (Fig. 4/5). Building it is
+// the host-side "data preparation and packing" step whose cost the
+// end-to-end GPU evaluation of Fig. 13 includes.
+type KernelInput struct {
+	GridIndex int
+	Center    float64
+
+	// Outer loop: left borders in descending order (l = lMax … lMin).
+	LeftBorders []int
+	LS, KL, LN  []float64
+
+	// Inner loop: right borders ascending (r = rMin … rMax).
+	RightBorders []int
+	RS, KR, RN   []float64
+
+	// TS[o*len(RightBorders)+i] = M[right[i]][left[o]].
+	TS []float64
+
+	// Skip[g] marks combinations excluded by the MinWindow constraint;
+	// nil when every combination is admissible.
+	Skip []bool
+
+	Epsilon float64
+}
+
+// Outer returns the outer-loop trip count (left borders).
+func (in *KernelInput) Outer() int { return len(in.LeftBorders) }
+
+// Inner returns the inner-loop trip count (right borders).
+func (in *KernelInput) Inner() int { return len(in.RightBorders) }
+
+// Total returns the total number of ω slots (including skipped ones).
+func (in *KernelInput) Total() int { return in.Outer() * in.Inner() }
+
+// Bytes returns the payload size of the input buffers in bytes — the
+// quantity transferred to the device in the PCIe cost model.
+func (in *KernelInput) Bytes() int64 {
+	b := int64(len(in.LS)+len(in.KL)+len(in.LN)+len(in.RS)+len(in.KR)+len(in.RN)+len(in.TS)) * 8
+	if in.Skip != nil {
+		b += int64(len(in.Skip))
+	}
+	return b
+}
+
+// BuildKernelInput packs the region's window sums into flat buffers.
+// Returns nil when the region has no admissible window.
+func BuildKernelInput(m MatrixView, a *seqio.Alignment, reg Region, p Params) *KernelInput {
+	p = p.WithDefaults()
+	lMax, lMin, rMin, rMax, ok := reg.borders(p)
+	if !ok {
+		return nil
+	}
+	in := &KernelInput{GridIndex: reg.Index, Center: reg.Center, Epsilon: p.Epsilon}
+	for l := lMax; l >= lMin; l-- {
+		ln := reg.K - l + 1
+		in.LeftBorders = append(in.LeftBorders, l)
+		in.LS = append(in.LS, m.At(reg.K, l))
+		in.KL = append(in.KL, stats.Choose2(ln))
+		in.LN = append(in.LN, float64(ln))
+	}
+	for r := rMin; r <= rMax; r++ {
+		rn := r - reg.K
+		in.RightBorders = append(in.RightBorders, r)
+		in.RS = append(in.RS, m.At(r, reg.K+1))
+		in.KR = append(in.KR, stats.Choose2(rn))
+		in.RN = append(in.RN, float64(rn))
+	}
+	in.TS = make([]float64, in.Outer()*in.Inner())
+	pos := a.Positions
+	anySkip := false
+	var skip []bool
+	if p.MinWindow > 0 {
+		skip = make([]bool, len(in.TS))
+	}
+	g := 0
+	for _, l := range in.LeftBorders {
+		for _, r := range in.RightBorders {
+			in.TS[g] = m.At(r, l)
+			if skip != nil && pos[r]-pos[l] < p.MinWindow {
+				skip[g] = true
+				anySkip = true
+			}
+			g++
+		}
+	}
+	if anySkip {
+		in.Skip = skip
+	}
+	if in.Total() == 0 {
+		return nil
+	}
+	return in
+}
+
+// ScoreAt evaluates the ω value of flat slot g (outer-major) of a kernel
+// input; skipped slots return −Inf. This is the single-work-item
+// computation the accelerator simulators execute.
+func (in *KernelInput) ScoreAt(g int) float64 {
+	if in.Skip != nil && in.Skip[g] {
+		return math.Inf(-1)
+	}
+	o := g / in.Inner()
+	i := g % in.Inner()
+	return Score(in.LS[o], in.RS[i], in.TS[g], in.KL[o], in.KR[i], in.LN[o], in.RN[i], in.Epsilon)
+}
+
+// ResultFromInput converts a winning slot into a Result (used by the
+// accelerator backends after their max-reduction).
+func (in *KernelInput) ResultFromInput(a *seqio.Alignment, bestSlot int, bestOmega float64, scores int64) Result {
+	if scores == 0 || math.IsInf(bestOmega, -1) {
+		return Result{GridIndex: in.GridIndex, Center: in.Center}
+	}
+	o := bestSlot / in.Inner()
+	i := bestSlot % in.Inner()
+	l := in.LeftBorders[o]
+	r := in.RightBorders[i]
+	return Result{
+		GridIndex: in.GridIndex, Center: in.Center, Valid: true,
+		MaxOmega: bestOmega, LeftBorder: l, RightBorder: r,
+		LeftPos: a.Positions[l], RightPos: a.Positions[r], Scores: scores,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,45 @@
+package omega
+
+import "omegago/internal/seqio"
+
+// WindowScore is one border combination's ω value — an element of the
+// full ω surface at a grid position.
+type WindowScore struct {
+	LeftBorder, RightBorder int // global SNP indices
+	Omega                   float64
+}
+
+// AllScores streams every admissible window combination of a region
+// through emit, in the canonical loop order (left borders descending,
+// right borders ascending) — the full ω surface that ComputeOmega
+// reduces with max. Returns the number of scores emitted. Used to
+// visualize the window search space and to cross-check reductions.
+func AllScores(m MatrixView, a *seqio.Alignment, reg Region, p Params, emit func(WindowScore)) int64 {
+	p = p.WithDefaults()
+	lMax, lMin, rMin, rMax, ok := reg.borders(p)
+	if !ok {
+		return 0
+	}
+	pos := a.Positions
+	c2 := make([]float64, maxInt(reg.K-lMin+1, rMax-reg.K)+2)
+	for i := 2; i < len(c2); i++ {
+		c2[i] = float64(i) * float64(i-1) / 2
+	}
+	var count int64
+	for l := lMax; l >= lMin; l-- {
+		ln := reg.K - l + 1
+		ls := m.At(reg.K, l)
+		kl := c2[ln]
+		fln := float64(ln)
+		for r := rMin; r <= rMax; r++ {
+			if pos[r]-pos[l] < p.MinWindow {
+				continue
+			}
+			rn := r - reg.K
+			w := Score(ls, m.At(r, reg.K+1), m.At(r, l), kl, c2[rn], fln, float64(rn), p.Epsilon)
+			emit(WindowScore{LeftBorder: l, RightBorder: r, Omega: w})
+			count++
+		}
+	}
+	return count
+}

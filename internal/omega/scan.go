@@ -1,0 +1,164 @@
+package omega
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"omegago/internal/ld"
+	"omegago/internal/seqio"
+)
+
+// Stats aggregates the work performed by a scan. The LD/ω time split is
+// the quantity Fig. 14 of the paper reports; the score counts are the
+// throughput numerators of Table III.
+type Stats struct {
+	Grid        int   // grid positions evaluated
+	OmegaScores int64 // ω values computed
+	R2Computed  int64 // fresh r² values (M cells filled)
+	R2Reused    int64 // M cells preserved by relocation
+	// LDTime covers r² computation and the DP update of M; OmegaTime
+	// covers the ω nested loop. Summed across workers for parallel scans.
+	LDTime    time.Duration
+	OmegaTime time.Duration
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Grid += other.Grid
+	s.OmegaScores += other.OmegaScores
+	s.R2Computed += other.R2Computed
+	s.R2Reused += other.R2Reused
+	s.LDTime += other.LDTime
+	s.OmegaTime += other.OmegaTime
+}
+
+// Scan runs the complete OmegaPlus workflow serially: for every grid
+// position, slide the DP matrix to the region (computing LD for newly
+// entering SNPs, relocating the overlap) and score all admissible window
+// combinations.
+func Scan(a *seqio.Alignment, p Params, engine ld.Engine, ldWorkers int) ([]Result, Stats, error) {
+	regions, err := BuildRegions(a, p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	comp := ld.NewComputer(a, engine, ldWorkers)
+	results, stats := scanRegions(comp, a, regions, p)
+	return results, stats, nil
+}
+
+// scanRegions evaluates a contiguous, sorted slice of regions with one
+// DP matrix.
+func scanRegions(comp *ld.Computer, a *seqio.Alignment, regions []Region, p Params) ([]Result, Stats) {
+	p = p.WithDefaults()
+	m := NewDPMatrix(comp)
+	results := make([]Result, 0, len(regions))
+	var st Stats
+	for _, reg := range regions {
+		st.Grid++
+		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {
+			results = append(results, Result{GridIndex: reg.Index, Center: reg.Center})
+			continue
+		}
+		t0 := time.Now()
+		m.Advance(reg.Lo, reg.Hi)
+		st.LDTime += time.Since(t0)
+
+		t1 := time.Now()
+		res := ComputeOmega(m, a, reg, p)
+		st.OmegaTime += time.Since(t1)
+		st.OmegaScores += res.Scores
+		results = append(results, res)
+	}
+	st.R2Computed = m.R2Computed()
+	st.R2Reused = m.R2Reused()
+	return results, st
+}
+
+// ScanParallel parallelizes the ω computation across grid positions in
+// the style of the generic multithreaded OmegaPlus (OmegaPlus-G): a
+// producer slides the DP matrix through the regions serially (LD and the
+// M update are computed once), taking an immutable snapshot per region,
+// and `threads` workers score the snapshots concurrently. OmegaTime is
+// summed across workers.
+func ScanParallel(a *seqio.Alignment, p Params, engine ld.Engine, threads int) ([]Result, Stats, error) {
+	if threads < 1 {
+		return nil, Stats{}, fmt.Errorf("omega: thread count %d < 1", threads)
+	}
+	regions, err := BuildRegions(a, p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	comp := ld.NewComputer(a, engine, 1)
+	if threads == 1 || len(regions) < 2 {
+		results, stats := scanRegions(comp, a, regions, p)
+		return results, stats, nil
+	}
+	p = p.WithDefaults()
+
+	type job struct {
+		view *View
+		reg  Region
+		slot int
+	}
+	jobs := make(chan job, threads)
+	results := make([]Result, len(regions))
+	omegaNs := make([]int64, threads)
+	scores := make([]int64, threads)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for jb := range jobs {
+				t0 := time.Now()
+				res := ComputeOmega(jb.view, a, jb.reg, p)
+				omegaNs[w] += time.Since(t0).Nanoseconds()
+				scores[w] += res.Scores
+				results[jb.slot] = res
+			}
+		}(w)
+	}
+
+	m := NewDPMatrix(comp)
+	var st Stats
+	for i, reg := range regions {
+		st.Grid++
+		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {
+			results[i] = Result{GridIndex: reg.Index, Center: reg.Center}
+			continue
+		}
+		t0 := time.Now()
+		m.Advance(reg.Lo, reg.Hi)
+		view := m.Snapshot()
+		st.LDTime += time.Since(t0)
+		jobs <- job{view: view, reg: reg, slot: i}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for w := 0; w < threads; w++ {
+		st.OmegaTime += time.Duration(omegaNs[w])
+		st.OmegaScores += scores[w]
+	}
+	st.R2Computed = m.R2Computed()
+	st.R2Reused = m.R2Reused()
+	return results, st, nil
+}
+
+// MaxResult returns the result with the highest ω (the sweep candidate),
+// or ok=false if no grid position was valid.
+func MaxResult(results []Result) (Result, bool) {
+	best := Result{}
+	ok := false
+	for _, r := range results {
+		if !r.Valid {
+			continue
+		}
+		if !ok || r.MaxOmega > best.MaxOmega {
+			best = r
+			ok = true
+		}
+	}
+	return best, ok
+}

@@ -1,0 +1,53 @@
+package power
+
+import (
+	"testing"
+
+	"omegago/internal/omega"
+)
+
+func TestLocalizationBothBeatChance(t *testing.T) {
+	// Localization needs a *local* sweep (ρ·lnα/α ≫ 1) so flanking
+	// variation survives; the ω peak then pinpoints the site while
+	// windowed Tajima's D smears across the depressed region.
+	s := studyForTest()
+	s.Base.Rho = 150
+	s.Base.SegSites = 600
+	s.Replicates = 10
+	s.RegionBP = 400000
+	s.Params = omega.Params{GridSize: 36, MinWindow: 10000, MaxWindow: 80000}
+	meanO, medO, err := s.Localization(MaxOmega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanD, medD, err := s.Localization(MinTajimaD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("omega: mean %.0f median %.0f | tajima: mean %.0f median %.0f", meanO, medO, meanD, medD)
+	if medO <= 0 || medD <= 0 {
+		t.Fatal("degenerate localization")
+	}
+	// A detector that ignored the data would land uniformly over the
+	// region: expected error regionBP/4 = 100 kb. Both detectors must
+	// do far better; which one wins varies with the sweep realization.
+	const randomExpectation = 100000.0
+	if medO > randomExpectation*0.6 {
+		t.Errorf("ω median localization error %.0f bp is no better than chance", medO)
+	}
+	if medD > randomExpectation*0.6 {
+		t.Errorf("Tajima median localization error %.0f bp is no better than chance", medD)
+	}
+}
+
+func TestLocalizationErrors(t *testing.T) {
+	s := studyForTest()
+	s.RegionBP = 0
+	if _, _, err := s.Localization(MaxOmega); err == nil {
+		t.Error("invalid study should error")
+	}
+	s = studyForTest()
+	if _, _, err := s.Localization(Statistic(9)); err == nil {
+		t.Error("unknown statistic should error")
+	}
+}

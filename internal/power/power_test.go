@@ -1,0 +1,172 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"omegago/internal/mssim"
+	"omegago/internal/omega"
+)
+
+func studyForTest() Study {
+	return Study{
+		Base: mssim.Config{
+			SampleSize: 25, SegSites: 200, Rho: 80, Seed: 77,
+		},
+		SweepModel: mssim.SweepConfig{Position: 0.5, Alpha: 1500},
+		Replicates: 20,
+		RegionBP:   200000,
+		Params:     omega.Params{GridSize: 12, MinWindow: 5000, MaxWindow: 40000},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := studyForTest()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := s
+	bad.Base.Sweep = &mssim.SweepConfig{Position: 0.5, Alpha: 100}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-neutral base should fail")
+	}
+	bad = s
+	bad.Replicates = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("single replicate should fail")
+	}
+	bad = s
+	bad.RegionBP = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero region should fail")
+	}
+}
+
+func TestThresholdAndPower(t *testing.T) {
+	neutral := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	thr := Threshold(neutral, 0.1)
+	if thr != 10 {
+		t.Errorf("threshold at 10%% FPR = %g, want 10", thr)
+	}
+	thr = Threshold(neutral, 0.3)
+	if thr != 8 {
+		t.Errorf("threshold at 30%% FPR = %g, want 8", thr)
+	}
+	if p := Power([]float64{9, 11, 12}, 10); math.Abs(p-2.0/3) > 1e-12 {
+		t.Errorf("power = %g, want 2/3", p)
+	}
+	if Power(nil, 1) != 0 {
+		t.Error("empty sweep arm should have zero power")
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Perfect separation.
+	if auc := AUC([]float64{1, 2}, []float64{3, 4}); auc != 1 {
+		t.Errorf("perfect AUC = %g", auc)
+	}
+	// Identical distributions → 0.5.
+	if auc := AUC([]float64{1, 2, 3}, []float64{1, 2, 3}); math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("identical AUC = %g, want 0.5", auc)
+	}
+	// Inverted.
+	if auc := AUC([]float64{3, 4}, []float64{1, 2}); auc != 0 {
+		t.Errorf("inverted AUC = %g", auc)
+	}
+	if AUC(nil, []float64{1}) != 0 {
+		t.Error("empty neutral arm should give 0")
+	}
+}
+
+func TestStatisticString(t *testing.T) {
+	if MaxOmega.String() != "max-omega" || MinTajimaD.String() != "min-tajima-d" {
+		t.Error("names wrong")
+	}
+	if !strings.Contains(Statistic(9).String(), "9") {
+		t.Error("unknown statistic should include value")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	s := studyForTest()
+	if _, err := s.Run(MaxOmega, 0); err == nil {
+		t.Error("FPR 0 should fail")
+	}
+	if _, err := s.Run(Statistic(9), 0.1); err == nil {
+		t.Error("unknown statistic should fail")
+	}
+}
+
+func TestOmegaDetectsStrongSweep(t *testing.T) {
+	// A strong sweep must be detected with high power at 10% FPR, and
+	// the ROC must clearly beat chance.
+	s := studyForTest()
+	res, err := s.Run(MaxOmega, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neutral) != s.Replicates || len(res.Sweep) != s.Replicates {
+		t.Fatalf("arm sizes %d/%d", len(res.Neutral), len(res.Sweep))
+	}
+	if res.Power < 0.6 {
+		t.Errorf("ω power = %.2f at FPR %.2f, expected ≥ 0.6", res.Power, res.FPR)
+	}
+	if res.AUC < 0.75 {
+		t.Errorf("ω AUC = %.2f, expected ≥ 0.75", res.AUC)
+	}
+}
+
+func TestTajimaDetectsStrongSweep(t *testing.T) {
+	s := studyForTest()
+	res, err := s.Run(MinTajimaD, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AUC < 0.6 {
+		t.Errorf("Tajima's D AUC = %.2f, expected better than chance", res.AUC)
+	}
+}
+
+func TestIHSDetectorRuns(t *testing.T) {
+	s := studyForTest()
+	res, err := s.Run(MaxAbsIHS, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sweep) != s.Replicates {
+		t.Fatalf("iHS arm size %d", len(res.Sweep))
+	}
+	if res.AUC < 0.4 {
+		t.Errorf("iHS AUC = %.2f, suspiciously below chance", res.AUC)
+	}
+	if MaxAbsIHS.String() != "max-abs-ihs" {
+		t.Error("name wrong")
+	}
+}
+
+func TestBootstrapPowerCI(t *testing.T) {
+	sweep := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	lo, hi := BootstrapPowerCI(sweep, 5, 2000, 0.1, 1)
+	// True power = 0.5; CI must bracket it and be ordered.
+	if !(lo <= 0.5 && 0.5 <= hi) {
+		t.Errorf("CI [%.2f, %.2f] does not bracket 0.5", lo, hi)
+	}
+	if lo > hi {
+		t.Errorf("inverted CI [%.2f, %.2f]", lo, hi)
+	}
+	// All-above threshold → degenerate CI at 1.
+	lo, hi = BootstrapPowerCI(sweep, 0, 500, 0.1, 2)
+	if lo != 1 || hi != 1 {
+		t.Errorf("degenerate CI wrong: [%.2f, %.2f]", lo, hi)
+	}
+	// Determinism.
+	a1, b1 := BootstrapPowerCI(sweep, 5, 100, 0.1, 7)
+	a2, b2 := BootstrapPowerCI(sweep, 5, 100, 0.1, 7)
+	if a1 != a2 || b1 != b2 {
+		t.Error("bootstrap not deterministic under seed")
+	}
+	if l, h := BootstrapPowerCI(nil, 0, 10, 0.1, 1); l != 0 || h != 0 {
+		t.Error("empty input should give zero CI")
+	}
+}

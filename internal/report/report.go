@@ -1,0 +1,180 @@
+// Package report renders sweep-scan results as a self-contained HTML
+// page with an inline SVG ω landscape — no external assets, viewable
+// from a file:// URL. It is the human-facing output of cmd/omegago's
+// -html flag.
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"omegago/internal/omega"
+)
+
+// Meta labels a report.
+type Meta struct {
+	Title      string
+	Dataset    string // free-form description of the input
+	Backend    string
+	SNPs       int
+	Samples    int
+	GridSize   int
+	OmegaScans int64 // ω scores computed
+	Runtime    string
+}
+
+// HTML writes the report page.
+func HTML(w io.Writer, meta Meta, results []omega.Result) error {
+	if len(results) == 0 {
+		return fmt.Errorf("report: no results")
+	}
+	var sb strings.Builder
+	title := meta.Title
+	if title == "" {
+		title = "omegago sweep scan"
+	}
+	sb.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&sb, "<title>%s</title>\n", html.EscapeString(title))
+	sb.WriteString(`<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #222; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; } td, th { padding: .25rem .75rem; border-bottom: 1px solid #ddd; text-align: right; }
+th { text-align: right; background: #f5f5f5; } td:first-child, th:first-child { text-align: left; }
+.meta td { text-align: left; }
+svg { background: #fafafa; border: 1px solid #ddd; }
+.peak { fill: #c0392b; }
+</style></head><body>
+`)
+	fmt.Fprintf(&sb, "<h1>%s</h1>\n", html.EscapeString(title))
+
+	// Metadata table.
+	sb.WriteString("<table class=\"meta\">\n")
+	metaRow := func(k, v string) {
+		if v != "" {
+			fmt.Fprintf(&sb, "<tr><td>%s</td><td>%s</td></tr>\n",
+				html.EscapeString(k), html.EscapeString(v))
+		}
+	}
+	metaRow("dataset", meta.Dataset)
+	metaRow("backend", meta.Backend)
+	if meta.SNPs > 0 {
+		metaRow("shape", fmt.Sprintf("%d SNPs × %d haplotypes", meta.SNPs, meta.Samples))
+	}
+	if meta.GridSize > 0 {
+		metaRow("grid", fmt.Sprintf("%d ω positions", meta.GridSize))
+	}
+	if meta.OmegaScans > 0 {
+		metaRow("ω scores computed", fmt.Sprintf("%d", meta.OmegaScans))
+	}
+	metaRow("runtime", meta.Runtime)
+	sb.WriteString("</table>\n")
+
+	// ω landscape SVG.
+	sb.WriteString("<h2>ω landscape</h2>\n")
+	sb.WriteString(landscapeSVG(results, 860, 260))
+
+	// Top candidates.
+	sb.WriteString("<h2>top candidates</h2>\n<table>\n")
+	sb.WriteString("<tr><th>rank</th><th>position (bp)</th><th>max ω</th><th>window (bp)</th></tr>\n")
+	top := topCandidates(results, 10)
+	for i, r := range top {
+		fmt.Fprintf(&sb, "<tr><td>%d</td><td>%.0f</td><td>%.4f</td><td>%.0f – %.0f</td></tr>\n",
+			i+1, r.Center, r.MaxOmega, r.LeftPos, r.RightPos)
+	}
+	sb.WriteString("</table>\n</body></html>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// landscapeSVG renders ω per grid position as a polyline with the peak
+// highlighted. Invalid positions break the line.
+func landscapeSVG(results []omega.Result, width, height int) string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := 0.0
+	for _, r := range results {
+		minX = math.Min(minX, r.Center)
+		maxX = math.Max(maxX, r.Center)
+		if r.Valid && r.MaxOmega > maxY {
+			maxY = r.MaxOmega
+		}
+	}
+	if maxX <= minX {
+		maxX = minX + 1
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	const padL, padB, padT = 60, 30, 10
+	plotW := float64(width - padL - 10)
+	plotH := float64(height - padB - padT)
+	xOf := func(c float64) float64 { return padL + (c-minX)/(maxX-minX)*plotW }
+	yOf := func(v float64) float64 { return padT + plotH - v/maxY*plotH }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img" aria-label="omega landscape">`,
+		width, height, width, height)
+	sb.WriteByte('\n')
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="#999"/>`,
+		padL, padT+plotH, width-10, padT+plotH)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%g" stroke="#999"/>`,
+		padL, padT, padL, padT+plotH)
+	fmt.Fprintf(&sb, `<text x="8" y="%d" font-size="11">%.3g</text>`, padT+8, maxY)
+	fmt.Fprintf(&sb, `<text x="8" y="%g" font-size="11">0</text>`, padT+plotH)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11">%.0f bp</text>`, padL, height-8, minX)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11" text-anchor="end">%.0f bp</text>`,
+		width-10, height-8, maxX)
+	sb.WriteByte('\n')
+
+	// Polyline segments over valid runs.
+	var pts []string
+	flush := func() {
+		switch {
+		case len(pts) > 1:
+			fmt.Fprintf(&sb, `<polyline fill="none" stroke="#2c6fb3" stroke-width="1.5" points="%s"/>`,
+				strings.Join(pts, " "))
+			sb.WriteByte('\n')
+		case len(pts) == 1:
+			// An isolated valid position renders as a dot.
+			fmt.Fprintf(&sb, `<circle cx="%s" r="2" fill="#2c6fb3"/>`,
+				strings.Replace(pts[0], ",", `" cy="`, 1))
+			sb.WriteByte('\n')
+		}
+		pts = pts[:0]
+	}
+	for _, r := range results {
+		if !r.Valid {
+			flush()
+			continue
+		}
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", xOf(r.Center), yOf(r.MaxOmega)))
+	}
+	flush()
+
+	// Peak marker.
+	if best, ok := omega.MaxResult(results); ok {
+		fmt.Fprintf(&sb, `<circle class="peak" cx="%.1f" cy="%.1f" r="4"><title>ω = %.3f at %.0f bp</title></circle>`,
+			xOf(best.Center), yOf(best.MaxOmega), best.MaxOmega, best.Center)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func topCandidates(results []omega.Result, n int) []omega.Result {
+	valid := make([]omega.Result, 0, len(results))
+	for _, r := range results {
+		if r.Valid {
+			valid = append(valid, r)
+		}
+	}
+	sort.Slice(valid, func(i, j int) bool { return valid[i].MaxOmega > valid[j].MaxOmega })
+	if n > len(valid) {
+		n = len(valid)
+	}
+	return valid[:n]
+}

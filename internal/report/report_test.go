@@ -1,0 +1,80 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"omegago/internal/omega"
+)
+
+func sampleResults() []omega.Result {
+	return []omega.Result{
+		{GridIndex: 0, Center: 100, Valid: true, MaxOmega: 1.5, LeftPos: 50, RightPos: 150},
+		{GridIndex: 1, Center: 200, Valid: false},
+		{GridIndex: 2, Center: 300, Valid: true, MaxOmega: 9.25, LeftPos: 250, RightPos: 380},
+		{GridIndex: 3, Center: 400, Valid: true, MaxOmega: 3.75, LeftPos: 320, RightPos: 470},
+	}
+}
+
+func TestHTMLReport(t *testing.T) {
+	var sb strings.Builder
+	meta := Meta{
+		Title: "test <scan>", Dataset: "sweep.ms", Backend: "cpu",
+		SNPs: 300, Samples: 40, GridSize: 4, OmegaScans: 12345, Runtime: "0.12s",
+	}
+	if err := HTML(&sb, meta, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"test &lt;scan&gt;", // escaped title
+		"<svg",
+		"polyline",
+		"9.2500",         // peak in the candidate table
+		"300 SNPs",       // metadata
+		"class=\"peak\"", // peak marker
+		"12345",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// The invalid position splits the landscape: the isolated first
+	// point renders as a dot, the remaining two as one polyline.
+	if strings.Count(out, "<polyline") != 1 {
+		t.Errorf("want 1 polyline segment, got %d", strings.Count(out, "<polyline"))
+	}
+	if !strings.Contains(out, `r="2"`) {
+		t.Error("isolated point should render as a dot")
+	}
+}
+
+func TestHTMLReportErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := HTML(&sb, Meta{}, nil); err == nil {
+		t.Error("empty results should error")
+	}
+}
+
+func TestHTMLReportAllInvalid(t *testing.T) {
+	var sb strings.Builder
+	res := []omega.Result{{Center: 1}, {Center: 2}}
+	if err := HTML(&sb, Meta{}, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<svg") {
+		t.Error("all-invalid scan should still render an empty landscape")
+	}
+}
+
+func TestTopCandidates(t *testing.T) {
+	top := topCandidates(sampleResults(), 2)
+	if len(top) != 2 || top[0].MaxOmega != 9.25 || top[1].MaxOmega != 3.75 {
+		t.Errorf("wrong ranking: %+v", top)
+	}
+	all := topCandidates(sampleResults(), 99)
+	if len(all) != 3 {
+		t.Errorf("want 3 valid candidates, got %d", len(all))
+	}
+}

@@ -1,0 +1,177 @@
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"omegago/internal/bitvec"
+)
+
+// FASTARecord is one sequence of a FASTA file.
+type FASTARecord struct {
+	Name string
+	Seq  []byte
+}
+
+// ParseFASTA reads all records of a FASTA stream. Sequence characters are
+// upper-cased; whitespace inside sequences is ignored.
+func ParseFASTA(r io.Reader) ([]FASTARecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var recs []FASTARecord
+	var cur *FASTARecord
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			if cur != nil {
+				recs = append(recs, *cur)
+			}
+			cur = &FASTARecord{Name: strings.TrimSpace(line[1:])}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("seqio: FASTA sequence data before first header")
+		}
+		cur.Seq = append(cur.Seq, []byte(strings.ToUpper(line))...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seqio: reading FASTA: %w", err)
+	}
+	if cur != nil {
+		recs = append(recs, *cur)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("seqio: no FASTA records found")
+	}
+	return recs, nil
+}
+
+// FASTAStats reports how the DNA→binary conversion classified the columns.
+type FASTAStats struct {
+	Columns      int // alignment length in bp
+	Monomorphic  int // single valid state
+	Biallelic    int // converted to SNPs
+	Multiallelic int // >2 states, skipped
+	AllMissing   int // no valid state at all
+}
+
+// FASTAToAlignment converts an aligned set of DNA sequences to a binary
+// SNP alignment, mirroring OmegaPlus's preprocessing:
+//
+//   - Valid states are A, C, G, T. Everything else (N, -, ?, ambiguity
+//     codes) is treated as missing and recorded in the SNP's validity mask.
+//   - Columns with exactly two valid states become SNPs; the minor allele
+//     is encoded as 1 (ties break toward the lexicographically larger
+//     nucleotide being derived).
+//   - Monomorphic and multiallelic columns are skipped and counted.
+//
+// SNP positions are 1-based column indices; Length is the alignment length.
+func FASTAToAlignment(recs []FASTARecord) (*Alignment, *FASTAStats, error) {
+	if len(recs) < 2 {
+		return nil, nil, fmt.Errorf("seqio: need at least 2 sequences, got %d", len(recs))
+	}
+	width := len(recs[0].Seq)
+	for _, rec := range recs {
+		if len(rec.Seq) != width {
+			return nil, nil, fmt.Errorf("seqio: sequence %q length %d != %d (unaligned input?)",
+				rec.Name, len(rec.Seq), width)
+		}
+	}
+	nsam := len(recs)
+	stats := &FASTAStats{Columns: width}
+	m := bitvec.NewMatrix(nsam)
+	var positions []float64
+
+	for col := 0; col < width; col++ {
+		var counts [4]int
+		missing := 0
+		for _, rec := range recs {
+			if k, ok := nucIndex(rec.Seq[col]); ok {
+				counts[k]++
+			} else {
+				missing++
+			}
+		}
+		distinct := 0
+		for _, c := range counts {
+			if c > 0 {
+				distinct++
+			}
+		}
+		switch {
+		case distinct == 0:
+			stats.AllMissing++
+			continue
+		case distinct == 1:
+			stats.Monomorphic++
+			continue
+		case distinct > 2:
+			stats.Multiallelic++
+			continue
+		}
+		stats.Biallelic++
+		// Identify the two alleles; the rarer one is "derived" (bit = 1).
+		first, second := -1, -1
+		for k, c := range counts {
+			if c == 0 {
+				continue
+			}
+			if first == -1 {
+				first = k
+			} else {
+				second = k
+			}
+		}
+		derived := second
+		if counts[second] > counts[first] {
+			derived = first
+		}
+		row := bitvec.New(nsam)
+		var mask *bitvec.Vector
+		if missing > 0 {
+			mask = bitvec.New(nsam)
+		}
+		for s, rec := range recs {
+			k, ok := nucIndex(rec.Seq[col])
+			if !ok {
+				continue // leave mask bit 0 (invalid)
+			}
+			if mask != nil {
+				mask.Set(s, true)
+			}
+			if k == derived {
+				row.Set(s, true)
+			}
+		}
+		m.AppendRow(row, mask)
+		positions = append(positions, float64(col+1))
+	}
+	names := make([]string, len(recs))
+	for i, rec := range recs {
+		names[i] = rec.Name
+	}
+	a := &Alignment{Positions: positions, Length: float64(width), Matrix: m, SampleNames: names}
+	if err := a.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return a, stats, nil
+}
+
+func nucIndex(c byte) (int, bool) {
+	switch c {
+	case 'A':
+		return 0, true
+	case 'C':
+		return 1, true
+	case 'G':
+		return 2, true
+	case 'T':
+		return 3, true
+	}
+	return 0, false
+}

@@ -1,0 +1,101 @@
+package seqio
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fuzz targets double as robustness tests: parsers must never
+// panic, and anything they accept must satisfy the Alignment
+// invariants. `go test` runs the seed corpus; `go test -fuzz=FuzzX`
+// explores further.
+
+func FuzzParseMS(f *testing.F) {
+	f.Add(msSample)
+	f.Add("//\nsegsites: 1\npositions: 0.5\n1\n0\n")
+	f.Add("//\nsegsites: 0\npositions:\n")
+	f.Add("garbage header\n//\nsegsites: 2\npositions: 0.1 0.2\n01\n10\n")
+	f.Add("//\nsegsites: 2\npositions: 0.2 0.1\n01\n10\n")
+	f.Add("//\nsegsites: 1\npositions: 1.5\n1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		reps, err := ParseMS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, rep := range reps {
+			if rep.SegSites != len(rep.Positions) {
+				t.Fatalf("accepted replicate with %d segsites, %d positions",
+					rep.SegSites, len(rep.Positions))
+			}
+			for _, h := range rep.Haplotypes {
+				if len(h) != rep.SegSites {
+					t.Fatal("accepted ragged haplotypes")
+				}
+			}
+			prev := -1.0
+			for _, p := range rep.Positions {
+				if p < prev || p < 0 || p > 1 {
+					t.Fatalf("accepted bad positions: %v", rep.Positions)
+				}
+				prev = p
+			}
+			if rep.SegSites > 0 && len(rep.Haplotypes) > 0 {
+				if _, err := rep.ToAlignment(1000); err != nil {
+					t.Fatalf("accepted replicate fails conversion: %v", err)
+				}
+			}
+		}
+	})
+}
+
+func FuzzParseVCF(f *testing.F) {
+	f.Add(vcfSample)
+	f.Add("#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\nchr1\t1\t.\tA\tC\t.\t.\t.\tGT\t0|1\n")
+	f.Add("##meta\nno header\n")
+	f.Add("#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\nchr1\tNaN\t.\tA\tC\t.\t.\t.\tGT\t0|1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		a, err := ParseVCF(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("accepted VCF violates invariants: %v", err)
+		}
+	})
+}
+
+func FuzzParseFASTA(f *testing.F) {
+	f.Add(">a\nACGT\n>b\nACGT\n")
+	f.Add(">only\nNNNN\n")
+	f.Add("no header\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ParseFASTA(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(recs) == 0 {
+			t.Fatal("accepted FASTA with zero records")
+		}
+		a, _, err := FASTAToAlignment(recs)
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("accepted FASTA violates invariants: %v", err)
+		}
+	})
+}
+
+func FuzzParseReport(f *testing.F) {
+	f.Add("// header\n10\t1.5\t5\t15\n20\t-\t-\t-\n")
+	f.Add("10\tx\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		rows, err := ParseReport(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(rows) == 0 {
+			t.Fatal("accepted empty report")
+		}
+	})
+}

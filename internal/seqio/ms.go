@@ -1,0 +1,204 @@
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"omegago/internal/bitvec"
+)
+
+// MSReplicate is one "//" block of an ms output stream. Positions are the
+// raw ms fractions in [0, 1]; ToAlignment scales them to base pairs.
+type MSReplicate struct {
+	SegSites   int
+	Positions  []float64 // fractional coordinates, ascending
+	Haplotypes [][]byte  // one '0'/'1' string per sample, each SegSites long
+	// Trees holds Newick genealogies when the stream was produced with
+	// tree output (ms -T); they precede the segsites line.
+	Trees []string
+}
+
+// ToAlignment converts the replicate to a binary Alignment over a region
+// of regionBP base pairs.
+func (r *MSReplicate) ToAlignment(regionBP float64) (*Alignment, error) {
+	if regionBP <= 0 {
+		return nil, fmt.Errorf("seqio: non-positive region length %g", regionBP)
+	}
+	nsam := len(r.Haplotypes)
+	m := bitvec.NewMatrix(nsam)
+	pos := make([]float64, r.SegSites)
+	for s := 0; s < r.SegSites; s++ {
+		row := bitvec.New(nsam)
+		for h := 0; h < nsam; h++ {
+			if s >= len(r.Haplotypes[h]) {
+				return nil, fmt.Errorf("seqio: haplotype %d shorter than segsites %d", h, r.SegSites)
+			}
+			switch r.Haplotypes[h][s] {
+			case '1':
+				row.Set(h, true)
+			case '0':
+			default:
+				return nil, fmt.Errorf("seqio: invalid ms character %q", r.Haplotypes[h][s])
+			}
+		}
+		m.AppendRow(row, nil)
+		pos[s] = r.Positions[s] * regionBP
+	}
+	a := &Alignment{Positions: pos, Length: regionBP, Matrix: m}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ParseMS reads a Hudson's-ms output stream and returns all replicates.
+// The header (command line and seeds) is tolerated but not required.
+func ParseMS(r io.Reader) ([]*MSReplicate, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var reps []*MSReplicate
+	var cur *MSReplicate
+	lineNo := 0
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if cur.SegSites != len(cur.Positions) {
+			return fmt.Errorf("seqio: replicate %d: segsites %d != %d positions",
+				len(reps)+1, cur.SegSites, len(cur.Positions))
+		}
+		for h, hap := range cur.Haplotypes {
+			if len(hap) != cur.SegSites {
+				return fmt.Errorf("seqio: replicate %d: haplotype %d has %d sites, want %d",
+					len(reps)+1, h, len(hap), cur.SegSites)
+			}
+		}
+		reps = append(reps, cur)
+		cur = nil
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "//"):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			cur = &MSReplicate{}
+		case strings.HasPrefix(line, "segsites:"):
+			if cur == nil {
+				return nil, fmt.Errorf("seqio: line %d: segsites outside replicate", lineNo)
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "segsites:")))
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("seqio: line %d: bad segsites %q", lineNo, line)
+			}
+			cur.SegSites = v
+		case strings.HasPrefix(line, "positions:"):
+			if cur == nil {
+				return nil, fmt.Errorf("seqio: line %d: positions outside replicate", lineNo)
+			}
+			fields := strings.Fields(strings.TrimPrefix(line, "positions:"))
+			cur.Positions = make([]float64, len(fields))
+			prev := -1.0
+			for i, f := range fields {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("seqio: line %d: bad position %q", lineNo, f)
+				}
+				if v < 0 || v > 1 {
+					return nil, fmt.Errorf("seqio: line %d: position %g outside [0,1]", lineNo, v)
+				}
+				if v < prev {
+					return nil, fmt.Errorf("seqio: line %d: positions not sorted", lineNo)
+				}
+				prev = v
+				cur.Positions[i] = v
+			}
+		default:
+			if cur == nil {
+				// header lines: the ms command echo and the seeds
+				continue
+			}
+			if line[0] == '(' || line[0] == '[' {
+				cur.Trees = append(cur.Trees, line)
+				continue
+			}
+			if !isBinaryLine(line) {
+				return nil, fmt.Errorf("seqio: line %d: unexpected line %q inside replicate", lineNo, truncate(line, 40))
+			}
+			cur.Haplotypes = append(cur.Haplotypes, []byte(line))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seqio: reading ms stream: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(reps) == 0 {
+		return nil, fmt.Errorf("seqio: no replicates found")
+	}
+	return reps, nil
+}
+
+// ParseMSAlignment parses an ms stream holding at least one replicate and
+// converts the first replicate to an Alignment over regionBP base pairs.
+func ParseMSAlignment(r io.Reader, regionBP float64) (*Alignment, error) {
+	reps, err := ParseMS(r)
+	if err != nil {
+		return nil, err
+	}
+	return reps[0].ToAlignment(regionBP)
+}
+
+// WriteMS writes replicates in ms output format, preceded by a synthetic
+// command echo so the stream round-trips through ParseMS and real tools.
+func WriteMS(w io.Writer, commandEcho string, reps []*MSReplicate) error {
+	bw := bufio.NewWriter(w)
+	if commandEcho != "" {
+		if _, err := fmt.Fprintln(bw, commandEcho); err != nil {
+			return err
+		}
+	}
+	for _, rep := range reps {
+		fmt.Fprintln(bw)
+		fmt.Fprintln(bw, "//")
+		for _, tree := range rep.Trees {
+			fmt.Fprintln(bw, tree)
+		}
+		fmt.Fprintf(bw, "segsites: %d\n", rep.SegSites)
+		bw.WriteString("positions:")
+		for _, p := range rep.Positions {
+			fmt.Fprintf(bw, " %.6f", p)
+		}
+		bw.WriteByte('\n')
+		for _, h := range rep.Haplotypes {
+			bw.Write(h)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+func isBinaryLine(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' && s[i] != '1' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,110 @@
+package seqio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// OpenMaybeGzip opens a file, transparently decompressing it when the
+// name ends in ".gz". The returned closer closes both layers.
+func OpenMaybeGzip(path string) (io.Reader, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, f.Close, nil
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("seqio: opening gzip %s: %w", path, err)
+	}
+	closer := func() error {
+		gzErr := gz.Close()
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return gzErr
+	}
+	return gz, closer, nil
+}
+
+// ReportRow is one grid position of an OmegaPlus-style report file.
+type ReportRow struct {
+	Position float64
+	Omega    float64
+	// LeftPos/RightPos bound the maximizing window; Valid is false for
+	// positions without an admissible window (rendered as "-").
+	LeftPos, RightPos float64
+	Valid             bool
+}
+
+// WriteReport emits the scan results in the tab-separated OmegaPlus
+// report layout: position, max ω, window bounds. A header line starts
+// with "//".
+func WriteReport(w io.Writer, runLabel string, rows []ReportRow) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "// %s\n", runLabel)
+	fmt.Fprintln(bw, "// position\tomega\twin_left\twin_right")
+	for _, r := range rows {
+		if !r.Valid {
+			fmt.Fprintf(bw, "%.4f\t-\t-\t-\n", r.Position)
+			continue
+		}
+		fmt.Fprintf(bw, "%.4f\t%.6f\t%.4f\t%.4f\n", r.Position, r.Omega, r.LeftPos, r.RightPos)
+	}
+	return bw.Flush()
+}
+
+// ParseReport reads a report back (round-trips WriteReport output and
+// tolerates OmegaPlus_Report-style comment lines).
+func ParseReport(r io.Reader) ([]ReportRow, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var rows []ReportRow
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("seqio: report line %d has %d fields", lineNo, len(fields))
+		}
+		pos, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("seqio: report line %d: bad position %q", lineNo, fields[0])
+		}
+		row := ReportRow{Position: pos}
+		if fields[1] != "-" {
+			row.Valid = true
+			if row.Omega, err = strconv.ParseFloat(fields[1], 64); err != nil {
+				return nil, fmt.Errorf("seqio: report line %d: bad omega %q", lineNo, fields[1])
+			}
+			if len(fields) >= 4 && fields[2] != "-" {
+				if row.LeftPos, err = strconv.ParseFloat(fields[2], 64); err != nil {
+					return nil, fmt.Errorf("seqio: report line %d: bad left bound", lineNo)
+				}
+				if row.RightPos, err = strconv.ParseFloat(fields[3], 64); err != nil {
+					return nil, fmt.Errorf("seqio: report line %d: bad right bound", lineNo)
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seqio: reading report: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("seqio: empty report")
+	}
+	return rows, nil
+}

@@ -1,0 +1,95 @@
+package seqio
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	rows := []ReportRow{
+		{Position: 100.5, Omega: 3.25, LeftPos: 50, RightPos: 150, Valid: true},
+		{Position: 200, Valid: false},
+		{Position: 300.25, Omega: 0.125, LeftPos: 250, RightPos: 350, Valid: true},
+	}
+	var sb strings.Builder
+	if err := WriteReport(&sb, "omegago test run", rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReport(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("got %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if got[i].Valid != rows[i].Valid {
+			t.Fatalf("row %d validity mismatch", i)
+		}
+		if got[i].Position != rows[i].Position {
+			t.Fatalf("row %d position %g != %g", i, got[i].Position, rows[i].Position)
+		}
+		if rows[i].Valid && (got[i].Omega != rows[i].Omega || got[i].LeftPos != rows[i].LeftPos) {
+			t.Fatalf("row %d values mismatch: %+v vs %+v", i, got[i], rows[i])
+		}
+	}
+}
+
+func TestParseReportErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "// header only\n",
+		"few fields":   "123\n",
+		"bad position": "abc\t1.5\n",
+		"bad omega":    "10\txyz\n",
+		"bad bound":    "10\t1.5\tbad\t20\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseReport(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestOpenMaybeGzip(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "data.ms")
+	if err := os.WriteFile(plain, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	zipped := filepath.Join(dir, "data.ms.gz")
+	f, err := os.Create(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	zw.Write([]byte("hello"))
+	zw.Close()
+	f.Close()
+
+	for _, path := range []string{plain, zipped} {
+		r, closer, err := OpenMaybeGzip(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		buf := make([]byte, 16)
+		n, _ := r.Read(buf)
+		if string(buf[:n]) != "hello" {
+			t.Errorf("%s: read %q", path, buf[:n])
+		}
+		if err := closer(); err != nil {
+			t.Errorf("%s: close: %v", path, err)
+		}
+	}
+	if _, _, err := OpenMaybeGzip(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file should error")
+	}
+	// A .gz file that is not gzip must fail cleanly.
+	bad := filepath.Join(dir, "bad.gz")
+	os.WriteFile(bad, []byte("not gzip"), 0o644)
+	if _, _, err := OpenMaybeGzip(bad); err == nil {
+		t.Error("corrupt gzip should error")
+	}
+}

@@ -1,0 +1,160 @@
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"omegago/internal/bitvec"
+)
+
+// ParseVCF reads a minimal subset of VCF 4.x sufficient for sweep scans:
+// biallelic SNP records with GT genotype fields. Diploid genotypes are
+// split into two haplotypes per sample; '.' alleles become missing data.
+// Records that are not biallelic SNPs (indels, multi-ALT) are skipped.
+// All records must belong to a single chromosome (the first one seen).
+func ParseVCF(r io.Reader) (*Alignment, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+
+	var haplos int // number of haplotypes (samples × ploidy), fixed after header row
+	var sampleCols []string
+	var hapNames []string
+	var chrom string
+	var positions []float64
+	type rec struct {
+		pos     float64
+		alleles []int8 // per haplotype: 0, 1, or -1 missing
+	}
+	var records []rec
+	sawHeader := false
+
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "##") {
+			continue
+		}
+		if strings.HasPrefix(line, "#CHROM") {
+			fields := strings.Split(line, "\t")
+			if len(fields) < 10 {
+				return nil, fmt.Errorf("seqio: VCF header has no sample columns")
+			}
+			sampleCols = fields[9:]
+			sawHeader = true
+			continue
+		}
+		if !sawHeader {
+			return nil, fmt.Errorf("seqio: VCF record before #CHROM header")
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 10 {
+			return nil, fmt.Errorf("seqio: VCF record with %d fields, want ≥10", len(fields))
+		}
+		if chrom == "" {
+			chrom = fields[0]
+		} else if fields[0] != chrom {
+			return nil, fmt.Errorf("seqio: multiple chromosomes in VCF (%q and %q); split the input", chrom, fields[0])
+		}
+		ref, alt := fields[3], fields[4]
+		if len(ref) != 1 || len(alt) != 1 || alt == "." {
+			continue // not a biallelic SNP
+		}
+		pos, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("seqio: bad VCF POS %q", fields[1])
+		}
+		fmtKeys := strings.Split(fields[8], ":")
+		gtIdx := -1
+		for i, k := range fmtKeys {
+			if k == "GT" {
+				gtIdx = i
+				break
+			}
+		}
+		if gtIdx == -1 {
+			return nil, fmt.Errorf("seqio: VCF record at %s:%s lacks GT", fields[0], fields[1])
+		}
+		var alleles []int8
+		firstRecord := haplos == 0
+		for si, sample := range fields[9:] {
+			parts := strings.Split(sample, ":")
+			if gtIdx >= len(parts) {
+				return nil, fmt.Errorf("seqio: sample field %q missing GT", sample)
+			}
+			gt := strings.ReplaceAll(parts[gtIdx], "|", "/")
+			gtAlleles := strings.Split(gt, "/")
+			if firstRecord && si < len(sampleCols) {
+				for k := range gtAlleles {
+					name := sampleCols[si]
+					if len(gtAlleles) > 1 {
+						name = fmt.Sprintf("%s.%d", name, k+1)
+					}
+					hapNames = append(hapNames, name)
+				}
+			}
+			for _, al := range gtAlleles {
+				switch al {
+				case "0":
+					alleles = append(alleles, 0)
+				case "1":
+					alleles = append(alleles, 1)
+				case ".":
+					alleles = append(alleles, -1)
+				default:
+					return nil, fmt.Errorf("seqio: unsupported allele %q at %s:%s", al, fields[0], fields[1])
+				}
+			}
+		}
+		if haplos == 0 {
+			haplos = len(alleles)
+		} else if len(alleles) != haplos {
+			return nil, fmt.Errorf("seqio: inconsistent haplotype count %d (want %d) at %s:%s",
+				len(alleles), haplos, fields[0], fields[1])
+		}
+		records = append(records, rec{pos: pos, alleles: alleles})
+		positions = append(positions, pos)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seqio: reading VCF: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("seqio: no usable biallelic SNP records in VCF")
+	}
+
+	m := bitvec.NewMatrix(haplos)
+	length := 0.0
+	for _, r := range records {
+		row := bitvec.New(haplos)
+		var mask *bitvec.Vector
+		for h, al := range r.alleles {
+			switch al {
+			case 1:
+				row.Set(h, true)
+			case -1:
+				if mask == nil {
+					mask = bitvec.New(haplos)
+					for k := 0; k < h; k++ {
+						mask.Set(k, true)
+					}
+				}
+			}
+			if mask != nil && al != -1 {
+				mask.Set(h, true)
+			}
+		}
+		m.AppendRow(row, mask)
+		if r.pos > length {
+			length = r.pos
+		}
+	}
+	a := &Alignment{Positions: positions, Length: length, Matrix: m}
+	if len(hapNames) == haplos {
+		a.SampleNames = hapNames
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

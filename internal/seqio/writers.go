@@ -1,0 +1,97 @@
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteVCF emits the alignment as a minimal single-chromosome VCF with
+// one haploid sample column per haplotype. Ancestral/derived alleles
+// are rendered as REF=A, ALT=G; missing data as ".". Positions are
+// rounded to integers ≥ 1 (VCF coordinates); equal rounded positions
+// are nudged forward to keep the file sorted and unique.
+func WriteVCF(w io.Writer, chrom string, a *Alignment) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if chrom == "" {
+		chrom = "chr1"
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "##fileformat=VCFv4.2")
+	fmt.Fprintf(bw, "##contig=<ID=%s,length=%d>\n", chrom, int64(a.Length)+int64(a.NumSNPs())+1)
+	fmt.Fprintf(bw, "##source=omegago\n")
+	bw.WriteString("#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT")
+	for s := 0; s < a.Samples(); s++ {
+		if a.SampleNames != nil {
+			fmt.Fprintf(bw, "\t%s", a.SampleNames[s])
+		} else {
+			fmt.Fprintf(bw, "\thap%d", s+1)
+		}
+	}
+	bw.WriteByte('\n')
+
+	prev := int64(0)
+	for i := 0; i < a.NumSNPs(); i++ {
+		pos := int64(a.Positions[i])
+		if pos <= prev {
+			pos = prev + 1
+		}
+		prev = pos
+		fmt.Fprintf(bw, "%s\t%d\t.\tA\tG\t.\tPASS\t.\tGT", chrom, pos)
+		row := a.Matrix.Row(i)
+		mask := a.Matrix.Mask(i)
+		for s := 0; s < a.Samples(); s++ {
+			switch {
+			case mask != nil && !mask.Get(s):
+				bw.WriteString("\t.")
+			case row.Get(s):
+				bw.WriteString("\t1")
+			default:
+				bw.WriteString("\t0")
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// WriteFASTA emits the SNP columns of the alignment as aligned DNA
+// sequences, one record per haplotype: ancestral = 'A', derived = 'G',
+// missing = 'N'. Column order matches the SNP order; non-polymorphic
+// genome context is not reconstructed (the file is a SNP matrix, which
+// is what OmegaPlus-style tools consume).
+func WriteFASTA(w io.Writer, a *Alignment) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	const lineWidth = 70
+	for s := 0; s < a.Samples(); s++ {
+		if a.SampleNames != nil {
+			fmt.Fprintf(bw, ">%s\n", a.SampleNames[s])
+		} else {
+			fmt.Fprintf(bw, ">hap%d\n", s+1)
+		}
+		for i := 0; i < a.NumSNPs(); i++ {
+			row := a.Matrix.Row(i)
+			mask := a.Matrix.Mask(i)
+			switch {
+			case mask != nil && !mask.Get(s):
+				bw.WriteByte('N')
+			case row.Get(s):
+				bw.WriteByte('G')
+			default:
+				bw.WriteByte('A')
+			}
+			if (i+1)%lineWidth == 0 {
+				bw.WriteByte('\n')
+			}
+		}
+		if a.NumSNPs()%lineWidth != 0 {
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,140 @@
+package seqio
+
+import (
+	"strings"
+	"testing"
+
+	"omegago/internal/bitvec"
+)
+
+func sampleAlignment(t *testing.T) *Alignment {
+	t.Helper()
+	m := bitvec.NewMatrix(4)
+	m.AppendRow(bitvec.FromBools([]bool{true, false, true, false}), nil)
+	m.AppendRow(bitvec.FromBools([]bool{false, true, false, false}),
+		bitvec.FromBools([]bool{true, true, true, false})) // sample 3 missing
+	m.AppendRow(bitvec.FromBools([]bool{true, true, false, false}), nil)
+	a := &Alignment{
+		Positions: []float64{100.2, 250.9, 251.1},
+		Length:    1000,
+		Matrix:    m,
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestWriteVCFRoundTrip(t *testing.T) {
+	a := sampleAlignment(t)
+	var sb strings.Builder
+	if err := WriteVCF(&sb, "chrX", a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseVCF(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, sb.String())
+	}
+	if got.NumSNPs() != a.NumSNPs() || got.Samples() != a.Samples() {
+		t.Fatalf("shape %dx%d, want %dx%d", got.NumSNPs(), got.Samples(), a.NumSNPs(), a.Samples())
+	}
+	for i := 0; i < a.NumSNPs(); i++ {
+		for s := 0; s < a.Samples(); s++ {
+			om := a.Matrix.Mask(i)
+			gm := got.Matrix.Mask(i)
+			oMissing := om != nil && !om.Get(s)
+			gMissing := gm != nil && !gm.Get(s)
+			if oMissing != gMissing {
+				t.Fatalf("missingness mismatch at SNP %d sample %d", i, s)
+			}
+			if !oMissing && a.Matrix.Row(i).Get(s) != got.Matrix.Row(i).Get(s) {
+				t.Fatalf("allele mismatch at SNP %d sample %d", i, s)
+			}
+		}
+	}
+	// Colliding rounded positions must stay strictly increasing.
+	if !(got.Positions[2] > got.Positions[1]) {
+		t.Errorf("positions not strictly increasing: %v", got.Positions)
+	}
+}
+
+func TestWriteFASTARoundTripViaR2(t *testing.T) {
+	a := sampleAlignment(t)
+	var sb strings.Builder
+	if err := WriteFASTA(&sb, a); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseFASTA(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := FASTAToAlignment(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Biallelic != a.NumSNPs() {
+		t.Fatalf("%d biallelic columns, want %d (stats %+v)", st.Biallelic, a.NumSNPs(), st)
+	}
+	// FASTA re-import may flip allele polarity (minor-allele coding);
+	// compare column *patterns* up to complement within the valid mask.
+	for i := 0; i < a.NumSNPs(); i++ {
+		same, flipped := true, true
+		for s := 0; s < a.Samples(); s++ {
+			om := a.Matrix.Mask(i)
+			if om != nil && !om.Get(s) {
+				continue
+			}
+			o := a.Matrix.Row(i).Get(s)
+			g := got.Matrix.Row(i).Get(s)
+			if o != g {
+				same = false
+			}
+			if o == g {
+				flipped = false
+			}
+		}
+		if !same && !flipped {
+			t.Fatalf("column %d differs beyond polarity", i)
+		}
+	}
+}
+
+func TestWriteFASTALineWrapping(t *testing.T) {
+	// 150 SNPs must wrap into 70-char lines.
+	m := bitvec.NewMatrix(2)
+	pos := make([]float64, 150)
+	for i := range pos {
+		pos[i] = float64(i + 1)
+		row := bitvec.New(2)
+		row.Set(i%2, true)
+		m.AppendRow(row, nil)
+	}
+	a := &Alignment{Positions: pos, Length: 200, Matrix: m}
+	var sb strings.Builder
+	if err := WriteFASTA(&sb, a); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if len(line) > 70 {
+			t.Fatalf("line of %d chars exceeds 70", len(line))
+		}
+	}
+	recs, err := ParseFASTA(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs[0].Seq) != 150 {
+		t.Fatalf("wrapped sequence reassembles to %d chars", len(recs[0].Seq))
+	}
+}
+
+func TestWritersRejectInvalid(t *testing.T) {
+	bad := &Alignment{Positions: []float64{5, 3}, Length: 10, Matrix: bitvec.NewMatrix(2)}
+	var sb strings.Builder
+	if err := WriteVCF(&sb, "c", bad); err == nil {
+		t.Error("WriteVCF should reject invalid alignment")
+	}
+	if err := WriteFASTA(&sb, bad); err == nil {
+		t.Error("WriteFASTA should reject invalid alignment")
+	}
+}

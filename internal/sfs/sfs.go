@@ -1,0 +1,197 @@
+// Package sfs implements site-frequency-spectrum summary statistics —
+// Tajima's D and Fay & Wu's H — the *other* family of sweep signatures
+// the paper's background contrasts with LD-based detection (a sweep
+// shifts the SFS toward low- and high-frequency derived variants,
+// Braverman et al. 1995). The windowed scan here serves as the
+// SFS-based baseline detector in examples and tests; Crisci et al.'s
+// finding that LD-based ω has more power is qualitatively visible when
+// both run on the same simulated sweeps.
+package sfs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"omegago/internal/bitvec"
+	"omegago/internal/seqio"
+	"omegago/internal/stats"
+)
+
+// Spectrum returns the unfolded site frequency spectrum of SNPs
+// [lo, hi) of the alignment: spec[c] is the number of sites whose
+// derived allele is carried by exactly c samples (0 < c < n). Sites
+// with missing data contribute at their valid-sample-count-scaled bin
+// rounded to the nearest integer class (a standard pragmatic choice).
+func Spectrum(a *seqio.Alignment, lo, hi int) ([]int, error) {
+	if lo < 0 || hi > a.NumSNPs() || lo > hi {
+		return nil, fmt.Errorf("sfs: bad SNP range [%d,%d) of %d", lo, hi, a.NumSNPs())
+	}
+	n := a.Samples()
+	spec := make([]int, n+1)
+	for i := lo; i < hi; i++ {
+		c := derivedCount(a, i)
+		spec[c]++
+	}
+	return spec, nil
+}
+
+// derivedCount returns the derived-allele count of SNP i scaled to the
+// full sample size when data is missing.
+func derivedCount(a *seqio.Alignment, i int) int {
+	row := a.Matrix.Row(i)
+	mask := a.Matrix.Mask(i)
+	n := a.Samples()
+	if mask == nil {
+		return row.OnesCount()
+	}
+	valid, c, _, _ := bitvec.MaskedCounts(row, row, mask, mask)
+	if valid == 0 {
+		return 0
+	}
+	scaled := int(math.Round(float64(c) * float64(n) / float64(valid)))
+	if scaled > n {
+		scaled = n
+	}
+	return scaled
+}
+
+// Stats holds the SFS summary statistics of one window.
+type Stats struct {
+	SegSites int
+	// Pi is the mean pairwise diversity θ_π.
+	Pi float64
+	// ThetaW is Watterson's estimator S/a1.
+	ThetaW float64
+	// ThetaH is Fay & Wu's homozygosity-weighted estimator.
+	ThetaH float64
+	// TajimaD is (θ_π − θ_W) / sd — negative after a sweep (excess of
+	// rare variants).
+	TajimaD float64
+	// FayWuH is θ_π − θ_H — negative after a sweep (excess of
+	// high-frequency derived variants).
+	FayWuH float64
+}
+
+// Compute evaluates the statistics over SNPs [lo, hi).
+func Compute(a *seqio.Alignment, lo, hi int) (Stats, error) {
+	spec, err := Spectrum(a, lo, hi)
+	if err != nil {
+		return Stats{}, err
+	}
+	return FromSpectrum(spec), nil
+}
+
+// FromSpectrum evaluates the statistics from an unfolded spectrum
+// (spec[c] = sites with derived count c over n = len(spec)−1 samples).
+func FromSpectrum(spec []int) Stats {
+	n := len(spec) - 1
+	var st Stats
+	if n < 2 {
+		return st
+	}
+	fn := float64(n)
+	denom := fn * (fn - 1)
+	for c := 1; c < n; c++ {
+		k := float64(spec[c])
+		if k == 0 {
+			continue
+		}
+		fc := float64(c)
+		st.SegSites += spec[c]
+		st.Pi += k * 2 * fc * (fn - fc) / denom
+		st.ThetaH += k * 2 * fc * fc / denom
+	}
+	if st.SegSites == 0 {
+		return st
+	}
+	a1 := stats.HarmonicNumber(n - 1)
+	st.ThetaW = float64(st.SegSites) / a1
+	st.TajimaD = tajimaD(n, st.SegSites, st.Pi)
+	st.FayWuH = st.Pi - st.ThetaH
+	return st
+}
+
+// tajimaD computes Tajima's D with the standard variance constants
+// (Tajima 1989).
+func tajimaD(n, s int, pi float64) float64 {
+	if s == 0 || n < 3 {
+		return 0
+	}
+	fn := float64(n)
+	a1 := stats.HarmonicNumber(n - 1)
+	a2 := 0.0
+	for i := 1; i < n; i++ {
+		a2 += 1 / float64(i*i)
+	}
+	b1 := (fn + 1) / (3 * (fn - 1))
+	b2 := 2 * (fn*fn + fn + 3) / (9 * fn * (fn - 1))
+	c1 := b1 - 1/a1
+	c2 := b2 - (fn+2)/(a1*fn) + a2/(a1*a1)
+	e1 := c1 / a1
+	e2 := c2 / (a1*a1 + a2)
+	fs := float64(s)
+	v := e1*fs + e2*fs*(fs-1)
+	if v <= 0 {
+		return 0
+	}
+	return (pi - fs/a1) / math.Sqrt(v)
+}
+
+// WindowStat is one grid position of a windowed SFS scan.
+type WindowStat struct {
+	Center float64
+	Lo, Hi int // SNP range [Lo, Hi)
+	Stats
+}
+
+// Scan computes SFS statistics at gridSize equidistant positions, each
+// over the SNPs within maxWindowBP of the position (per side) — the
+// SFS analogue of the ω grid scan, for apples-to-apples comparisons.
+func Scan(a *seqio.Alignment, gridSize int, maxWindowBP float64) ([]WindowStat, error) {
+	if a.NumSNPs() == 0 {
+		return nil, fmt.Errorf("sfs: empty alignment")
+	}
+	if gridSize < 1 {
+		return nil, fmt.Errorf("sfs: grid size %d < 1", gridSize)
+	}
+	if maxWindowBP <= 0 {
+		maxWindowBP = math.Inf(1)
+	}
+	pos := a.Positions
+	first, last := pos[0], pos[len(pos)-1]
+	out := make([]WindowStat, 0, gridSize)
+	for g := 0; g < gridSize; g++ {
+		var center float64
+		if gridSize == 1 {
+			center = (first + last) / 2
+		} else {
+			center = first + float64(g)*(last-first)/float64(gridSize-1)
+		}
+		lo := sort.SearchFloat64s(pos, center-maxWindowBP)
+		hi := sort.SearchFloat64s(pos, math.Nextafter(center+maxWindowBP, math.Inf(1)))
+		st, err := Compute(a, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WindowStat{Center: center, Lo: lo, Hi: hi, Stats: st})
+	}
+	return out, nil
+}
+
+// MinD returns the scan position with the lowest Tajima's D (the
+// SFS-based sweep candidate).
+func MinD(ws []WindowStat) (WindowStat, bool) {
+	best := WindowStat{}
+	ok := false
+	for _, w := range ws {
+		if w.SegSites == 0 {
+			continue
+		}
+		if !ok || w.TajimaD < best.TajimaD {
+			best = w
+			ok = true
+		}
+	}
+	return best, ok
+}

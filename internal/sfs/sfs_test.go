@@ -1,0 +1,240 @@
+package sfs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"omegago/internal/bitvec"
+	"omegago/internal/mssim"
+	"omegago/internal/seqio"
+	"omegago/internal/stats"
+)
+
+func simulated(t testing.TB, cfg mssim.Config, regionBP float64) *seqio.Alignment {
+	t.Helper()
+	reps, err := mssim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := reps[0].ToAlignment(regionBP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSpectrumBasics(t *testing.T) {
+	a := simulated(t, mssim.Config{SampleSize: 12, Replicates: 1, SegSites: 100, Seed: 1}, 1e5)
+	spec, err := Spectrum(a, 0, a.NumSNPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) != 13 {
+		t.Fatalf("spectrum length %d, want 13", len(spec))
+	}
+	total := 0
+	for c, k := range spec {
+		total += k
+		if (c == 0 || c == 12) && k != 0 {
+			t.Errorf("non-segregating class %d holds %d sites", c, k)
+		}
+	}
+	if total != 100 {
+		t.Errorf("spectrum sums to %d, want 100", total)
+	}
+	if _, err := Spectrum(a, 5, 3); err == nil {
+		t.Error("bad range should error")
+	}
+}
+
+func TestNeutralSpectrumShape(t *testing.T) {
+	// Under neutrality E[spec[c]] ∝ 1/c: singletons must dominate.
+	a := simulated(t, mssim.Config{SampleSize: 20, Replicates: 1, SegSites: 2000, Seed: 2}, 1e6)
+	spec, _ := Spectrum(a, 0, a.NumSNPs())
+	if spec[1] <= spec[5] || spec[1] <= spec[10] {
+		t.Errorf("singleton class not dominant: %v", spec[:6])
+	}
+	// 1/c shape: spec[1]/spec[4] ≈ 4 within loose tolerance
+	ratio := float64(spec[1]) / float64(spec[4])
+	if ratio < 2 || ratio > 8 {
+		t.Errorf("spec[1]/spec[4] = %.2f, expected ≈4", ratio)
+	}
+}
+
+func TestFromSpectrumHandComputed(t *testing.T) {
+	// n=4, one site at count 1 and one at count 2.
+	spec := []int{0, 1, 1, 0, 0}
+	st := FromSpectrum(spec)
+	if st.SegSites != 2 {
+		t.Fatalf("S = %d, want 2", st.SegSites)
+	}
+	// π = 2·1·3/12 + 2·2·2/12 = 0.5 + 2/3
+	wantPi := 0.5 + 2.0/3
+	if !stats.AlmostEqual(st.Pi, wantPi, 1e-12) {
+		t.Errorf("π = %v, want %v", st.Pi, wantPi)
+	}
+	// θ_H = 2·1/12 + 2·4/12 = 1/6 + 2/3
+	wantH := 1.0/6 + 2.0/3
+	if !stats.AlmostEqual(st.ThetaH, wantH, 1e-12) {
+		t.Errorf("θ_H = %v, want %v", st.ThetaH, wantH)
+	}
+	if !stats.AlmostEqual(st.ThetaW, 2/stats.HarmonicNumber(3), 1e-12) {
+		t.Errorf("θ_W = %v", st.ThetaW)
+	}
+	if !stats.AlmostEqual(st.FayWuH, st.Pi-st.ThetaH, 1e-12) {
+		t.Errorf("H = %v", st.FayWuH)
+	}
+	// degenerate spectra
+	if FromSpectrum([]int{0, 0}).SegSites != 0 {
+		t.Error("empty spectrum should be zero")
+	}
+	if FromSpectrum([]int{0}).SegSites != 0 {
+		t.Error("n<2 should be zero")
+	}
+}
+
+func TestTajimaDNeutralNearZero(t *testing.T) {
+	// Average Tajima's D over neutral replicates ≈ 0 (slightly
+	// negative); |mean| must stay well below 1.
+	sum := 0.0
+	const reps = 40
+	for i := 0; i < reps; i++ {
+		a := simulated(t, mssim.Config{SampleSize: 25, Replicates: 1, Theta: 20, Seed: int64(100 + i)}, 1e5)
+		st, err := Compute(a, 0, a.NumSNPs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += st.TajimaD
+	}
+	mean := sum / reps
+	if math.Abs(mean) > 0.6 {
+		t.Errorf("neutral mean Tajima's D = %.3f, expected ≈0", mean)
+	}
+}
+
+func TestSweepMakesDNegative(t *testing.T) {
+	// After a sweep, windows near the selected site show negative D and
+	// negative Fay & Wu's H.
+	sumD, sumH := 0.0, 0.0
+	const reps = 15
+	for i := 0; i < reps; i++ {
+		a := simulated(t, mssim.Config{
+			SampleSize: 30, Replicates: 1, SegSites: 300, Rho: 300, Seed: int64(200 + i),
+			Sweep: &mssim.SweepConfig{Position: 0.5, Alpha: 2000},
+		}, 1e5)
+		ws, err := Scan(a, 21, 15000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mid := ws[len(ws)/2] // window at the sweep site
+		sumD += mid.TajimaD
+		sumH += mid.FayWuH
+	}
+	if meanD := sumD / reps; meanD > -0.3 {
+		t.Errorf("mean Tajima's D at sweep site = %.3f, expected clearly negative", meanD)
+	}
+	if meanH := sumH / reps; meanH > 0 {
+		t.Errorf("mean Fay & Wu's H at sweep site = %.3f, expected negative", meanH)
+	}
+}
+
+func TestScanBasics(t *testing.T) {
+	a := simulated(t, mssim.Config{SampleSize: 15, Replicates: 1, SegSites: 120, Seed: 3}, 1e5)
+	ws, err := Scan(a, 10, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 10 {
+		t.Fatalf("%d windows, want 10", len(ws))
+	}
+	for _, w := range ws {
+		if w.Lo > w.Hi {
+			t.Errorf("window [%d,%d) inverted", w.Lo, w.Hi)
+		}
+		for i := w.Lo; i < w.Hi; i++ {
+			if math.Abs(a.Positions[i]-w.Center) > 20000+1e-9 {
+				t.Errorf("SNP %d outside window of %g", i, w.Center)
+			}
+		}
+	}
+	if _, err := Scan(a, 0, 1000); err == nil {
+		t.Error("grid 0 should error")
+	}
+	empty := &seqio.Alignment{Matrix: bitvec.NewMatrix(2)}
+	if _, err := Scan(empty, 3, 1000); err == nil {
+		t.Error("empty alignment should error")
+	}
+}
+
+func TestMinD(t *testing.T) {
+	ws := []WindowStat{
+		{Center: 1, Stats: Stats{SegSites: 5, TajimaD: -0.5}},
+		{Center: 2, Stats: Stats{SegSites: 5, TajimaD: -2.0}},
+		{Center: 3, Stats: Stats{SegSites: 0, TajimaD: -9}}, // empty: ignored
+	}
+	best, ok := MinD(ws)
+	if !ok || best.Center != 2 {
+		t.Errorf("MinD wrong: %+v ok=%v", best, ok)
+	}
+	if _, ok := MinD(nil); ok {
+		t.Error("empty scan should report !ok")
+	}
+}
+
+func TestStatsPermutationInvariance(t *testing.T) {
+	// SFS statistics depend only on allele counts, so permuting samples
+	// must not change them.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15) + 4
+		snps := rng.Intn(40) + 5
+		m1 := bitvec.NewMatrix(n)
+		m2 := bitvec.NewMatrix(n)
+		perm := rng.Perm(n)
+		pos := make([]float64, snps)
+		for i := 0; i < snps; i++ {
+			col := make([]bool, n)
+			col[rng.Intn(n)] = true
+			for s := range col {
+				if rng.Intn(3) == 0 {
+					col[s] = true
+				}
+			}
+			r1 := bitvec.New(n)
+			r2 := bitvec.New(n)
+			for s, v := range col {
+				r1.Set(s, v)
+				r2.Set(perm[s], v)
+			}
+			m1.AppendRow(r1, nil)
+			m2.AppendRow(r2, nil)
+			pos[i] = float64(i + 1)
+		}
+		a1 := &seqio.Alignment{Positions: pos, Length: float64(snps + 1), Matrix: m1}
+		a2 := &seqio.Alignment{Positions: pos, Length: float64(snps + 1), Matrix: m2}
+		s1, err1 := Compute(a1, 0, snps)
+		s2, err2 := Compute(a2, 0, snps)
+		return err1 == nil && err2 == nil && s1 == s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskedDerivedCountScaling(t *testing.T) {
+	// 4 samples, 1 derived among 2 valid → scaled count 2 of 4.
+	m := bitvec.NewMatrix(4)
+	row := bitvec.FromBools([]bool{true, false, false, false})
+	mask := bitvec.FromBools([]bool{true, true, false, false})
+	m.AppendRow(row, mask)
+	a := &seqio.Alignment{Positions: []float64{1}, Length: 2, Matrix: m}
+	spec, err := Spectrum(a, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec[2] != 1 {
+		t.Errorf("scaled count wrong: %v", spec)
+	}
+}

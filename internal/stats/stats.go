@@ -1,0 +1,151 @@
+// Package stats provides the small numerical utilities shared across the
+// sweep-detection stack: pair-count tables, Watterson's estimator,
+// descriptive statistics and throughput helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Choose2 returns C(n,2) = n(n-1)/2 as a float64. Negative n yields 0.
+func Choose2(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64(n) * float64(n-1) / 2
+}
+
+// Choose2Table returns a lookup table t where t[i] = C(i,2) for i in
+// [0, n]. The ω kernels index this table once per window border instead
+// of recomputing the binomial in the inner loop.
+func Choose2Table(n int) []float64 {
+	t := make([]float64, n+1)
+	for i := 2; i <= n; i++ {
+		t[i] = float64(i) * float64(i-1) / 2
+	}
+	return t
+}
+
+// HarmonicNumber returns H(n) = sum_{i=1..n} 1/i.
+func HarmonicNumber(n int) float64 {
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// WattersonTheta returns θ_W = S / a_n for S segregating sites in a
+// sample of n sequences, with a_n = H(n-1). It is the standard check
+// that simulated data matches the requested mutation parameter.
+func WattersonTheta(segSites, sampleSize int) float64 {
+	if sampleSize < 2 || segSites < 0 {
+		return 0
+	}
+	return float64(segSites) / HarmonicNumber(sampleSize-1)
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N                int
+	Min, Max         float64
+	Mean, Var, Std   float64
+	Median, P10, P90 float64
+}
+
+// Summarize computes descriptive statistics. An empty input returns a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Var = ss / float64(s.N-1)
+		s.Std = math.Sqrt(s.Var)
+	}
+	s.Median = Quantile(sorted, 0.5)
+	s.P10 = Quantile(sorted, 0.10)
+	s.P90 = Quantile(sorted, 0.90)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// slice using linear interpolation. Panics on an empty slice.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: quantile of empty slice")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Throughput expresses count/seconds in scores-per-second units.
+// Seconds ≤ 0 yields +Inf for positive counts and 0 for zero counts,
+// so callers never divide by zero.
+func Throughput(count int64, seconds float64) float64 {
+	if seconds <= 0 {
+		if count == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return float64(count) / seconds
+}
+
+// FormatSI renders a value with an SI magnitude suffix (k, M, G, T),
+// e.g. 3.5e9 → "3.50G". Values below 1000 are printed plainly.
+func FormatSI(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e12:
+		return fmt.Sprintf("%.2fT", v/1e12)
+	case a >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case a >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case a >= 1e3:
+		return fmt.Sprintf("%.2fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// AlmostEqual reports |a-b| ≤ tol·max(1,|a|,|b|), the relative/absolute
+// hybrid tolerance used by the numerical tests in this repository.
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChoose2(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{{-1, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 3}, {4, 6}, {10, 45}, {1000, 499500}}
+	for _, c := range cases {
+		if got := Choose2(c.n); got != c.want {
+			t.Errorf("Choose2(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestChoose2Table(t *testing.T) {
+	tab := Choose2Table(100)
+	if len(tab) != 101 {
+		t.Fatalf("table length %d, want 101", len(tab))
+	}
+	for i := 0; i <= 100; i++ {
+		if tab[i] != Choose2(i) {
+			t.Errorf("table[%d] = %v, want %v", i, tab[i], Choose2(i))
+		}
+	}
+}
+
+func TestChoose2PascalProperty(t *testing.T) {
+	// C(n,2) = C(n-1,2) + (n-1)
+	f := func(raw uint16) bool {
+		n := int(raw%10000) + 2
+		return Choose2(n) == Choose2(n-1)+float64(n-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHarmonicNumber(t *testing.T) {
+	if HarmonicNumber(0) != 0 {
+		t.Error("H(0) should be 0")
+	}
+	if HarmonicNumber(1) != 1 {
+		t.Error("H(1) should be 1")
+	}
+	if !AlmostEqual(HarmonicNumber(4), 1+0.5+1.0/3+0.25, 1e-12) {
+		t.Error("H(4) wrong")
+	}
+}
+
+func TestWattersonTheta(t *testing.T) {
+	if WattersonTheta(10, 1) != 0 || WattersonTheta(-1, 5) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+	// n=2: a_1 = 1, θ = S
+	if WattersonTheta(7, 2) != 7 {
+		t.Error("θ_W(7, 2) should be 7")
+	}
+	got := WattersonTheta(20, 5)
+	want := 20.0 / (1 + 0.5 + 1.0/3 + 0.25)
+	if !AlmostEqual(got, want, 1e-12) {
+		t.Errorf("θ_W = %v, want %v", got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Error("empty summary should have N=0")
+	}
+	s = Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Errorf("bad summary %+v", s)
+	}
+	if !AlmostEqual(s.Var, 5.0/3, 1e-12) {
+		t.Errorf("Var = %v, want %v", s.Var, 5.0/3)
+	}
+	if !AlmostEqual(s.Median, 2.5, 1e-12) {
+		t.Errorf("Median = %v", s.Median)
+	}
+	one := Summarize([]float64{42})
+	if one.Std != 0 || one.Median != 42 {
+		t.Errorf("single-element summary wrong: %+v", one)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if Quantile(sorted, 0) != 1 || Quantile(sorted, 1) != 5 {
+		t.Error("extremes wrong")
+	}
+	if Quantile(sorted, 0.5) != 3 {
+		t.Error("median wrong")
+	}
+	if !AlmostEqual(Quantile(sorted, 0.25), 2, 1e-12) {
+		t.Error("q25 wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty slice")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	sorted := []float64{0, 1, 1, 2, 5, 8, 13}
+	f := func(a, b float64) bool {
+		qa := math.Mod(math.Abs(a), 1)
+		qb := math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(sorted, qa) <= Quantile(sorted, qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if Throughput(100, 2) != 50 {
+		t.Error("plain throughput wrong")
+	}
+	if Throughput(0, 0) != 0 {
+		t.Error("0/0 should be 0")
+	}
+	if !math.IsInf(Throughput(5, 0), 1) {
+		t.Error("n/0 should be +Inf")
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{3.5e9, "3.50G"}, {1.2e6, "1.20M"}, {999, "999.00"},
+		{1500, "1.50k"}, {2e12, "2.00T"},
+	}
+	for _, c := range cases {
+		if got := FormatSI(c.v); got != c.want {
+			t.Errorf("FormatSI(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1, 1, 0) {
+		t.Error("identical values must compare equal")
+	}
+	if !AlmostEqual(1e9, 1e9+1, 1e-6) {
+		t.Error("relative tolerance failed")
+	}
+	if AlmostEqual(1, 2, 1e-6) {
+		t.Error("1 and 2 are not almost equal")
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpansAndSummary(t *testing.T) {
+	tr := NewTracer()
+	tr.Region("load", func() { time.Sleep(2 * time.Millisecond) })
+	done := tr.Begin("scan")
+	time.Sleep(time.Millisecond)
+	done(map[string]any{"snps": 100})
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "load" || spans[1].Name != "scan" {
+		t.Errorf("span order wrong: %v, %v", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Duration < time.Millisecond {
+		t.Errorf("load duration %v too short", spans[0].Duration)
+	}
+	if spans[1].Args["snps"] != 100 {
+		t.Error("args lost")
+	}
+	sum := tr.Summary()
+	if !strings.Contains(sum, "load") || !strings.Contains(sum, "%") {
+		t.Errorf("summary wrong:\n%s", sum)
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	ran := false
+	tr.Region("x", func() { ran = true })
+	if !ran {
+		t.Fatal("region body must run on nil tracer")
+	}
+	done := tr.Begin("y")
+	done(nil)
+	if tr.Spans() != nil {
+		t.Error("nil tracer should have no spans")
+	}
+	var sb strings.Builder
+	if err := tr.ExportChromeJSON(&sb); err == nil {
+		t.Error("export on nil tracer should error")
+	}
+}
+
+func TestExportChromeJSON(t *testing.T) {
+	tr := NewTracer()
+	tr.Region("phase-a", func() {})
+	tr.Region("phase-b", func() {})
+	var sb strings.Builder
+	if err := tr.ExportChromeJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events, want 2", len(events))
+	}
+	for _, e := range events {
+		if e["ph"] != "X" || e["name"] == "" {
+			t.Errorf("bad event %v", e)
+		}
+		if _, ok := e["ts"].(float64); !ok {
+			t.Errorf("ts missing in %v", e)
+		}
+	}
+}
+
+func TestTracerConcurrentSafety(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				tr.Region("worker", func() {})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Errorf("%d spans, want 800", got)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	if NewTracer().Summary() != "(no spans)\n" {
+		t.Error("empty summary wrong")
+	}
+}

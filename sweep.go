@@ -1,0 +1,303 @@
+// Package omegago is a Go reproduction of OmegaPlus-style LD-based
+// selective sweep detection with simulated GPU and FPGA accelerator
+// backends, after:
+//
+//	R. Corts, N. Sterenborg, N. Alachiotis, "Accelerated LD-based
+//	selective sweep detection using GPUs and FPGAs", IPDPSW 2022.
+//
+// The package scans a genomic region for the LD signature of a
+// selective sweep using Kim & Nielsen's ω statistic: at a grid of
+// positions along the region, every combination of left/right
+// sub-window borders is scored and the maximum ω per position is
+// reported. High ω marks candidate sweep locations.
+//
+// # Quick start
+//
+//	ds, _ := omegago.Simulate(omegago.SimConfig{
+//		SampleSize: 50, Replicates: 1, SegSites: 2000, Seed: 1,
+//	}, 1e6)
+//	rep, _ := omegago.Scan(ds, omegago.Config{GridSize: 100, MaxWindow: 20000})
+//	best, _ := rep.Best()
+//	fmt.Printf("max ω = %.2f at %.0f bp\n", best.MaxOmega, best.Center)
+//
+// Backends: the default CPU backend runs the OmegaPlus algorithm
+// directly (optionally multithreaded); BackendGPU and BackendFPGA run
+// the same computation through simulated accelerator execution paths
+// that report modeled device times alongside bit-identical results (see
+// DESIGN.md for the simulation fidelity contract).
+package omegago
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"omegago/internal/fpga"
+	"omegago/internal/gpu"
+	"omegago/internal/ld"
+	"omegago/internal/mssim"
+	"omegago/internal/omega"
+	"omegago/internal/seqio"
+	"omegago/internal/sfs"
+)
+
+// Dataset is a binary SNP alignment over a genomic region (positions in
+// base pairs plus a bit-packed SNP matrix).
+type Dataset = seqio.Alignment
+
+// Result is the ω outcome at one grid position.
+type Result = omega.Result
+
+// SimConfig configures the built-in coalescent simulator (an ms-style
+// neutral/sweep model; see internal/mssim).
+type SimConfig = mssim.Config
+
+// SweepSimConfig parameterizes a superimposed selective sweep.
+type SweepSimConfig = mssim.SweepConfig
+
+// Backend selects the execution engine of a scan.
+type Backend int
+
+const (
+	// BackendCPU is the reference OmegaPlus algorithm on the host CPU.
+	BackendCPU Backend = iota
+	// BackendGPU runs LD as GEMM and ω as the two-kernel OpenCL design
+	// on a simulated GPU device.
+	BackendGPU
+	// BackendFPGA runs ω through the simulated HLS pipeline (and models
+	// the companion LD accelerator).
+	BackendFPGA
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendCPU:
+		return "cpu"
+	case BackendGPU:
+		return "gpu-sim"
+	case BackendFPGA:
+		return "fpga-sim"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Config configures a sweep scan.
+type Config struct {
+	// GridSize is the number of equidistant ω positions (default 100).
+	GridSize int
+	// MinWindow is the minimum total window span in bp (default 0).
+	MinWindow float64
+	// MaxWindow is the maximum distance of a window border from the
+	// grid position in bp, per side (default unbounded).
+	MaxWindow float64
+	// MaxSNPsPerSide caps the SNPs per sub-window (default unbounded),
+	// bounding both the ω workload and the DP matrix memory.
+	MaxSNPsPerSide int
+	// Threads parallelizes the CPU backend across grid positions
+	// (default 1).
+	Threads int
+	// Backend selects the engine (default BackendCPU).
+	Backend Backend
+	// GPU options (BackendGPU).
+	GPUDevice *gpu.Device // default Tesla K80
+	GPUKernel gpu.Kind    // default Dynamic
+	// FPGA options (BackendFPGA).
+	FPGADevice *fpga.Device // default Alveo U200
+	// UseGEMMLD batches CPU-backend LD through the BLIS-style bit-matrix
+	// multiply instead of per-pair popcounts.
+	UseGEMMLD bool
+}
+
+func (c Config) params() omega.Params {
+	g := c.GridSize
+	if g == 0 {
+		g = 100
+	}
+	return omega.Params{
+		GridSize:       g,
+		MinWindow:      c.MinWindow,
+		MaxWindow:      c.MaxWindow,
+		MaxSNPsPerSide: c.MaxSNPsPerSide,
+	}
+}
+
+// Report is the outcome of a scan.
+type Report struct {
+	// Results holds one entry per grid position, in genomic order.
+	Results []Result
+	// Backend that produced the results.
+	Backend Backend
+	// OmegaScores / R2Computed / R2Reused count the work performed.
+	OmegaScores int64
+	R2Computed  int64
+	R2Reused    int64
+	// LDSeconds / OmegaSeconds split the runtime between the two phases.
+	// For the CPU backend these are measured; for accelerator backends
+	// they are modeled device times (the measured host wall time of the
+	// functional simulation is WallSeconds).
+	LDSeconds    float64
+	OmegaSeconds float64
+	// WallSeconds is the measured wall-clock time of the scan.
+	WallSeconds float64
+}
+
+// Best returns the grid position with the highest ω.
+func (r *Report) Best() (Result, bool) { return omega.MaxResult(r.Results) }
+
+// Scan runs LD-based selective sweep detection over a dataset.
+func Scan(ds *Dataset, cfg Config) (*Report, error) {
+	if ds == nil || ds.NumSNPs() == 0 {
+		return nil, fmt.Errorf("omegago: empty dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("omegago: invalid dataset: %w", err)
+	}
+	p := cfg.params()
+	if err := p.WithDefaults().Validate(); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	switch cfg.Backend {
+	case BackendCPU:
+		engine := ld.Direct
+		if cfg.UseGEMMLD {
+			engine = ld.GEMM
+		}
+		threads := cfg.Threads
+		if threads == 0 {
+			threads = 1
+		}
+		results, st, err := omega.ScanParallel(ds, p, engine, threads)
+		if err != nil {
+			return nil, err
+		}
+		return &Report{
+			Results: results, Backend: cfg.Backend,
+			OmegaScores: st.OmegaScores, R2Computed: st.R2Computed, R2Reused: st.R2Reused,
+			LDSeconds: st.LDTime.Seconds(), OmegaSeconds: st.OmegaTime.Seconds(),
+			WallSeconds: time.Since(t0).Seconds(),
+		}, nil
+
+	case BackendGPU:
+		dev := gpu.TeslaK80
+		if cfg.GPUDevice != nil {
+			dev = *cfg.GPUDevice
+		}
+		rep, err := gpu.Scan(dev, cfg.GPUKernel, ds, p, gpu.Options{Workers: cfg.Threads})
+		if err != nil {
+			return nil, err
+		}
+		return &Report{
+			Results: rep.Results, Backend: cfg.Backend,
+			OmegaScores: rep.OmegaScores, R2Computed: rep.R2Computed, R2Reused: rep.R2Reused,
+			LDSeconds: rep.LDSeconds, OmegaSeconds: rep.OmegaSeconds(),
+			WallSeconds: time.Since(t0).Seconds(),
+		}, nil
+
+	case BackendFPGA:
+		dev := fpga.AlveoU200
+		if cfg.FPGADevice != nil {
+			dev = *cfg.FPGADevice
+		}
+		rep, err := fpga.Scan(dev, ds, p, fpga.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &Report{
+			Results: rep.Results, Backend: cfg.Backend,
+			OmegaScores: rep.OmegaScores, R2Computed: rep.R2Computed, R2Reused: rep.R2Reused,
+			LDSeconds: rep.LDSeconds, OmegaSeconds: rep.OmegaSeconds(),
+			WallSeconds: time.Since(t0).Seconds(),
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("omegago: unknown backend %v", cfg.Backend)
+	}
+}
+
+// Simulate generates a dataset with the built-in coalescent simulator,
+// scaling positions to a region of regionBP base pairs. Only the first
+// replicate is returned; use the internal/mssim package (or cmd/msgo)
+// for multi-replicate studies.
+func Simulate(cfg SimConfig, regionBP float64) (*Dataset, error) {
+	reps, err := mssim.Simulate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return reps[0].ToAlignment(regionBP)
+}
+
+// LoadMS parses Hudson's-ms-format output (first replicate) and scales
+// positions to regionBP base pairs.
+func LoadMS(r io.Reader, regionBP float64) (*Dataset, error) {
+	return seqio.ParseMSAlignment(r, regionBP)
+}
+
+// LoadMSAll parses every replicate of an ms stream. Replicates with
+// zero segregating sites yield nil entries (a fully swept sample, for
+// example); callers scanning batches should skip them.
+func LoadMSAll(r io.Reader, regionBP float64) ([]*Dataset, error) {
+	reps, err := seqio.ParseMS(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Dataset, len(reps))
+	for i, rep := range reps {
+		if rep.SegSites == 0 {
+			continue
+		}
+		a, err := rep.ToAlignment(regionBP)
+		if err != nil {
+			return nil, fmt.Errorf("omegago: replicate %d: %w", i+1, err)
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// LoadFASTA converts an aligned FASTA file to a binary SNP dataset
+// (biallelic columns only; N/gap characters become missing data).
+func LoadFASTA(r io.Reader) (*Dataset, error) {
+	recs, err := seqio.ParseFASTA(r)
+	if err != nil {
+		return nil, err
+	}
+	a, _, err := seqio.FASTAToAlignment(recs)
+	return a, err
+}
+
+// LoadVCF parses a single-chromosome VCF into a binary SNP dataset
+// (biallelic SNP records; diploid genotypes split into haplotypes).
+func LoadVCF(r io.Reader) (*Dataset, error) {
+	return seqio.ParseVCF(r)
+}
+
+// SFSWindow is one grid position of an SFS-statistics scan.
+type SFSWindow = sfs.WindowStat
+
+// ScanSFS computes the site-frequency-spectrum summary statistics
+// (Tajima's D, Fay & Wu's H) on the same grid geometry as Scan — the
+// SFS-based baseline the paper's background contrasts with LD-based
+// detection. A sweep drives both statistics negative near the selected
+// site.
+func ScanSFS(ds *Dataset, gridSize int, maxWindowBP float64) ([]SFSWindow, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("omegago: nil dataset")
+	}
+	return sfs.Scan(ds, gridSize, maxWindowBP)
+}
+
+// WriteReport emits scan results in the OmegaPlus-style tab-separated
+// report layout.
+func (r *Report) WriteReport(w io.Writer, label string) error {
+	rows := make([]seqio.ReportRow, len(r.Results))
+	for i, res := range r.Results {
+		rows[i] = seqio.ReportRow{
+			Position: res.Center, Omega: res.MaxOmega,
+			LeftPos: res.LeftPos, RightPos: res.RightPos, Valid: res.Valid,
+		}
+	}
+	return seqio.WriteReport(w, label, rows)
+}

@@ -1,0 +1,192 @@
+package omegago
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"omegago/internal/fpga"
+	"omegago/internal/gpu"
+)
+
+func simulated(t testing.TB, snps, samples int, seed int64) *Dataset {
+	t.Helper()
+	ds, err := Simulate(SimConfig{
+		SampleSize: samples, Replicates: 1, SegSites: snps, Seed: seed,
+	}, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestScanDefaults(t *testing.T) {
+	ds := simulated(t, 300, 40, 1)
+	rep, err := Scan(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 100 {
+		t.Fatalf("default grid should give 100 results, got %d", len(rep.Results))
+	}
+	if rep.OmegaScores == 0 || rep.R2Computed == 0 {
+		t.Fatal("no work recorded")
+	}
+	if _, ok := rep.Best(); !ok {
+		t.Fatal("no valid best result")
+	}
+}
+
+func TestAllBackendsAgree(t *testing.T) {
+	ds := simulated(t, 250, 30, 2)
+	cfg := Config{GridSize: 20, MaxWindow: 60000}
+	cpu, err := Scan(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []Backend{BackendGPU, BackendFPGA} {
+		c := cfg
+		c.Backend = backend
+		got, err := Scan(ds, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Results) != len(cpu.Results) {
+			t.Fatalf("%v: result count mismatch", backend)
+		}
+		for i := range got.Results {
+			if got.Results[i].Valid != cpu.Results[i].Valid {
+				t.Fatalf("%v: validity mismatch at %d", backend, i)
+			}
+			if cpu.Results[i].Valid && got.Results[i].MaxOmega != cpu.Results[i].MaxOmega {
+				t.Fatalf("%v: ω mismatch at %d", backend, i)
+			}
+		}
+		if got.OmegaScores != cpu.OmegaScores {
+			t.Fatalf("%v: scores %d, want %d", backend, got.OmegaScores, cpu.OmegaScores)
+		}
+		if got.LDSeconds <= 0 || got.OmegaSeconds <= 0 {
+			t.Fatalf("%v: missing modeled times", backend)
+		}
+	}
+}
+
+func TestThreadsAndGEMM(t *testing.T) {
+	ds := simulated(t, 200, 25, 3)
+	cfg := Config{GridSize: 16, MaxWindow: 50000}
+	base, err := Scan(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Config{
+		{GridSize: 16, MaxWindow: 50000, Threads: 4},
+		{GridSize: 16, MaxWindow: 50000, UseGEMMLD: true},
+		{GridSize: 16, MaxWindow: 50000, Threads: 2, UseGEMMLD: true},
+	} {
+		rep, err := Scan(ds, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rep.Results {
+			if rep.Results[i].Valid && rep.Results[i].MaxOmega != base.Results[i].MaxOmega {
+				t.Fatalf("config %+v changes results", c)
+			}
+		}
+	}
+}
+
+func TestScanCustomDevices(t *testing.T) {
+	ds := simulated(t, 150, 20, 4)
+	radeon := gpu.RadeonHD8750M
+	zcu := fpga.ZCU102
+	for _, cfg := range []Config{
+		{GridSize: 10, Backend: BackendGPU, GPUDevice: &radeon, GPUKernel: gpu.KernelI},
+		{GridSize: 10, Backend: BackendFPGA, FPGADevice: &zcu},
+	} {
+		if _, err := Scan(ds, cfg); err != nil {
+			t.Fatalf("config %+v: %v", cfg, err)
+		}
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	if _, err := Scan(nil, Config{}); err == nil {
+		t.Error("nil dataset should error")
+	}
+	ds := simulated(t, 50, 10, 5)
+	if _, err := Scan(ds, Config{Backend: Backend(9)}); err == nil {
+		t.Error("unknown backend should error")
+	}
+	if _, err := Scan(ds, Config{MinWindow: -5}); err == nil {
+		t.Error("negative MinWindow should error")
+	}
+	bad := *ds
+	bad.Positions = append([]float64{}, ds.Positions...)
+	bad.Positions[0] = bad.Positions[len(bad.Positions)-1] + 1 // unsorted
+	if _, err := Scan(&bad, Config{}); err == nil {
+		t.Error("invalid dataset should error")
+	}
+}
+
+func TestBackendString(t *testing.T) {
+	if BackendCPU.String() != "cpu" || BackendGPU.String() != "gpu-sim" || BackendFPGA.String() != "fpga-sim" {
+		t.Error("backend names wrong")
+	}
+	if !strings.Contains(Backend(7).String(), "7") {
+		t.Error("unknown backend should include value")
+	}
+}
+
+func TestLoadMS(t *testing.T) {
+	in := "//\nsegsites: 2\npositions: 0.25 0.75\n01\n10\n11\n00\n"
+	ds, err := LoadMS(strings.NewReader(in), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSNPs() != 2 || ds.Samples() != 4 || ds.Positions[0] != 250 {
+		t.Errorf("LoadMS wrong: %d SNPs, %d samples", ds.NumSNPs(), ds.Samples())
+	}
+}
+
+func TestLoadFASTA(t *testing.T) {
+	in := ">a\nACGTA\n>b\nACGTC\n>c\nAAGTA\n"
+	ds, err := LoadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSNPs() != 2 || ds.Samples() != 3 {
+		t.Errorf("LoadFASTA wrong shape: %dx%d", ds.NumSNPs(), ds.Samples())
+	}
+}
+
+func TestLoadVCF(t *testing.T) {
+	in := "##fileformat=VCFv4.2\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\nchr1\t5\t.\tA\tT\t.\t.\t.\tGT\t0|1\n"
+	ds, err := LoadVCF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSNPs() != 1 || ds.Samples() != 2 {
+		t.Errorf("LoadVCF wrong shape: %dx%d", ds.NumSNPs(), ds.Samples())
+	}
+}
+
+func TestEndToEndSweepDetection(t *testing.T) {
+	ds, err := Simulate(SimConfig{
+		SampleSize: 40, Replicates: 1, SegSites: 250, Rho: 80, Seed: 23,
+		Sweep: &SweepSimConfig{Position: 0.5, Alpha: 3000},
+	}, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Scan(ds, Config{GridSize: 40, MaxWindow: 40000, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := rep.Best()
+	if !ok {
+		t.Fatal("no result")
+	}
+	if math.Abs(best.Center-100000) > 40000 {
+		t.Errorf("sweep localized at %.0f, want near 100000", best.Center)
+	}
+}
