@@ -222,6 +222,41 @@ func benchName(threads int) string {
 	return map[int]string{1: "1thread", 2: "2threads", 3: "3threads", 4: "4threads", 8: "8threads"}[threads]
 }
 
+// BenchmarkScanSharded compares the snapshot scheduler (ScanParallel,
+// whose single producer computes all LD serially) against the sharded
+// scheduler (per-shard DP matrices, fully parallel LD) on a grid where
+// LD dominates: 1024 samples make each r² a 16-word popcount while
+// MaxSNPsPerSide caps the ω nested loop, the regime of the paper's
+// Fig. 14 LD-heavy workloads. The snapshot scheduler cannot beat its
+// serial LD floor however many workers it has; sharding can.
+func BenchmarkScanSharded(b *testing.B) {
+	a := benchDataset(b, 1500, 1024, 1601)
+	p := omega.Params{GridSize: 32, MaxWindow: 40000, MaxSNPsPerSide: 50}
+	for _, threads := range []int{1, 4, 8} {
+		b.Run("snapshot/"+benchName(threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := omega.ScanParallel(a, p, ld.Direct, threads); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("sharded/"+benchName(threads), func(b *testing.B) {
+			var st omega.Stats
+			for i := 0; i < b.N; i++ {
+				s, stats, err := omega.ScanSharded(a, p, ld.Direct, threads)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = s
+				st = stats
+			}
+			if st.R2Computed > 0 {
+				b.ReportMetric(100*float64(st.R2Duplicated)/float64(st.R2Computed), "dup%")
+			}
+		})
+	}
+}
+
 // ---- Ablations (DESIGN.md §6) ----
 
 // BenchmarkAblationDataReuse compares the scan with OmegaPlus's

@@ -9,6 +9,13 @@
 //	omegago -input data.ms -format ms -length 1000000 -grid 200 -maxwin 20000
 //	omegago -input chr1.vcf -format vcf -grid 1000 -minwin 1000 -maxwin 50000
 //	omegago -input aln.fa -format fasta -backend gpu -threads 4
+//	omegago -input data.ms -threads 8 -sched sharded -trace scan.trace
+//
+// Multithreaded CPU scans pick a scheduler with -sched: "snapshot"
+// (one producer slides the DP matrix, workers score snapshots),
+// "sharded" (per-shard DP matrices, LD and ω both parallel), or
+// "auto" (sharded once the grid has ≥ 4 regions per thread). Results
+// are identical across schedulers; see docs/ARCHITECTURE.md.
 //
 // Backends: cpu (default), gpu (simulated Tesla K80 / Radeon HD8750M),
 // fpga (simulated Alveo U200 / ZCU102). Accelerator backends print the
@@ -45,6 +52,7 @@ func main() {
 		minwin     = flag.Float64("minwin", 0, "minimum window span in bp")
 		maxwin     = flag.Float64("maxwin", 0, "maximum border distance from the ω position in bp (0 = unbounded)")
 		threads    = flag.Int("threads", 1, "CPU threads (cpu backend)")
+		sched      = flag.String("sched", "auto", "CPU multithreading scheduler: snapshot, sharded, auto")
 		backend    = flag.String("backend", "cpu", "backend: cpu, gpu, fpga")
 		device     = flag.String("device", "", "accelerator device: k80, hd8750m, alveo, zcu102")
 		deviceFile = flag.String("device-file", "", "JSON GPU device profile (overrides -device for the gpu backend)")
@@ -125,6 +133,17 @@ func main() {
 		MaxWindow: *maxwin,
 		Threads:   *threads,
 		UseGEMMLD: *gemmLD,
+		Tracer:    tr,
+	}
+	switch strings.ToLower(*sched) {
+	case "auto":
+		cfg.Sched = omegago.SchedAuto
+	case "snapshot":
+		cfg.Sched = omegago.SchedSnapshot
+	case "sharded":
+		cfg.Sched = omegago.SchedSharded
+	default:
+		log.Fatalf("unknown scheduler %q (want snapshot, sharded, or auto)", *sched)
 	}
 	switch strings.ToLower(*backend) {
 	case "cpu":
@@ -287,14 +306,22 @@ func main() {
 		}
 	}
 
-	fmt.Printf("\n# %d grid positions, %s ω scores, %s r² computed (%s reused)\n",
+	dup := ""
+	if rep.R2Duplicated > 0 {
+		dup = fmt.Sprintf(", %s duplicated at shard boundaries", stats.FormatSI(float64(rep.R2Duplicated)))
+	}
+	fmt.Printf("\n# %d grid positions, %s ω scores, %s r² computed (%s reused%s)\n",
 		len(rep.Results),
 		stats.FormatSI(float64(rep.OmegaScores)),
 		stats.FormatSI(float64(rep.R2Computed)),
-		stats.FormatSI(float64(rep.R2Reused)))
+		stats.FormatSI(float64(rep.R2Reused)), dup)
 	if rep.Backend == omegago.BackendCPU {
-		fmt.Printf("# measured: LD %.3fs, ω %.3fs, wall %.3fs (%s ω/s)\n",
-			rep.LDSeconds, rep.OmegaSeconds, rep.WallSeconds,
+		snap := ""
+		if rep.SnapshotSeconds > 0 {
+			snap = fmt.Sprintf(", snapshot %.3fs", rep.SnapshotSeconds)
+		}
+		fmt.Printf("# measured: LD %.3fs, ω %.3fs%s, wall %.3fs (%s ω/s)\n",
+			rep.LDSeconds, rep.OmegaSeconds, snap, rep.WallSeconds,
 			stats.FormatSI(float64(rep.OmegaScores)/rep.OmegaSeconds))
 	} else {
 		fmt.Printf("# modeled device time: LD %.4fs, ω %.4fs (%s ω/s); host simulation wall %.3fs\n",

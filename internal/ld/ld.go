@@ -105,6 +105,16 @@ func NewComputer(a *seqio.Alignment, engine Engine, workers int) *Computer {
 // Alignment returns the alignment the computer operates on.
 func (c *Computer) Alignment() *seqio.Alignment { return c.aln }
 
+// Clone returns an independent Computer over the same alignment and
+// engine. The immutable per-SNP allele counts are shared (they are
+// computed once, at NewComputer time), but the score counter starts at
+// zero, so each clone tallies only its own r² evaluations. This is what
+// lets omega.ScanSharded give every shard its own LD computer without
+// re-deriving the allele counts or contending on one atomic counter.
+func (c *Computer) Clone() *Computer {
+	return &Computer{aln: c.aln, engine: c.engine, workers: c.workers, ones: c.ones}
+}
+
 // Engine returns the computer's execution engine.
 func (c *Computer) Engine() Engine { return c.engine }
 
@@ -114,10 +124,14 @@ func (c *Computer) Batched() bool {
 	return c.engine == GEMM && !c.aln.Matrix.HasMissing()
 }
 
-// Scores returns the number of r² values computed so far.
+// Scores returns the number of r² values computed so far — the "LD
+// scores" throughput numerator of the paper's Table III.
 func (c *Computer) Scores() int64 { return c.scores.Load() }
 
-// R2 computes r² between SNPs i and j (any order), honouring masks.
+// R2 computes the Equation 1 r² between SNPs i and j (any order),
+// honouring missing-data masks: the joint count comes from one
+// AND+popcount over the bit-packed rows (the OmegaPlus CPU LD path,
+// §III) and feeds RSquaredFromCounts.
 func (c *Computer) R2(i, j int) float64 {
 	c.scores.Add(1)
 	m := c.aln.Matrix

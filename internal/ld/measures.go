@@ -54,8 +54,8 @@ func MeasuresFromCounts(n, ci, cj, cij int) Measures {
 	return m
 }
 
-// Pair computes the full measure set for SNPs i and j, honouring
-// missing-data masks.
+// Pair computes the full quickLD-style measure set (D, D′, and the
+// Equation 1 r²) for SNPs i and j, honouring missing-data masks.
 func (c *Computer) Pair(i, j int) Measures {
 	c.scores.Add(1)
 	n, ci, cj, cij := c.aln.Matrix.PairCounts(i, j)

@@ -39,10 +39,14 @@ func (m *DPMatrix) Lo() int { return m.lo }
 // Hi returns the last covered global SNP index (lo−1 when empty).
 func (m *DPMatrix) Hi() int { return m.hi }
 
-// R2Computed returns the number of M cells filled via the recurrence.
+// R2Computed returns the number of M cells filled via the Equation 3
+// recurrence — one fresh r² evaluation each (the LD workload numerator
+// of the paper's Table III).
 func (m *DPMatrix) R2Computed() int64 { return m.r2Computed }
 
-// R2Reused returns the number of M cells preserved by relocation.
+// R2Reused returns the number of M cells preserved by the relocation
+// optimization instead of recomputed — the saving OmegaPlus's
+// data-reuse design (§III) contributes on overlapping grid regions.
 func (m *DPMatrix) R2Reused() int64 { return m.r2Reused }
 
 // At returns M[i][j] for lo ≤ j ≤ i ≤ hi.
@@ -147,11 +151,22 @@ func (m *DPMatrix) extendTo(hi int) {
 // (an alias of At with self-documenting intent for the ω kernel).
 func (m *DPMatrix) WindowSum(j, i int) float64 { return m.At(i, j) }
 
-// MatrixView is the read-only access the ω kernels need. Both DPMatrix
-// and the View snapshots satisfy it.
+// MatrixView is the read-only access the ω kernels need to the matrix M
+// of Equation 3: At(i, j) = Σ r²(s,t) over j ≤ s < t ≤ i, for a covered
+// window [Lo, Hi] of global SNP indices. ComputeOmega (Equation 2) and
+// BuildKernelInput (the accelerator buffer packing of Fig. 4/5) read
+// the LS/RS/TS sums of every border combination through this interface
+// with three At lookups each. Implemented by DPMatrix itself (serial
+// and sharded scans, which score against the live matrix) and by the
+// immutable View snapshots (the snapshot scheduler, OmegaPlus-G style,
+// where workers score while the producer advances the matrix).
 type MatrixView interface {
+	// At returns M[i][j], the r² sum over all SNP pairs within the
+	// global index range [j, i] (Equation 3), for Lo ≤ j ≤ i ≤ Hi.
 	At(i, j int) float64
+	// Lo returns the first global SNP index covered by the view.
 	Lo() int
+	// Hi returns the last global SNP index covered by the view.
 	Hi() int
 }
 
@@ -165,7 +180,10 @@ type View struct {
 	rows   [][]float64
 }
 
-// Snapshot captures the current window.
+// Snapshot captures the current window as an immutable View. Only the
+// row-header slice is copied (cell storage is written once), so the
+// cost is O(rows), not O(cells); ScanParallel accounts it separately in
+// Stats.SnapshotTime to keep the Fig. 14 LD/ω split clean.
 func (m *DPMatrix) Snapshot() *View {
 	rows := make([][]float64, len(m.rows))
 	copy(rows, m.rows)

@@ -22,7 +22,12 @@ func Score(ls, rs, ts, kl, kr, ln, rn, eps float64) float64 {
 	return num / den
 }
 
-// Result is the outcome of evaluating one grid position.
+// Result is the outcome of evaluating one grid position: the maximum
+// Equation 2 ω over all admissible border combinations — the per-grid-
+// position max-reduction every backend performs (CPU loop, GPU
+// work-group reduction, FPGA pipeline reduction stage) — plus the
+// maximizing window and the score count of Table III's throughput
+// accounting.
 type Result struct {
 	GridIndex int
 	Center    float64 // ω position in bp

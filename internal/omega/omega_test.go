@@ -542,11 +542,13 @@ func TestScanParallelBadThreads(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{Grid: 1, OmegaScores: 2, R2Computed: 3, R2Reused: 4, LDTime: 5, OmegaTime: 6}
-	b := Stats{Grid: 10, OmegaScores: 20, R2Computed: 30, R2Reused: 40, LDTime: 50, OmegaTime: 60}
+	a := Stats{Grid: 1, OmegaScores: 2, R2Computed: 3, R2Reused: 4, R2Duplicated: 5,
+		LDTime: 6, OmegaTime: 7, SnapshotTime: 8}
+	b := Stats{Grid: 10, OmegaScores: 20, R2Computed: 30, R2Reused: 40, R2Duplicated: 50,
+		LDTime: 60, OmegaTime: 70, SnapshotTime: 80}
 	a.Add(b)
 	if a.Grid != 11 || a.OmegaScores != 22 || a.R2Computed != 33 || a.R2Reused != 44 ||
-		a.LDTime != 55 || a.OmegaTime != 66 {
+		a.R2Duplicated != 55 || a.LDTime != 66 || a.OmegaTime != 77 || a.SnapshotTime != 88 {
 		t.Errorf("Add wrong: %+v", a)
 	}
 }

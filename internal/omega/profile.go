@@ -2,8 +2,10 @@ package omega
 
 import "omegago/internal/seqio"
 
-// WindowScore is one border combination's ω value — an element of the
-// full ω surface at a grid position.
+// WindowScore is one border combination's Equation 2 ω value — an
+// element of the full ω surface at a grid position, the quantity a
+// single GPU work-item (§IV) or FPGA pipeline slot (§V) produces
+// before the max-reduction.
 type WindowScore struct {
 	LeftBorder, RightBorder int // global SNP indices
 	Omega                   float64

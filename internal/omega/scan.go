@@ -17,10 +17,21 @@ type Stats struct {
 	OmegaScores int64 // ω values computed
 	R2Computed  int64 // fresh r² values (M cells filled)
 	R2Reused    int64 // M cells preserved by relocation
+	// R2Duplicated counts the subset of R2Computed that a serial scan
+	// would have obtained by relocation instead: the overlap triangles
+	// each ScanSharded shard recomputes at its left boundary because it
+	// owns a private DP matrix. Zero for serial and snapshot scans; it
+	// keeps the Table III reuse accounting honest under sharding.
+	R2Duplicated int64
 	// LDTime covers r² computation and the DP update of M; OmegaTime
 	// covers the ω nested loop. Summed across workers for parallel scans.
 	LDTime    time.Duration
 	OmegaTime time.Duration
+	// SnapshotTime is the cost of copying DP-matrix row headers for the
+	// snapshot scheduler's immutable views (ScanParallel). Kept separate
+	// from LDTime so the Fig. 14 LD/ω split is not inflated by scheduling
+	// overhead that the paper's serial profile does not contain.
+	SnapshotTime time.Duration
 }
 
 // Add accumulates other into s.
@@ -29,14 +40,20 @@ func (s *Stats) Add(other Stats) {
 	s.OmegaScores += other.OmegaScores
 	s.R2Computed += other.R2Computed
 	s.R2Reused += other.R2Reused
+	s.R2Duplicated += other.R2Duplicated
 	s.LDTime += other.LDTime
 	s.OmegaTime += other.OmegaTime
+	s.SnapshotTime += other.SnapshotTime
 }
 
-// Scan runs the complete OmegaPlus workflow serially: for every grid
-// position, slide the DP matrix to the region (computing LD for newly
-// entering SNPs, relocating the overlap) and score all admissible window
-// combinations.
+// Scan runs the complete OmegaPlus workflow (§III of the paper)
+// serially: for every grid position, slide the DP matrix of Equation 3
+// to the region (computing Equation 1 r² for newly entering SNPs,
+// relocating the overlap) and score all admissible window combinations
+// with Equation 2. This is the single-core reference whose timings are
+// the CPU baselines of Fig. 14 and Table III, and whose results every
+// other execution path — parallel schedulers and simulated
+// accelerators alike — must reproduce bit-identically.
 func Scan(a *seqio.Alignment, p Params, engine ld.Engine, ldWorkers int) ([]Result, Stats, error) {
 	regions, err := BuildRegions(a, p)
 	if err != nil {
@@ -75,12 +92,17 @@ func scanRegions(comp *ld.Computer, a *seqio.Alignment, regions []Region, p Para
 	return results, st
 }
 
-// ScanParallel parallelizes the ω computation across grid positions in
-// the style of the generic multithreaded OmegaPlus (OmegaPlus-G): a
-// producer slides the DP matrix through the regions serially (LD and the
-// M update are computed once), taking an immutable snapshot per region,
-// and `threads` workers score the snapshots concurrently. OmegaTime is
-// summed across workers.
+// ScanParallel is the snapshot scheduler: it parallelizes the ω
+// computation (Equation 2) across grid positions in the style of the
+// generic multithreaded OmegaPlus (OmegaPlus-G, discussed in §III): a
+// producer slides the DP matrix through the regions serially (LD and
+// the M update are computed once, with maximal Equation 3 reuse),
+// taking an immutable snapshot per region, and `threads` workers score
+// the snapshots concurrently. OmegaTime is summed across workers.
+//
+// Because the producer is alone, LD throughput does not scale with
+// threads — the bottleneck ScanSharded exists to remove on the
+// LD-dominated workloads of Fig. 14.
 func ScanParallel(a *seqio.Alignment, p Params, engine ld.Engine, threads int) ([]Result, Stats, error) {
 	if threads < 1 {
 		return nil, Stats{}, fmt.Errorf("omega: thread count %d < 1", threads)
@@ -130,8 +152,10 @@ func ScanParallel(a *seqio.Alignment, p Params, engine ld.Engine, threads int) (
 		}
 		t0 := time.Now()
 		m.Advance(reg.Lo, reg.Hi)
-		view := m.Snapshot()
 		st.LDTime += time.Since(t0)
+		t1 := time.Now()
+		view := m.Snapshot()
+		st.SnapshotTime += time.Since(t1)
 		jobs <- job{view: view, reg: reg, slot: i}
 	}
 	close(jobs)

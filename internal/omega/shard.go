@@ -1,0 +1,205 @@
+package omega
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"omegago/internal/ld"
+	"omegago/internal/seqio"
+	"omegago/internal/trace"
+)
+
+// shardSpan is a contiguous run of grid regions [Lo, Hi) owned by one
+// worker. Contiguity is what lets each shard keep a private DP matrix:
+// within a shard the region windows are monotone (BuildRegions
+// guarantees monotonicity over the whole grid, hence over any
+// contiguous slice of it), so the relocation optimization of Equation 3
+// applies shard-locally exactly as it does serially.
+type shardSpan struct {
+	Lo, Hi int // region index range, half-open
+}
+
+// triangleCells returns the number of M cells computed for a fresh
+// window of w SNPs: one r² per strictly-sub-diagonal cell, C(w, 2).
+func triangleCells(w int) int64 {
+	if w < 2 {
+		return 0
+	}
+	return int64(w) * int64(w-1) / 2
+}
+
+// estimateCellWork returns the serial marginal M-cell cost of every
+// region: the number of DP cells (one fresh r² each, Equation 3) that a
+// single sliding matrix computes when it advances to that region's
+// window. This is the LD/DP-stage workload Fig. 14 of the paper shows
+// dominating many scans, so it is the quantity shard balancing targets.
+func estimateCellWork(regions []Region) []int64 {
+	work := make([]int64, len(regions))
+	pLo, pHi := 0, -1 // empty window
+	for i, reg := range regions {
+		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {
+			continue // skipped by the scan: no Advance, no cells
+		}
+		w := reg.Hi - reg.Lo + 1
+		if pHi < pLo || reg.Lo > pHi { // fresh fill (no overlap)
+			work[i] = triangleCells(w)
+		} else { // relocation retains the overlap triangle
+			work[i] = triangleCells(w) - triangleCells(pHi-reg.Lo+1)
+		}
+		pLo, pHi = reg.Lo, reg.Hi
+	}
+	return work
+}
+
+// partitionRegions splits the grid into at most `threads` contiguous
+// shards balanced by estimated M-cell work. Greedy fair-share cutting:
+// a shard closes once it has accumulated its share of the remaining
+// work, or when exactly one region per remaining shard is left. Every
+// shard holds at least one region, so grids smaller than the thread
+// count simply produce fewer shards.
+func partitionRegions(regions []Region, threads int) []shardSpan {
+	n := len(regions)
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		return []shardSpan{{Lo: 0, Hi: n}}
+	}
+	work := estimateCellWork(regions)
+	var total int64
+	for _, w := range work {
+		total += w
+	}
+	spans := make([]shardSpan, 0, threads)
+	start := 0
+	var acc, done int64
+	for i := 0; i < n; i++ {
+		acc += work[i]
+		shardsAfter := threads - len(spans) - 1
+		regionsAfter := n - i - 1
+		if shardsAfter > 0 && regionsAfter >= shardsAfter &&
+			(acc*int64(shardsAfter+1) >= total-done || regionsAfter == shardsAfter) {
+			spans = append(spans, shardSpan{Lo: start, Hi: i + 1})
+			done += acc
+			acc = 0
+			start = i + 1
+		}
+	}
+	return append(spans, shardSpan{Lo: start, Hi: n})
+}
+
+// ScanSharded runs the scan with the sharded scheduler: the grid is
+// partitioned into contiguous shards balanced by estimated M-cell work
+// (Equation 3 cells, the LD/DP workload of Fig. 14), and every shard's
+// worker owns a private DP matrix it advances independently — both the
+// LD/DP stage and the ω nested loop (Equation 2) run fully in parallel.
+//
+// This removes the serial-producer bottleneck of ScanParallel
+// (OmegaPlus-G style), whose single thread slides the one shared matrix
+// and caps speedup at the producer's LD throughput. The price is a
+// small amount of duplicated r² at shard boundaries: each shard's first
+// window recomputes the overlap triangle a serial matrix would have
+// relocated. Stats.R2Duplicated reports exactly that overhead.
+//
+// Results are bit-identical to the serial Scan for every grid position:
+// DP cells do not depend on the relocation history (each cell is the
+// same recurrence over the same r² values), and ComputeOmega reads the
+// same cells in the same order.
+func ScanSharded(a *seqio.Alignment, p Params, engine ld.Engine, threads int) ([]Result, Stats, error) {
+	return ScanShardedTraced(a, p, engine, threads, nil)
+}
+
+// ScanShardedTraced is ScanSharded with per-shard spans emitted through
+// tr (nil disables tracing): each shard gets its own trace track
+// carrying one summary span plus per-region "ld" and "omega" spans, so
+// the LD/ω overlap across shards is visible in Perfetto.
+func ScanShardedTraced(a *seqio.Alignment, p Params, engine ld.Engine, threads int, tr *trace.Tracer) ([]Result, Stats, error) {
+	if threads < 1 {
+		return nil, Stats{}, fmt.Errorf("omega: thread count %d < 1", threads)
+	}
+	regions, err := BuildRegions(a, p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	p = p.WithDefaults()
+	comp := ld.NewComputer(a, engine, 1)
+	shards := partitionRegions(regions, threads)
+	if len(shards) <= 1 {
+		results, stats := scanRegions(comp, a, regions, p)
+		return results, stats, nil
+	}
+	results := make([]Result, len(regions))
+	perShard := make([]Stats, len(shards))
+	var wg sync.WaitGroup
+	for s, sp := range shards {
+		wg.Add(1)
+		go func(s int, sp shardSpan) {
+			defer wg.Done()
+			perShard[s] = scanShard(comp.Clone(), a, regions, sp, p, results, tr, s)
+		}(s, sp)
+	}
+	wg.Wait()
+	var st Stats
+	for _, s := range perShard {
+		st.Add(s)
+	}
+	return results, st, nil
+}
+
+// scanShard evaluates one shard with a private DP matrix, writing
+// results into their global slots. track selects the shard's trace
+// lane; lane 1 is reserved for the caller's top-level phases.
+func scanShard(comp *ld.Computer, a *seqio.Alignment, regions []Region, sp shardSpan, p Params, out []Result, tr *trace.Tracer, track int) Stats {
+	var st Stats
+	m := NewDPMatrix(comp)
+	lane := track + 2
+	shardDone := tr.BeginOn(lane, fmt.Sprintf("shard %d", track))
+
+	// Serial-predecessor window: the last region before the shard that
+	// would have advanced a serial matrix. Its overlap with the shard's
+	// first window is the duplicated boundary triangle.
+	prevHi := -1
+	for i := sp.Lo - 1; i >= 0; i-- {
+		r := regions[i]
+		if r.Lo <= r.Hi && r.K >= r.Lo && r.K < r.Hi {
+			prevHi = r.Hi
+			break
+		}
+	}
+	first := true
+	for i := sp.Lo; i < sp.Hi; i++ {
+		reg := regions[i]
+		st.Grid++
+		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {
+			out[i] = Result{GridIndex: reg.Index, Center: reg.Center}
+			continue
+		}
+		if first {
+			st.R2Duplicated = triangleCells(prevHi - reg.Lo + 1)
+			first = false
+		}
+		ldDone := tr.BeginOn(lane, "ld")
+		t0 := time.Now()
+		m.Advance(reg.Lo, reg.Hi)
+		st.LDTime += time.Since(t0)
+		ldDone(nil)
+
+		omegaDone := tr.BeginOn(lane, "omega")
+		t1 := time.Now()
+		res := ComputeOmega(m, a, reg, p)
+		st.OmegaTime += time.Since(t1)
+		omegaDone(nil)
+		st.OmegaScores += res.Scores
+		out[i] = res
+	}
+	st.R2Computed = m.R2Computed()
+	st.R2Reused = m.R2Reused()
+	shardDone(map[string]any{
+		"regions":       sp.Hi - sp.Lo,
+		"r2_computed":   st.R2Computed,
+		"r2_reused":     st.R2Reused,
+		"r2_duplicated": st.R2Duplicated,
+	})
+	return st
+}

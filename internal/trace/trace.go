@@ -18,6 +18,11 @@ type Span struct {
 	Name     string
 	Start    time.Time
 	Duration time.Duration
+	// Track is the logical thread lane the span renders on in the trace
+	// viewer (Chrome "tid"). Zero means the default lane. Concurrent
+	// workers — e.g. the shards of omega.ScanSharded — should use
+	// distinct tracks so their LD/ω overlap is visible in Perfetto.
+	Track int
 	// Args carries free-form metadata shown in the trace viewer.
 	Args map[string]any
 }
@@ -47,9 +52,16 @@ func (t *Tracer) Region(name string, fn func()) {
 	done(nil)
 }
 
-// Begin opens a span; the returned func closes it, optionally attaching
-// metadata. No-op on a nil tracer.
+// Begin opens a span on the default track; the returned func closes it,
+// optionally attaching metadata. No-op on a nil tracer.
 func (t *Tracer) Begin(name string) func(args map[string]any) {
+	return t.BeginOn(0, name)
+}
+
+// BeginOn opens a span on an explicit track (Chrome "tid" lane). Spans
+// from concurrent workers should use distinct tracks so they render as
+// parallel lanes instead of overlapping on one. No-op on a nil tracer.
+func (t *Tracer) BeginOn(track int, name string) func(args map[string]any) {
 	if t == nil {
 		return func(map[string]any) {}
 	}
@@ -57,7 +69,7 @@ func (t *Tracer) Begin(name string) func(args map[string]any) {
 	return func(args map[string]any) {
 		t.mu.Lock()
 		t.spans = append(t.spans, Span{
-			Name: name, Start: start, Duration: time.Since(start), Args: args,
+			Name: name, Start: start, Duration: time.Since(start), Track: track, Args: args,
 		})
 		t.mu.Unlock()
 	}
@@ -96,13 +108,17 @@ func (t *Tracer) ExportChromeJSON(w io.Writer) error {
 	t.mu.Lock()
 	events := make([]chromeEvent, len(t.spans))
 	for i, s := range t.spans {
+		tid := s.Track
+		if tid == 0 {
+			tid = 1
+		}
 		events[i] = chromeEvent{
 			Name: s.Name,
 			Ph:   "X",
 			Ts:   float64(s.Start.Sub(t.epoch).Microseconds()),
 			Dur:  float64(s.Duration.Microseconds()),
 			Pid:  1,
-			Tid:  1,
+			Tid:  tid,
 			Args: s.Args,
 		}
 	}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"encoding/json"
 	"strings"
 	"sync"
@@ -99,4 +100,41 @@ func TestEmptySummary(t *testing.T) {
 	if NewTracer().Summary() != "(no spans)\n" {
 		t.Error("empty summary wrong")
 	}
+}
+
+func TestBeginOnTracks(t *testing.T) {
+	tr := NewTracer()
+	tr.BeginOn(3, "shard-span")(map[string]any{"k": 1})
+	tr.Begin("default-span")(nil)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(spans))
+	}
+	if spans[0].Track != 3 || spans[1].Track != 0 {
+		t.Errorf("tracks %d/%d, want 3/0", spans[0].Track, spans[1].Track)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.ExportChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	tids := map[string]float64{}
+	for _, e := range events {
+		tids[e["name"].(string)] = e["tid"].(float64)
+	}
+	if tids["shard-span"] != 3 {
+		t.Errorf("shard-span tid = %v, want 3", tids["shard-span"])
+	}
+	if tids["default-span"] != 1 {
+		t.Errorf("default-span tid = %v, want 1 (default lane)", tids["default-span"])
+	}
+
+	// nil tracer: BeginOn must be a safe no-op.
+	var nilTr *Tracer
+	nilTr.BeginOn(2, "x")(nil)
 }

@@ -39,7 +39,52 @@ import (
 	"omegago/internal/omega"
 	"omegago/internal/seqio"
 	"omegago/internal/sfs"
+	"omegago/internal/trace"
 )
+
+// Tracer collects hierarchical timing spans of a scan and exports them
+// in the Chrome trace-event format (see cmd/omegago's -trace flag). Set
+// Config.Tracer to capture per-phase — and, with the sharded scheduler,
+// per-shard — spans of a scan.
+type Tracer = trace.Tracer
+
+// NewTracer starts a Tracer whose timestamps are relative to now.
+func NewTracer() *Tracer { return trace.NewTracer() }
+
+// Scheduler selects how the CPU backend parallelizes a multithreaded
+// scan. The schedulers differ only in wall-clock behaviour: results are
+// bit-identical across all of them (and to the serial scan).
+type Scheduler int
+
+const (
+	// SchedAuto picks SchedSharded when the grid is large enough to
+	// amortize the per-shard boundary recomputation (grid ≥ 4·threads),
+	// and SchedSnapshot otherwise. The default.
+	SchedAuto Scheduler = iota
+	// SchedSnapshot is the OmegaPlus-G style producer/consumer pipeline
+	// (omega.ScanParallel): one producer slides a single DP matrix and
+	// workers score immutable snapshots. LD remains serial.
+	SchedSnapshot
+	// SchedSharded partitions the grid into contiguous shards with a
+	// private DP matrix each (omega.ScanSharded): LD and ω both run in
+	// parallel, at the cost of duplicated r² at shard boundaries
+	// (reported as Report.R2Duplicated).
+	SchedSharded
+)
+
+// String implements fmt.Stringer.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedAuto:
+		return "auto"
+	case SchedSnapshot:
+		return "snapshot"
+	case SchedSharded:
+		return "sharded"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
 
 // Dataset is a binary SNP alignment over a genomic region (positions in
 // base pairs plus a bit-packed SNP matrix).
@@ -98,8 +143,14 @@ type Config struct {
 	// Threads parallelizes the CPU backend across grid positions
 	// (default 1).
 	Threads int
+	// Sched selects the CPU multithreading scheduler (default SchedAuto;
+	// ignored when Threads ≤ 1 or the backend is not BackendCPU).
+	Sched Scheduler
 	// Backend selects the engine (default BackendCPU).
 	Backend Backend
+	// Tracer, when non-nil, receives timing spans of the scan (per shard
+	// with the sharded scheduler).
+	Tracer *Tracer
 	// GPU options (BackendGPU).
 	GPUDevice *gpu.Device // default Tesla K80
 	GPUKernel gpu.Kind    // default Dynamic
@@ -133,18 +184,43 @@ type Report struct {
 	OmegaScores int64
 	R2Computed  int64
 	R2Reused    int64
+	// R2Duplicated counts r² values recomputed at shard boundaries by
+	// the sharded scheduler (a subset of R2Computed); zero otherwise.
+	R2Duplicated int64
 	// LDSeconds / OmegaSeconds split the runtime between the two phases.
 	// For the CPU backend these are measured; for accelerator backends
 	// they are modeled device times (the measured host wall time of the
 	// functional simulation is WallSeconds).
 	LDSeconds    float64
 	OmegaSeconds float64
+	// SnapshotSeconds is the DP-matrix snapshot-copying overhead of the
+	// snapshot scheduler, kept out of LDSeconds so the Fig. 14 LD/ω
+	// split stays comparable to the serial profile.
+	SnapshotSeconds float64
 	// WallSeconds is the measured wall-clock time of the scan.
 	WallSeconds float64
 }
 
 // Best returns the grid position with the highest ω.
 func (r *Report) Best() (Result, bool) { return omega.MaxResult(r.Results) }
+
+// useSharded resolves a Scheduler to a concrete strategy. Auto picks
+// sharded once the grid holds at least four regions per worker — enough
+// regions per shard that the boundary triangle each shard recomputes is
+// amortized by the relocation reuse inside the shard.
+func useSharded(s Scheduler, gridSize, threads int) bool {
+	if threads <= 1 {
+		return false
+	}
+	switch s {
+	case SchedSharded:
+		return true
+	case SchedSnapshot:
+		return false
+	default:
+		return gridSize >= 4*threads
+	}
+}
 
 // Scan runs LD-based selective sweep detection over a dataset.
 func Scan(ds *Dataset, cfg Config) (*Report, error) {
@@ -169,15 +245,24 @@ func Scan(ds *Dataset, cfg Config) (*Report, error) {
 		if threads == 0 {
 			threads = 1
 		}
-		results, st, err := omega.ScanParallel(ds, p, engine, threads)
+		var results []Result
+		var st omega.Stats
+		var err error
+		if useSharded(cfg.Sched, p.WithDefaults().GridSize, threads) {
+			results, st, err = omega.ScanShardedTraced(ds, p, engine, threads, cfg.Tracer)
+		} else {
+			results, st, err = omega.ScanParallel(ds, p, engine, threads)
+		}
 		if err != nil {
 			return nil, err
 		}
 		return &Report{
 			Results: results, Backend: cfg.Backend,
 			OmegaScores: st.OmegaScores, R2Computed: st.R2Computed, R2Reused: st.R2Reused,
-			LDSeconds: st.LDTime.Seconds(), OmegaSeconds: st.OmegaTime.Seconds(),
-			WallSeconds: time.Since(t0).Seconds(),
+			R2Duplicated: st.R2Duplicated,
+			LDSeconds:    st.LDTime.Seconds(), OmegaSeconds: st.OmegaTime.Seconds(),
+			SnapshotSeconds: st.SnapshotTime.Seconds(),
+			WallSeconds:     time.Since(t0).Seconds(),
 		}, nil
 
 	case BackendGPU:
