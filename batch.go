@@ -1,0 +1,150 @@
+package omegago
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// BatchResult is the outcome of one dataset in a ScanBatch call.
+type BatchResult struct {
+	// Index is the dataset's position in the input slice (0-based; for
+	// LoadMSAll inputs, replicate Index+1 of the ms stream).
+	Index int
+	// Report holds the scan outcome; nil when Skipped or Err is set.
+	Report *Report
+	// Err is the scan failure of this dataset alone. One failing
+	// replicate does not abort the batch.
+	Err error
+	// Skipped marks a nil input dataset (e.g. an ms replicate with zero
+	// segregating sites, the LoadMSAll convention).
+	Skipped bool
+}
+
+// BatchReport aggregates a ScanBatch run.
+type BatchReport struct {
+	// Replicates holds one entry per input dataset, in input order.
+	Replicates []BatchResult
+	// Scanned / Skipped / Failed partition len(Replicates).
+	Scanned int
+	Skipped int
+	Failed  int
+	// Aggregated work counters summed over the scanned replicates.
+	OmegaScores  int64
+	R2Computed   int64
+	R2Reused     int64
+	R2Duplicated int64
+	// LDSeconds / OmegaSeconds are summed across replicates (and across
+	// workers within each replicate); WallSeconds is the measured
+	// wall-clock of the whole batch, so LDSeconds+OmegaSeconds can
+	// exceed it when workers overlap.
+	LDSeconds    float64
+	OmegaSeconds float64
+	WallSeconds  float64
+}
+
+// Best returns the highest-ω candidate across every scanned replicate
+// and the index of the replicate holding it.
+func (b *BatchReport) Best() (Result, int, bool) {
+	best := Result{}
+	idx := -1
+	for _, item := range b.Replicates {
+		if item.Report == nil {
+			continue
+		}
+		if r, ok := item.Report.Best(); ok && (idx < 0 || r.MaxOmega > best.MaxOmega) {
+			best, idx = r, item.Index
+		}
+	}
+	return best, idx, idx >= 0
+}
+
+// batchWorkers resolves the worker-pool size for n datasets.
+func (c Config) batchWorkers(n int) int {
+	w := c.BatchWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ScanBatch scans many datasets — the multi-replicate shape LoadMSAll
+// returns — through a pool of Config.BatchWorkers concurrent workers,
+// each running the full ScanContext pipeline on the configured backend.
+//
+// Error isolation is per replicate: a dataset that fails to scan
+// records its error in its BatchResult and the rest of the batch
+// proceeds. Nil datasets are skipped (LoadMSAll yields nil for
+// replicates with no segregating sites). Cancelling ctx aborts the
+// whole batch promptly with ctx.Err(); in-flight scans stop within one
+// grid position of work and no goroutines are leaked.
+func ScanBatch(ctx context.Context, batch []*Dataset, cfg Config) (*BatchReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("omegago: empty batch")
+	}
+	t0 := time.Now()
+	rep := &BatchReport{Replicates: make([]BatchResult, len(batch))}
+	workers := cfg.batchWorkers(len(batch))
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				ds := batch[i]
+				if ds == nil {
+					rep.Replicates[i] = BatchResult{Index: i, Skipped: true}
+					continue
+				}
+				r, err := ScanContext(ctx, ds, cfg)
+				rep.Replicates[i] = BatchResult{Index: i, Report: r, Err: err}
+			}
+		}()
+	}
+feed:
+	for i := range batch {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	for _, item := range rep.Replicates {
+		switch {
+		case item.Skipped:
+			rep.Skipped++
+		case item.Err != nil:
+			rep.Failed++
+		default:
+			rep.Scanned++
+			r := item.Report
+			rep.OmegaScores += r.OmegaScores
+			rep.R2Computed += r.R2Computed
+			rep.R2Reused += r.R2Reused
+			rep.R2Duplicated += r.R2Duplicated
+			rep.LDSeconds += r.LDSeconds
+			rep.OmegaSeconds += r.OmegaSeconds
+		}
+	}
+	rep.WallSeconds = time.Since(t0).Seconds()
+	return rep, nil
+}

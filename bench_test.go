@@ -10,6 +10,7 @@
 package omegago_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -255,6 +256,52 @@ func BenchmarkScanSharded(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkScanBatch sweeps the batch scanner across replicate counts
+// and worker-pool sizes: the multi-dataset throughput path that serving
+// many concurrent studies rides on. On multicore hosts the worker pool
+// overlaps whole replicate scans; on one core it measures pool overhead.
+func BenchmarkScanBatch(b *testing.B) {
+	for _, replicates := range []int{4, 16} {
+		reps, err := mssim.Simulate(mssim.Config{
+			SampleSize: 32, Replicates: replicates, SegSites: 300, Rho: 60, Seed: 1700 + int64(replicates),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := make([]*omegago.Dataset, len(reps))
+		for i, rep := range reps {
+			if batch[i], err = rep.ToAlignment(500000); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(benchBatchName(replicates, workers), func(b *testing.B) {
+				cfg := omegago.Config{GridSize: 25, MaxWindow: 40000, BatchWorkers: workers}
+				var scores int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err := omegago.ScanBatch(context.Background(), batch, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Failed > 0 {
+						b.Fatalf("%d replicates failed", rep.Failed)
+					}
+					scores = rep.OmegaScores
+				}
+				perOp := b.Elapsed().Seconds() / float64(b.N)
+				b.ReportMetric(float64(replicates)/perOp, "replicates/s")
+				b.ReportMetric(float64(scores)/perOp/1e6, "Momega/s")
+			})
+		}
+	}
+}
+
+func benchBatchName(replicates, workers int) string {
+	return map[int]string{4: "4reps", 16: "16reps"}[replicates] + "/" +
+		map[int]string{1: "1worker", 4: "4workers", 8: "8workers"}[workers]
 }
 
 // ---- Ablations (DESIGN.md §6) ----

@@ -92,11 +92,20 @@ func TestCLIPipeline(t *testing.T) {
 		t.Errorf("ms scan candidate %q vs VCF scan %q", msBest, vcfBest)
 	}
 
-	// 6. Batch mode over both replicates.
+	// 6. Batch mode over both replicates: -replicate all and the
+	// -all-replicates worker pool must produce the same summary rows.
 	batch := run("omegago", "-input", msPath, "-length", "200000",
 		"-grid", "10", "-maxwin", "40000", "-replicate", "all")
 	if strings.Count(batch, "\n") < 4 || !strings.Contains(batch, "batch scan: 2 replicates") {
 		t.Fatalf("batch output malformed:\n%s", batch)
+	}
+	if !strings.Contains(batch, "2 scanned, 0 skipped, 0 failed") {
+		t.Fatalf("batch aggregate footer missing:\n%s", batch)
+	}
+	pooled := run("omegago", "-input", msPath, "-length", "200000",
+		"-grid", "10", "-maxwin", "40000", "-all-replicates", "-batch-workers", "2")
+	if replicateRows(batch) != replicateRows(pooled) {
+		t.Errorf("-all-replicates rows diverge from -replicate all:\n%s\nvs\n%s", batch, pooled)
 	}
 
 	// 7. Accelerator backends agree through the CLI too.
@@ -105,6 +114,30 @@ func TestCLIPipeline(t *testing.T) {
 	if omegaField(t, candidateLine(t, gpuScan)) != omegaField(t, msBest) {
 		t.Error("GPU backend CLI scan diverged")
 	}
+
+	// 8. CPU-only flags on an accelerator backend warn on stderr instead
+	// of being swallowed silently.
+	warned := run("omegago", "-input", msPath, "-length", "200000",
+		"-grid", "10", "-maxwin", "40000", "-quiet", "-top", "1",
+		"-backend", "fpga", "-sched", "sharded", "-threads", "4")
+	for _, flag := range []string{"-sched", "-threads"} {
+		if !strings.Contains(warned, "warning") || !strings.Contains(warned, flag) {
+			t.Errorf("no stderr warning for %s with -backend fpga:\n%s", flag, warned)
+		}
+	}
+}
+
+// replicateRows extracts the per-replicate data rows of a batch scan
+// (lines not starting with '#'), which must not depend on the batch
+// execution strategy.
+func replicateRows(out string) string {
+	var rows []string
+	for _, line := range strings.Split(out, "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			rows = append(rows, line)
+		}
+	}
+	return strings.Join(rows, "\n")
 }
 
 func candidateLine(t *testing.T, out string) string {

@@ -23,11 +23,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -63,6 +65,9 @@ func main() {
 		reportOut  = flag.String("report", "", "write an OmegaPlus-style report file to this path")
 		asJSON     = flag.Bool("json", false, "print results as JSON instead of the tab layout")
 		repl       = flag.String("replicate", "1", "ms replicate to scan: a 1-based index, or 'all' for a per-replicate summary")
+		allReps    = flag.Bool("all-replicates", false, "scan every ms replicate through the concurrent batch pipeline (same as -replicate all)")
+		batchWork  = flag.Int("batch-workers", 0, "concurrent replicate scans in batch mode (0 = GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 0, "abort the scan after this duration, e.g. 30s (0 = no limit)")
 		htmlOut    = flag.String("html", "", "write a self-contained HTML report (SVG ω landscape) to this path")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run's phases to this path")
 	)
@@ -82,6 +87,10 @@ func main() {
 		log.Fatal(err)
 	}
 	defer closer()
+
+	if *allReps {
+		*repl = "all"
+	}
 
 	loadDone := tr.Begin("load+parse")
 	var ds *omegago.Dataset
@@ -197,25 +206,73 @@ func main() {
 	default:
 		log.Fatalf("unknown backend %q (want cpu, gpu, or fpga)", *backend)
 	}
+	cfg.BatchWorkers = *batchWork
+
+	// CPU-only flags silently do nothing on accelerator backends; say so
+	// on stderr instead of swallowing them.
+	if cfg.Backend != omegago.BackendCPU {
+		set := map[string]bool{}
+		flag.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+		for _, name := range []string{"sched", "gemm-ld"} {
+			if set[name] {
+				log.Printf("warning: -%s only applies to the cpu backend; ignored with -backend %s", name, *backend)
+			}
+		}
+		if set["threads"] && cfg.Backend == omegago.BackendFPGA {
+			log.Printf("warning: -threads is ignored by the fpga backend")
+		}
+	}
+	if *allReps && strings.ToLower(*format) != "ms" {
+		log.Printf("warning: -all-replicates only applies to the ms format; scanning the single %s dataset", *format)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if batch != nil {
-		fmt.Printf("# omegago batch scan: %d replicates, backend=%s\n", len(batch), cfg.Backend)
+		workers := cfg.BatchWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(batch) {
+			workers = len(batch)
+		}
+		fmt.Printf("# omegago batch scan: %d replicates, backend=%s, workers=%d\n",
+			len(batch), cfg.Backend, workers)
+		scanDone := tr.Begin("batch-scan")
+		brep, err := omegago.ScanBatch(ctx, batch, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scanDone(map[string]any{"replicates": len(batch), "workers": workers})
 		fmt.Println("# replicate\tsnps\tbest_position\tmax_omega")
-		for i, d := range batch {
-			if d == nil {
+		for i, item := range brep.Replicates {
+			switch {
+			case item.Skipped:
 				fmt.Printf("%d\t0\t-\t-\n", i+1)
-				continue
+			case item.Err != nil:
+				log.Printf("warning: replicate %d failed: %v", i+1, item.Err)
+				fmt.Printf("%d\t%d\t-\t-\n", i+1, batch[i].NumSNPs())
+			default:
+				best, ok := item.Report.Best()
+				if !ok {
+					fmt.Printf("%d\t%d\t-\t-\n", i+1, batch[i].NumSNPs())
+					continue
+				}
+				fmt.Printf("%d\t%d\t%.2f\t%.6f\n", i+1, batch[i].NumSNPs(), best.Center, best.MaxOmega)
 			}
-			r, err := omegago.Scan(d, cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			best, ok := r.Best()
-			if !ok {
-				fmt.Printf("%d\t%d\t-\t-\n", i+1, d.NumSNPs())
-				continue
-			}
-			fmt.Printf("%d\t%d\t%.2f\t%.6f\n", i+1, d.NumSNPs(), best.Center, best.MaxOmega)
+		}
+		fmt.Printf("# %d scanned, %d skipped, %d failed; %s ω scores, %s r² computed; wall %.3fs\n",
+			brep.Scanned, brep.Skipped, brep.Failed,
+			stats.FormatSI(float64(brep.OmegaScores)), stats.FormatSI(float64(brep.R2Computed)),
+			brep.WallSeconds)
+		if best, idx, ok := brep.Best(); ok {
+			fmt.Printf("# batch best: replicate %d, position %.2f, ω = %.4f\n",
+				idx+1, best.Center, best.MaxOmega)
 		}
 		return
 	}
@@ -223,8 +280,11 @@ func main() {
 	fmt.Printf("# omegago scan: %d SNPs, %d samples, backend=%s\n",
 		ds.NumSNPs(), ds.Samples(), cfg.Backend)
 	scanDone := tr.Begin("scan")
-	rep, err := omegago.Scan(ds, cfg)
+	rep, err := omegago.ScanContext(ctx, ds, cfg)
 	if err != nil {
+		if ctx.Err() != nil {
+			log.Fatalf("scan aborted after -timeout %v: %v", *timeout, err)
+		}
 		log.Fatal(err)
 	}
 	scanDone(map[string]any{

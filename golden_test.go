@@ -1,8 +1,11 @@
 package omegago
 
 import (
+	"context"
 	"math"
 	"testing"
+
+	"omegago/internal/exec"
 )
 
 // TestGoldenScanRegression pins the complete pipeline — simulator,
@@ -69,22 +72,60 @@ func TestGoldenScanRegression(t *testing.T) {
 		t.Error("result[0] should be invalid (left side below MinSNPs)")
 	}
 
-	// The pinned values must also hold through every backend and thread
-	// count (bit-identical contract).
-	for _, cfg := range []Config{
-		{GridSize: 25, MinWindow: 4000, MaxWindow: 50000, Threads: 3},
-		{GridSize: 25, MinWindow: 4000, MaxWindow: 50000, UseGEMMLD: true},
-		{GridSize: 25, MinWindow: 4000, MaxWindow: 50000, Backend: BackendGPU},
-		{GridSize: 25, MinWindow: 4000, MaxWindow: 50000, Backend: BackendFPGA},
-	} {
-		r, err := Scan(ds, cfg)
-		if err != nil {
-			t.Fatal(err)
+	// The pinned values must also hold bit-identically through every
+	// backend in the execution registry (plus the CPU scheduler and LD
+	// engine variants): one table-driven loop replaces the per-backend
+	// comparisons, and a backend added to the registry later joins the
+	// contract automatically via the exec.Backends() sweep below.
+	p := Config{GridSize: 25, MinWindow: 4000, MaxWindow: 50000}.params().WithDefaults()
+	regCases := []struct {
+		name    string
+		backend string
+		opts    exec.Options
+	}{
+		{"cpu/serial", "cpu", exec.Options{}},
+		{"cpu/snapshot-3threads", "cpu", exec.Options{Threads: 3, Sched: exec.SchedSnapshot}},
+		{"cpu/sharded-3threads", "cpu", exec.Options{Threads: 3, Sched: exec.SchedSharded}},
+		{"cpu/gemm-ld", "cpu", exec.Options{UseGEMMLD: true}},
+		{"gpu-sim", "gpu-sim", exec.Options{}},
+		{"fpga-sim", "fpga-sim", exec.Options{}},
+	}
+	for _, b := range exec.Backends() {
+		covered := false
+		for _, c := range regCases {
+			covered = covered || c.backend == b.Name()
 		}
-		b, _ := r.Best()
-		if b.MaxOmega != wantOmega || b.Center != wantCenter {
-			t.Errorf("config %+v diverges from the golden values", cfg)
+		if !covered {
+			regCases = append(regCases, struct {
+				name    string
+				backend string
+				opts    exec.Options
+			}{b.Name(), b.Name(), exec.Options{}})
 		}
+	}
+	for _, c := range regCases {
+		t.Run(c.name, func(t *testing.T) {
+			be, err := exec.Lookup(c.backend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := be.Scan(context.Background(), ds, p, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Results) != len(rep.Results) {
+				t.Fatalf("%d results, want %d", len(out.Results), len(rep.Results))
+			}
+			for i := range rep.Results {
+				if out.Results[i] != rep.Results[i] {
+					t.Fatalf("result[%d] = %+v, want %+v (bit-identical contract)",
+						i, out.Results[i], rep.Results[i])
+				}
+			}
+			if out.Stats.OmegaScores != rep.OmegaScores {
+				t.Errorf("ω scores = %d, want %d", out.Stats.OmegaScores, rep.OmegaScores)
+			}
+		})
 	}
 
 	// Sanity: golden ω is a plain finite number.

@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"context"
+	"time"
+
+	"omegago/internal/ld"
+	"omegago/internal/omega"
+	"omegago/internal/seqio"
+)
+
+func init() { Register(cpuBackend{}) }
+
+// cpuBackend runs the reference OmegaPlus algorithm on the host,
+// dispatching to the snapshot or sharded scheduler when multithreaded.
+type cpuBackend struct{}
+
+func (cpuBackend) Name() string { return "cpu" }
+
+// UseSharded resolves a Scheduler to a concrete strategy for a grid and
+// thread count. Auto picks sharded once the grid holds at least four
+// regions per worker — enough regions per shard that the boundary
+// triangle each shard recomputes is amortized by the relocation reuse
+// inside the shard.
+func UseSharded(s Scheduler, gridSize, threads int) bool {
+	if threads <= 1 {
+		return false
+	}
+	switch s {
+	case SchedSharded:
+		return true
+	case SchedSnapshot:
+		return false
+	default:
+		return gridSize >= 4*threads
+	}
+}
+
+func (cpuBackend) Scan(ctx context.Context, a *seqio.Alignment, p omega.Params, opts Options) (*Output, error) {
+	p = p.WithDefaults()
+	engine := ld.Direct
+	if opts.UseGEMMLD {
+		engine = ld.GEMM
+	}
+	threads := opts.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	t0 := time.Now()
+	var (
+		results []omega.Result
+		st      omega.Stats
+		err     error
+	)
+	if UseSharded(opts.Sched, p.GridSize, threads) {
+		results, st, err = omega.ScanShardedTracedCtx(ctx, a, p, engine, threads, opts.Tracer)
+	} else {
+		results, st, err = omega.ScanParallelCtx(ctx, a, p, engine, threads)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Output{
+		Results: results,
+		Stats: Stats{
+			Grid:            st.Grid,
+			OmegaScores:     st.OmegaScores,
+			R2Computed:      st.R2Computed,
+			R2Reused:        st.R2Reused,
+			R2Duplicated:    st.R2Duplicated,
+			LDSeconds:       st.LDTime.Seconds(),
+			OmegaSeconds:    st.OmegaTime.Seconds(),
+			SnapshotSeconds: st.SnapshotTime.Seconds(),
+			WallSeconds:     time.Since(t0).Seconds(),
+		},
+	}, nil
+}

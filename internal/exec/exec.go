@@ -1,0 +1,203 @@
+// Package exec is the unified execution layer of omegago: one Backend
+// interface in front of the three engines the paper's Fig. 3 workflow
+// dispatches to (host CPU, simulated GPU, simulated FPGA), a registry
+// that resolves engines by name, and one Stats type subsuming the
+// counters the engines report individually.
+//
+// The package exists so that everything above it — the public API, the
+// CLI, the batch scanner, and any future serving layer — sees exactly
+// one call shape regardless of what runs underneath:
+//
+//	be, _ := exec.Lookup("gpu-sim")
+//	out, err := be.Scan(ctx, alignment, params, exec.Options{})
+//
+// All backends honour context cancellation at region/grid-position
+// granularity and return bit-identical ω results (the golden tests at
+// the repository root pin that contract).
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"omegago/internal/fpga"
+	"omegago/internal/gpu"
+	"omegago/internal/omega"
+	"omegago/internal/seqio"
+	"omegago/internal/trace"
+)
+
+// Scheduler selects how the CPU backend parallelizes a multithreaded
+// scan. Accelerator backends ignore it.
+type Scheduler int
+
+const (
+	// SchedAuto picks SchedSharded when the grid is large enough to
+	// amortize the per-shard boundary recomputation (grid ≥ 4·threads),
+	// and SchedSnapshot otherwise.
+	SchedAuto Scheduler = iota
+	// SchedSnapshot is the OmegaPlus-G style producer/consumer pipeline
+	// (omega.ScanParallel).
+	SchedSnapshot
+	// SchedSharded partitions the grid into contiguous shards with a
+	// private DP matrix each (omega.ScanSharded).
+	SchedSharded
+)
+
+// Options carries every engine tunable through the uniform Scan call.
+// Fields irrelevant to a backend are ignored by it (the CLI warns when
+// a user sets a CPU-only flag on an accelerator backend).
+type Options struct {
+	// Threads parallelizes the CPU backend across grid positions and the
+	// GPU backend's host-side LD unpacking (default 1).
+	Threads int
+	// Sched selects the CPU multithreading scheduler (default SchedAuto).
+	Sched Scheduler
+	// UseGEMMLD batches CPU-backend LD through the bit-matrix GEMM.
+	UseGEMMLD bool
+	// Tracer, when non-nil, receives timing spans (CPU backend; per shard
+	// with the sharded scheduler).
+	Tracer *trace.Tracer
+	// GPUDevice / GPUKernel configure the gpu-sim backend (defaults:
+	// Tesla K80, dynamic kernel selection).
+	GPUDevice *gpu.Device
+	GPUKernel gpu.Kind
+	// GPUOpts are the remaining gpu launch knobs (order switch ablation,
+	// transfer overlap). Workers is overridden by Threads.
+	GPUOpts gpu.Options
+	// FPGADevice configures the fpga-sim backend (default Alveo U200).
+	FPGADevice *fpga.Device
+	// FPGAOpts are the remaining fpga launch knobs (unroll factor,
+	// software remainder cost).
+	FPGAOpts fpga.Options
+}
+
+// Stats is the unified work/time accounting of a scan, subsuming
+// omega.Stats, gpu.ScanReport and fpga.ScanReport. Counters that an
+// engine does not produce stay zero.
+type Stats struct {
+	// Functional counters (every backend).
+	Grid        int   // grid positions evaluated
+	OmegaScores int64 // ω values computed (Table III numerators)
+	R2Computed  int64 // fresh r² values (Equation 1 evaluations)
+	R2Reused    int64 // DP cells preserved by relocation (Equation 3 reuse)
+	// R2Duplicated counts r² recomputed at shard boundaries by the CPU
+	// sharded scheduler (a subset of R2Computed); zero otherwise.
+	R2Duplicated int64
+
+	// Phase times in seconds. For the CPU backend these are measured;
+	// for accelerator backends they are modeled device times.
+	LDSeconds    float64
+	OmegaSeconds float64
+	// SnapshotSeconds is the snapshot-copy overhead of the CPU snapshot
+	// scheduler (kept out of LDSeconds; see omega.Stats).
+	SnapshotSeconds float64
+	// WallSeconds is the measured host wall-clock of the engine run.
+	WallSeconds float64
+
+	// GPU-specific counters (gpu-sim backend).
+	KernelILaunches  int
+	KernelIILaunches int
+	OrderSwitches    int
+	BytesTransferred int64
+
+	// FPGA-specific counters (fpga-sim backend).
+	HardwareOmegas int64 // ω scores produced by the unrolled pipeline
+	SoftwareOmegas int64 // remainder iterations scored on the host
+	Cycles         int64 // modeled pipeline cycles
+}
+
+// Add accumulates other into s (used by the batch scanner's aggregate).
+func (s *Stats) Add(other Stats) {
+	s.Grid += other.Grid
+	s.OmegaScores += other.OmegaScores
+	s.R2Computed += other.R2Computed
+	s.R2Reused += other.R2Reused
+	s.R2Duplicated += other.R2Duplicated
+	s.LDSeconds += other.LDSeconds
+	s.OmegaSeconds += other.OmegaSeconds
+	s.SnapshotSeconds += other.SnapshotSeconds
+	s.WallSeconds += other.WallSeconds
+	s.KernelILaunches += other.KernelILaunches
+	s.KernelIILaunches += other.KernelIILaunches
+	s.OrderSwitches += other.OrderSwitches
+	s.BytesTransferred += other.BytesTransferred
+	s.HardwareOmegas += other.HardwareOmegas
+	s.SoftwareOmegas += other.SoftwareOmegas
+	s.Cycles += other.Cycles
+}
+
+// Output is the uniform result of a Backend.Scan.
+type Output struct {
+	// Results holds one entry per grid position, in genomic order.
+	Results []omega.Result
+	// Stats is the unified work/time accounting.
+	Stats Stats
+}
+
+// Backend is one execution engine for the OmegaPlus workflow. Scan must
+// honour ctx at region/grid-position granularity, return results
+// bit-identical to the serial CPU reference, and leak no goroutines on
+// cancellation.
+type Backend interface {
+	// Name is the registry key (e.g. "cpu", "gpu-sim", "fpga-sim").
+	Name() string
+	// Scan runs the full workflow over the alignment. p should already
+	// carry defaults (callers resolve p.WithDefaults() once); Scan
+	// re-applies them defensively, which is idempotent.
+	Scan(ctx context.Context, a *seqio.Alignment, p omega.Params, opts Options) (*Output, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Backend)
+)
+
+// Register adds a backend under its Name. Registering a duplicate name
+// panics: backend names are an API surface (CLI flags, config files)
+// and a silent overwrite would reroute scans.
+func Register(b Backend) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := b.Name()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("exec: backend %q registered twice", name))
+	}
+	registry[name] = b
+}
+
+// Lookup resolves a backend by name.
+func Lookup(name string) (Backend, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown backend %q (registered: %s)", name, strings.Join(names(), ", "))
+	}
+	return b, nil
+}
+
+// Backends returns every registered backend, sorted by name, so
+// table-driven equivalence tests cover new engines automatically.
+func Backends() []Backend {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Backend, 0, len(registry))
+	for _, n := range names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// names returns the sorted registry keys; callers hold regMu.
+func names() []string {
+	ns := make([]string, 0, len(registry))
+	for n := range registry {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}

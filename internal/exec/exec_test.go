@@ -1,0 +1,136 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"omegago/internal/harness"
+	"omegago/internal/ld"
+	"omegago/internal/omega"
+)
+
+func testParams() omega.Params {
+	return omega.Params{GridSize: 20, MaxWindow: 20000}.WithDefaults()
+}
+
+// TestRegistry pins the registered backend set: exactly the three
+// engines of the paper's Fig. 3 workflow, resolvable by name, sorted.
+func TestRegistry(t *testing.T) {
+	var got []string
+	for _, b := range Backends() {
+		got = append(got, b.Name())
+	}
+	want := []string{"cpu", "fpga-sim", "gpu-sim"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Backends() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		b, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if b.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, b.Name())
+		}
+	}
+	if _, err := Lookup("tpu-sim"); err == nil {
+		t.Error("Lookup of an unregistered backend succeeded")
+	} else if !strings.Contains(err.Error(), "cpu") {
+		t.Errorf("lookup error %q does not list the registered names", err)
+	}
+}
+
+// TestBackendEquivalence asserts every registered backend reproduces
+// the serial CPU reference bit-identically through the uniform Scan
+// interface — the invariant the whole exec layer rests on.
+func TestBackendEquivalence(t *testing.T) {
+	a, err := harness.Dataset(600, 40, 271828)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams()
+	ref, _, err := omega.Scan(a, p, ld.Direct, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range Backends() {
+		out, err := b.Scan(context.Background(), a, p, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if len(out.Results) != len(ref) {
+			t.Fatalf("%s: %d results, want %d", b.Name(), len(out.Results), len(ref))
+		}
+		for i := range ref {
+			if out.Results[i] != ref[i] {
+				t.Fatalf("%s: result[%d] = %+v, want %+v", b.Name(), i, out.Results[i], ref[i])
+			}
+		}
+		if out.Stats.OmegaScores == 0 || out.Stats.R2Computed == 0 {
+			t.Errorf("%s: empty unified stats %+v", b.Name(), out.Stats)
+		}
+	}
+}
+
+// TestBackendCancellation verifies that a pre-cancelled context aborts
+// every backend with ctx.Err() before any result is produced.
+func TestBackendCancellation(t *testing.T) {
+	a, err := harness.Dataset(400, 32, 314159)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, b := range Backends() {
+		out, err := b.Scan(ctx, a, testParams(), Options{Threads: 2})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", b.Name(), err)
+		}
+		if out != nil {
+			t.Errorf("%s: non-nil output after cancellation", b.Name())
+		}
+	}
+}
+
+// TestCPUSchedulerSelection pins the auto-scheduler threshold the CPU
+// adapter applies (sharded at grid ≥ 4·threads).
+func TestCPUSchedulerSelection(t *testing.T) {
+	cases := []struct {
+		sched   Scheduler
+		grid    int
+		threads int
+		want    bool
+	}{
+		{SchedAuto, 16, 4, true},
+		{SchedAuto, 15, 4, false},
+		{SchedAuto, 100, 1, false},
+		{SchedSharded, 2, 8, true},
+		{SchedSharded, 100, 1, false},
+		{SchedSnapshot, 100, 8, false},
+	}
+	for _, c := range cases {
+		if got := UseSharded(c.sched, c.grid, c.threads); got != c.want {
+			t.Errorf("UseSharded(%v, grid=%d, threads=%d) = %v, want %v",
+				c.sched, c.grid, c.threads, got, c.want)
+		}
+	}
+}
+
+// TestStatsAdd checks the batch aggregation covers every counter.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Grid: 1, OmegaScores: 2, R2Computed: 3, R2Reused: 4, R2Duplicated: 5,
+		LDSeconds: 1, OmegaSeconds: 2, SnapshotSeconds: 3, WallSeconds: 4,
+		KernelILaunches: 6, KernelIILaunches: 7, OrderSwitches: 8, BytesTransferred: 9,
+		HardwareOmegas: 10, SoftwareOmegas: 11, Cycles: 12}
+	sum := a
+	sum.Add(a)
+	want := Stats{Grid: 2, OmegaScores: 4, R2Computed: 6, R2Reused: 8, R2Duplicated: 10,
+		LDSeconds: 2, OmegaSeconds: 4, SnapshotSeconds: 6, WallSeconds: 8,
+		KernelILaunches: 12, KernelIILaunches: 14, OrderSwitches: 16, BytesTransferred: 18,
+		HardwareOmegas: 20, SoftwareOmegas: 22, Cycles: 24}
+	if sum != want {
+		t.Fatalf("Add: got %+v, want %+v", sum, want)
+	}
+}

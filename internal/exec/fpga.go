@@ -1,0 +1,43 @@
+package exec
+
+import (
+	"context"
+
+	"omegago/internal/fpga"
+	"omegago/internal/omega"
+	"omegago/internal/seqio"
+)
+
+func init() { Register(fpgaBackend{}) }
+
+// fpgaBackend runs ω through the simulated HLS pipeline and models the
+// companion LD accelerator (§V of the paper).
+type fpgaBackend struct{}
+
+func (fpgaBackend) Name() string { return "fpga-sim" }
+
+func (fpgaBackend) Scan(ctx context.Context, a *seqio.Alignment, p omega.Params, opts Options) (*Output, error) {
+	dev := fpga.AlveoU200
+	if opts.FPGADevice != nil {
+		dev = *opts.FPGADevice
+	}
+	rep, err := fpga.ScanCtx(ctx, dev, a, p, opts.FPGAOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &Output{
+		Results: rep.Results,
+		Stats: Stats{
+			Grid:           len(rep.Results),
+			OmegaScores:    rep.OmegaScores,
+			R2Computed:     rep.R2Computed,
+			R2Reused:       rep.R2Reused,
+			LDSeconds:      rep.LDSeconds,
+			OmegaSeconds:   rep.OmegaSeconds(),
+			WallSeconds:    rep.WallSeconds,
+			HardwareOmegas: rep.HardwareOmegas,
+			SoftwareOmegas: rep.SoftwareOmegas,
+			Cycles:         rep.Cycles,
+		},
+	}, nil
+}

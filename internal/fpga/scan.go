@@ -1,6 +1,7 @@
 package fpga
 
 import (
+	"context"
 	"time"
 
 	"omegago/internal/ld"
@@ -40,6 +41,14 @@ func (r *ScanReport) TotalSeconds() float64 { return r.LDSeconds + r.OmegaSecond
 // Scan runs the complete FPGA-accelerated OmegaPlus workflow on the
 // simulated device.
 func Scan(d Device, a *seqio.Alignment, p omega.Params, opts Options) (*ScanReport, error) {
+	return ScanCtx(context.Background(), d, a, p, opts)
+}
+
+// ScanCtx is Scan with cancellation: the grid loop checks ctx before
+// dispatching each position's LD batch and ω pipeline run, so a
+// cancelled or expired context aborts the scan within one grid position
+// of work and returns ctx.Err().
+func ScanCtx(ctx context.Context, d Device, a *seqio.Alignment, p omega.Params, opts Options) (*ScanReport, error) {
 	p = p.WithDefaults()
 	regions, err := omega.BuildRegions(a, p)
 	if err != nil {
@@ -50,6 +59,9 @@ func Scan(d Device, a *seqio.Alignment, p omega.Params, opts Options) (*ScanRepo
 	m := omega.NewDPMatrix(comp)
 	rep := &ScanReport{Results: make([]omega.Result, 0, len(regions))}
 	for _, reg := range regions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {
 			rep.Results = append(rep.Results, omega.Result{GridIndex: reg.Index, Center: reg.Center})
 			continue

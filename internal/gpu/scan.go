@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"time"
 
 	"omegago/internal/ld"
@@ -80,6 +81,14 @@ func (r *ScanReport) TotalSeconds() float64 { return r.LDSeconds + r.OmegaSecond
 // Scan runs the complete GPU-accelerated OmegaPlus workflow on the
 // simulated device.
 func Scan(d Device, kind Kind, a *seqio.Alignment, p omega.Params, opts Options) (*ScanReport, error) {
+	return ScanCtx(context.Background(), d, kind, a, p, opts)
+}
+
+// ScanCtx is Scan with cancellation: the grid loop checks ctx before
+// dispatching each position's LD GEMM and ω kernel, so a cancelled or
+// expired context aborts the scan within one grid position of work and
+// returns ctx.Err().
+func ScanCtx(ctx context.Context, d Device, kind Kind, a *seqio.Alignment, p omega.Params, opts Options) (*ScanReport, error) {
 	p = p.WithDefaults()
 	regions, err := omega.BuildRegions(a, p)
 	if err != nil {
@@ -90,6 +99,9 @@ func Scan(d Device, kind Kind, a *seqio.Alignment, p omega.Params, opts Options)
 	m := omega.NewDPMatrix(comp)
 	rep := &ScanReport{Results: make([]omega.Result, 0, len(regions))}
 	for _, reg := range regions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {
 			rep.Results = append(rep.Results, omega.Result{GridIndex: reg.Index, Center: reg.Center})
 			continue

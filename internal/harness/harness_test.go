@@ -191,6 +191,9 @@ func TestFig14WorkloadClasses(t *testing.T) {
 }
 
 func TestTable3SpeedupOrdering(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("throughput ordering needs honest wall-clock measurements; the race detector skews the CPU calibration the FPGA software remainder is modeled from")
+	}
 	for _, w := range Workloads(true) {
 		cpu, g, f, err := runWorkload(w)
 		if err != nil {

@@ -1,0 +1,10 @@
+//go:build race
+
+package harness
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. Throughput-ordering tests compare honestly measured CPU rates
+// (and FPGA software-remainder times calibrated from them) against
+// analytic accelerator models; the race detector's ~10x slowdown of
+// the measured side invalidates those orderings, so such tests skip.
+const raceDetectorEnabled = true

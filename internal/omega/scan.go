@@ -1,6 +1,7 @@
 package omega
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -55,23 +56,32 @@ func (s *Stats) Add(other Stats) {
 // other execution path — parallel schedulers and simulated
 // accelerators alike — must reproduce bit-identically.
 func Scan(a *seqio.Alignment, p Params, engine ld.Engine, ldWorkers int) ([]Result, Stats, error) {
+	return ScanCtx(context.Background(), a, p, engine, ldWorkers)
+}
+
+// ScanCtx is Scan with cancellation: the region loop checks ctx between
+// grid positions, so a cancelled or expired context aborts the scan
+// within one region of work and returns ctx.Err().
+func ScanCtx(ctx context.Context, a *seqio.Alignment, p Params, engine ld.Engine, ldWorkers int) ([]Result, Stats, error) {
 	regions, err := BuildRegions(a, p)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	comp := ld.NewComputer(a, engine, ldWorkers)
-	results, stats := scanRegions(comp, a, regions, p)
-	return results, stats, nil
+	return scanRegions(ctx, comp, a, regions, p)
 }
 
 // scanRegions evaluates a contiguous, sorted slice of regions with one
-// DP matrix.
-func scanRegions(comp *ld.Computer, a *seqio.Alignment, regions []Region, p Params) ([]Result, Stats) {
+// DP matrix, checking ctx once per region.
+func scanRegions(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, regions []Region, p Params) ([]Result, Stats, error) {
 	p = p.WithDefaults()
 	m := NewDPMatrix(comp)
 	results := make([]Result, 0, len(regions))
 	var st Stats
 	for _, reg := range regions {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
 		st.Grid++
 		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {
 			results = append(results, Result{GridIndex: reg.Index, Center: reg.Center})
@@ -89,7 +99,7 @@ func scanRegions(comp *ld.Computer, a *seqio.Alignment, regions []Region, p Para
 	}
 	st.R2Computed = m.R2Computed()
 	st.R2Reused = m.R2Reused()
-	return results, st
+	return results, st, nil
 }
 
 // ScanParallel is the snapshot scheduler: it parallelizes the ω
@@ -104,6 +114,15 @@ func scanRegions(comp *ld.Computer, a *seqio.Alignment, regions []Region, p Para
 // threads — the bottleneck ScanSharded exists to remove on the
 // LD-dominated workloads of Fig. 14.
 func ScanParallel(a *seqio.Alignment, p Params, engine ld.Engine, threads int) ([]Result, Stats, error) {
+	return ScanParallelCtx(context.Background(), a, p, engine, threads)
+}
+
+// ScanParallelCtx is ScanParallel with cancellation. The producer
+// checks ctx before sliding the DP matrix to each region and the
+// workers drop queued snapshots once the context is done, so the call
+// returns ctx.Err() within one region of work; all workers are joined
+// before returning, leaking no goroutines.
+func ScanParallelCtx(ctx context.Context, a *seqio.Alignment, p Params, engine ld.Engine, threads int) ([]Result, Stats, error) {
 	if threads < 1 {
 		return nil, Stats{}, fmt.Errorf("omega: thread count %d < 1", threads)
 	}
@@ -113,8 +132,7 @@ func ScanParallel(a *seqio.Alignment, p Params, engine ld.Engine, threads int) (
 	}
 	comp := ld.NewComputer(a, engine, 1)
 	if threads == 1 || len(regions) < 2 {
-		results, stats := scanRegions(comp, a, regions, p)
-		return results, stats, nil
+		return scanRegions(ctx, comp, a, regions, p)
 	}
 	p = p.WithDefaults()
 
@@ -133,6 +151,9 @@ func ScanParallel(a *seqio.Alignment, p Params, engine ld.Engine, threads int) (
 		go func(w int) {
 			defer wg.Done()
 			for jb := range jobs {
+				if ctx.Err() != nil {
+					continue // drain without scoring: the scan is aborting
+				}
 				t0 := time.Now()
 				res := ComputeOmega(jb.view, a, jb.reg, p)
 				omegaNs[w] += time.Since(t0).Nanoseconds()
@@ -145,6 +166,9 @@ func ScanParallel(a *seqio.Alignment, p Params, engine ld.Engine, threads int) (
 	m := NewDPMatrix(comp)
 	var st Stats
 	for i, reg := range regions {
+		if ctx.Err() != nil {
+			break
+		}
 		st.Grid++
 		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {
 			results[i] = Result{GridIndex: reg.Index, Center: reg.Center}
@@ -161,6 +185,9 @@ func ScanParallel(a *seqio.Alignment, p Params, engine ld.Engine, threads int) (
 	close(jobs)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
 	for w := 0; w < threads; w++ {
 		st.OmegaTime += time.Duration(omegaNs[w])
 		st.OmegaScores += scores[w]

@@ -1,6 +1,7 @@
 package omega
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -107,7 +108,15 @@ func partitionRegions(regions []Region, threads int) []shardSpan {
 // same recurrence over the same r² values), and ComputeOmega reads the
 // same cells in the same order.
 func ScanSharded(a *seqio.Alignment, p Params, engine ld.Engine, threads int) ([]Result, Stats, error) {
-	return ScanShardedTraced(a, p, engine, threads, nil)
+	return ScanShardedTracedCtx(context.Background(), a, p, engine, threads, nil)
+}
+
+// ScanShardedCtx is ScanSharded with cancellation: every shard worker
+// checks ctx between regions, so a cancelled or expired context aborts
+// the scan within one region of work per shard and returns ctx.Err().
+// All shard workers are joined before returning, leaking no goroutines.
+func ScanShardedCtx(ctx context.Context, a *seqio.Alignment, p Params, engine ld.Engine, threads int) ([]Result, Stats, error) {
+	return ScanShardedTracedCtx(ctx, a, p, engine, threads, nil)
 }
 
 // ScanShardedTraced is ScanSharded with per-shard spans emitted through
@@ -115,6 +124,11 @@ func ScanSharded(a *seqio.Alignment, p Params, engine ld.Engine, threads int) ([
 // carrying one summary span plus per-region "ld" and "omega" spans, so
 // the LD/ω overlap across shards is visible in Perfetto.
 func ScanShardedTraced(a *seqio.Alignment, p Params, engine ld.Engine, threads int, tr *trace.Tracer) ([]Result, Stats, error) {
+	return ScanShardedTracedCtx(context.Background(), a, p, engine, threads, tr)
+}
+
+// ScanShardedTracedCtx combines ScanShardedCtx and ScanShardedTraced.
+func ScanShardedTracedCtx(ctx context.Context, a *seqio.Alignment, p Params, engine ld.Engine, threads int, tr *trace.Tracer) ([]Result, Stats, error) {
 	if threads < 1 {
 		return nil, Stats{}, fmt.Errorf("omega: thread count %d < 1", threads)
 	}
@@ -126,8 +140,7 @@ func ScanShardedTraced(a *seqio.Alignment, p Params, engine ld.Engine, threads i
 	comp := ld.NewComputer(a, engine, 1)
 	shards := partitionRegions(regions, threads)
 	if len(shards) <= 1 {
-		results, stats := scanRegions(comp, a, regions, p)
-		return results, stats, nil
+		return scanRegions(ctx, comp, a, regions, p)
 	}
 	results := make([]Result, len(regions))
 	perShard := make([]Stats, len(shards))
@@ -136,10 +149,13 @@ func ScanShardedTraced(a *seqio.Alignment, p Params, engine ld.Engine, threads i
 		wg.Add(1)
 		go func(s int, sp shardSpan) {
 			defer wg.Done()
-			perShard[s] = scanShard(comp.Clone(), a, regions, sp, p, results, tr, s)
+			perShard[s] = scanShard(ctx, comp.Clone(), a, regions, sp, p, results, tr, s)
 		}(s, sp)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	var st Stats
 	for _, s := range perShard {
 		st.Add(s)
@@ -150,7 +166,7 @@ func ScanShardedTraced(a *seqio.Alignment, p Params, engine ld.Engine, threads i
 // scanShard evaluates one shard with a private DP matrix, writing
 // results into their global slots. track selects the shard's trace
 // lane; lane 1 is reserved for the caller's top-level phases.
-func scanShard(comp *ld.Computer, a *seqio.Alignment, regions []Region, sp shardSpan, p Params, out []Result, tr *trace.Tracer, track int) Stats {
+func scanShard(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, regions []Region, sp shardSpan, p Params, out []Result, tr *trace.Tracer, track int) Stats {
 	var st Stats
 	m := NewDPMatrix(comp)
 	lane := track + 2
@@ -169,6 +185,9 @@ func scanShard(comp *ld.Computer, a *seqio.Alignment, regions []Region, sp shard
 	}
 	first := true
 	for i := sp.Lo; i < sp.Hi; i++ {
+		if ctx.Err() != nil {
+			break // the scan is aborting; the caller reports ctx.Err()
+		}
 		reg := regions[i]
 		st.Grid++
 		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {

@@ -28,13 +28,14 @@
 package omegago
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
+	"omegago/internal/exec"
 	"omegago/internal/fpga"
 	"omegago/internal/gpu"
-	"omegago/internal/ld"
 	"omegago/internal/mssim"
 	"omegago/internal/omega"
 	"omegago/internal/seqio"
@@ -128,6 +129,10 @@ func (b Backend) String() string {
 	}
 }
 
+// execName maps the public Backend enum to its registry name in the
+// internal execution layer. It matches String() by construction.
+func (b Backend) execName() string { return b.String() }
+
 // Config configures a sweep scan.
 type Config struct {
 	// GridSize is the number of equidistant ω positions (default 100).
@@ -159,6 +164,9 @@ type Config struct {
 	// UseGEMMLD batches CPU-backend LD through the BLIS-style bit-matrix
 	// multiply instead of per-pair popcounts.
 	UseGEMMLD bool
+	// BatchWorkers bounds the concurrent replicate scans of ScanBatch
+	// (default GOMAXPROCS, capped at the batch size). Ignored by Scan.
+	BatchWorkers int
 }
 
 func (c Config) params() omega.Params {
@@ -204,102 +212,69 @@ type Report struct {
 // Best returns the grid position with the highest ω.
 func (r *Report) Best() (Result, bool) { return omega.MaxResult(r.Results) }
 
-// useSharded resolves a Scheduler to a concrete strategy. Auto picks
-// sharded once the grid holds at least four regions per worker — enough
-// regions per shard that the boundary triangle each shard recomputes is
-// amortized by the relocation reuse inside the shard.
-func useSharded(s Scheduler, gridSize, threads int) bool {
-	if threads <= 1 {
-		return false
-	}
-	switch s {
-	case SchedSharded:
-		return true
-	case SchedSnapshot:
-		return false
-	default:
-		return gridSize >= 4*threads
+// execOptions translates the public Config into the unified execution
+// layer's option set.
+func (c Config) execOptions() exec.Options {
+	return exec.Options{
+		Threads:    c.Threads,
+		Sched:      exec.Scheduler(c.Sched),
+		UseGEMMLD:  c.UseGEMMLD,
+		Tracer:     c.Tracer,
+		GPUDevice:  c.GPUDevice,
+		GPUKernel:  c.GPUKernel,
+		FPGADevice: c.FPGADevice,
 	}
 }
 
-// Scan runs LD-based selective sweep detection over a dataset.
+// Scan runs LD-based selective sweep detection over a dataset. It is
+// ScanContext with a background context; use ScanContext to bound a
+// scan with a timeout or cancel it.
 func Scan(ds *Dataset, cfg Config) (*Report, error) {
+	return ScanContext(context.Background(), ds, cfg)
+}
+
+// ScanContext runs LD-based selective sweep detection over a dataset,
+// honouring ctx: cancellation or an expired deadline aborts the scan
+// within one grid position of work on every backend — CPU schedulers
+// included — returning ctx.Err() and leaking no goroutines.
+//
+// The backend is resolved through the internal execution registry by
+// Config.Backend; every engine returns the same bit-identical results
+// and is assembled into the Report through this single path.
+func ScanContext(ctx context.Context, ds *Dataset, cfg Config) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if ds == nil || ds.NumSNPs() == 0 {
 		return nil, fmt.Errorf("omegago: empty dataset")
 	}
 	if err := ds.Validate(); err != nil {
 		return nil, fmt.Errorf("omegago: invalid dataset: %w", err)
 	}
-	p := cfg.params()
-	if err := p.WithDefaults().Validate(); err != nil {
+	// Resolve the parameter defaults exactly once; every layer below
+	// receives the resolved set.
+	p := cfg.params().WithDefaults()
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	switch cfg.Backend {
-	case BackendCPU:
-		engine := ld.Direct
-		if cfg.UseGEMMLD {
-			engine = ld.GEMM
-		}
-		threads := cfg.Threads
-		if threads == 0 {
-			threads = 1
-		}
-		var results []Result
-		var st omega.Stats
-		var err error
-		if useSharded(cfg.Sched, p.WithDefaults().GridSize, threads) {
-			results, st, err = omega.ScanShardedTraced(ds, p, engine, threads, cfg.Tracer)
-		} else {
-			results, st, err = omega.ScanParallel(ds, p, engine, threads)
-		}
-		if err != nil {
-			return nil, err
-		}
-		return &Report{
-			Results: results, Backend: cfg.Backend,
-			OmegaScores: st.OmegaScores, R2Computed: st.R2Computed, R2Reused: st.R2Reused,
-			R2Duplicated: st.R2Duplicated,
-			LDSeconds:    st.LDTime.Seconds(), OmegaSeconds: st.OmegaTime.Seconds(),
-			SnapshotSeconds: st.SnapshotTime.Seconds(),
-			WallSeconds:     time.Since(t0).Seconds(),
-		}, nil
-
-	case BackendGPU:
-		dev := gpu.TeslaK80
-		if cfg.GPUDevice != nil {
-			dev = *cfg.GPUDevice
-		}
-		rep, err := gpu.Scan(dev, cfg.GPUKernel, ds, p, gpu.Options{Workers: cfg.Threads})
-		if err != nil {
-			return nil, err
-		}
-		return &Report{
-			Results: rep.Results, Backend: cfg.Backend,
-			OmegaScores: rep.OmegaScores, R2Computed: rep.R2Computed, R2Reused: rep.R2Reused,
-			LDSeconds: rep.LDSeconds, OmegaSeconds: rep.OmegaSeconds(),
-			WallSeconds: time.Since(t0).Seconds(),
-		}, nil
-
-	case BackendFPGA:
-		dev := fpga.AlveoU200
-		if cfg.FPGADevice != nil {
-			dev = *cfg.FPGADevice
-		}
-		rep, err := fpga.Scan(dev, ds, p, fpga.Options{})
-		if err != nil {
-			return nil, err
-		}
-		return &Report{
-			Results: rep.Results, Backend: cfg.Backend,
-			OmegaScores: rep.OmegaScores, R2Computed: rep.R2Computed, R2Reused: rep.R2Reused,
-			LDSeconds: rep.LDSeconds, OmegaSeconds: rep.OmegaSeconds(),
-			WallSeconds: time.Since(t0).Seconds(),
-		}, nil
-
-	default:
+	be, err := exec.Lookup(cfg.Backend.execName())
+	if err != nil {
 		return nil, fmt.Errorf("omegago: unknown backend %v", cfg.Backend)
 	}
+	t0 := time.Now()
+	out, err := be.Scan(ctx, ds, p, cfg.execOptions())
+	if err != nil {
+		return nil, err
+	}
+	st := out.Stats
+	return &Report{
+		Results: out.Results, Backend: cfg.Backend,
+		OmegaScores: st.OmegaScores, R2Computed: st.R2Computed, R2Reused: st.R2Reused,
+		R2Duplicated: st.R2Duplicated,
+		LDSeconds:    st.LDSeconds, OmegaSeconds: st.OmegaSeconds,
+		SnapshotSeconds: st.SnapshotSeconds,
+		WallSeconds:     time.Since(t0).Seconds(),
+	}, nil
 }
 
 // Simulate generates a dataset with the built-in coalescent simulator,
