@@ -3,9 +3,15 @@ package omegago
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
+
+	"omegago/internal/exec"
+	"omegago/internal/obs"
+	"omegago/internal/stats"
 )
 
 // BatchResult is the outcome of one dataset in a ScanBatch call.
@@ -21,6 +27,10 @@ type BatchResult struct {
 	// Skipped marks a nil input dataset (e.g. an ms replicate with zero
 	// segregating sites, the LoadMSAll convention).
 	Skipped bool
+	// Seconds is this replicate's measured wall-clock, queue-to-done
+	// inside its worker (zero when Skipped). Because workers overlap,
+	// the per-replicate seconds sum to more than the batch WallSeconds.
+	Seconds float64
 }
 
 // BatchReport aggregates a ScanBatch run.
@@ -61,6 +71,47 @@ func (b *BatchReport) Best() (Result, int, bool) {
 	return best, idx, idx >= 0
 }
 
+// ReplicateSeconds returns the p50 and p95 of the per-replicate
+// wall-clock over the scanned replicates; ok is false when none
+// scanned.
+func (b *BatchReport) ReplicateSeconds() (p50, p95 float64, ok bool) {
+	secs := make([]float64, 0, len(b.Replicates))
+	for _, item := range b.Replicates {
+		if item.Report != nil {
+			secs = append(secs, item.Seconds)
+		}
+	}
+	if len(secs) == 0 {
+		return 0, 0, false
+	}
+	sort.Float64s(secs)
+	return stats.Quantile(secs, 0.5), stats.Quantile(secs, 0.95), true
+}
+
+// WriteReport emits every scanned replicate's OmegaPlus-style report
+// section (labelled "label replicate=N") followed by a comment footer
+// with the batch aggregate: scanned/skipped/failed partition, total ω
+// scores, and the p50/p95 per-replicate wall-clock.
+func (b *BatchReport) WriteReport(w io.Writer, label string) error {
+	for _, item := range b.Replicates {
+		if item.Report == nil {
+			continue
+		}
+		if err := item.Report.WriteReport(w, fmt.Sprintf("%s replicate=%d", label, item.Index+1)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "// batch scanned=%d skipped=%d failed=%d omega_scores=%d wall=%.3fs\n",
+		b.Scanned, b.Skipped, b.Failed, b.OmegaScores, b.WallSeconds)
+	if err != nil {
+		return err
+	}
+	if p50, p95, ok := b.ReplicateSeconds(); ok {
+		_, err = fmt.Fprintf(w, "// batch replicate seconds p50=%.4f p95=%.4f\n", p50, p95)
+	}
+	return err
+}
+
 // batchWorkers resolves the worker-pool size for n datasets.
 func (c Config) batchWorkers(n int) int {
 	w := c.BatchWorkers
@@ -78,7 +129,9 @@ func (c Config) batchWorkers(n int) int {
 
 // ScanBatch scans many datasets — the multi-replicate shape LoadMSAll
 // returns — through a pool of Config.BatchWorkers concurrent workers,
-// each running the full ScanContext pipeline on the configured backend.
+// each running the full scan pipeline on the configured backend. The
+// configuration is checked by Config.Validate exactly once for the
+// whole batch.
 //
 // Error isolation is per replicate: a dataset that fails to scan
 // records its error in its BatchResult and the rest of the batch
@@ -86,12 +139,36 @@ func (c Config) batchWorkers(n int) int {
 // replicates with no segregating sites). Cancelling ctx aborts the
 // whole batch promptly with ctx.Err(); in-flight scans stop within one
 // grid position of work and no goroutines are leaked.
+//
+// Observability aggregates across the pool: Config.Observer receives
+// one merged Progress stream whose GridTotal spans the whole batch
+// (grid size × non-nil datasets) and whose ReplicatesDone/Total track
+// batch completion; Config.Metrics counters likewise accumulate over
+// every worker.
 func ScanBatch(ctx context.Context, batch []*Dataset, cfg Config) (*BatchReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if len(batch) == 0 {
 		return nil, fmt.Errorf("omegago: empty batch")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.params().WithDefaults()
+	be, err := exec.Lookup(cfg.Backend.String())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownBackend, cfg.Backend)
+	}
+	replicates := 0
+	for _, ds := range batch {
+		if ds != nil {
+			replicates++
+		}
+	}
+	var bm *obs.Meter
+	if cfg.Observer != nil || cfg.Metrics != nil {
+		bm = obs.NewBatchMeter(cfg.Backend.String(), p.GridSize*replicates, replicates, cfg.Observer, cfg.Metrics)
 	}
 	t0 := time.Now()
 	rep := &BatchReport{Replicates: make([]BatchResult, len(batch))}
@@ -109,8 +186,12 @@ func ScanBatch(ctx context.Context, batch []*Dataset, cfg Config) (*BatchReport,
 					rep.Replicates[i] = BatchResult{Index: i, Skipped: true}
 					continue
 				}
-				r, err := ScanContext(ctx, ds, cfg)
-				rep.Replicates[i] = BatchResult{Index: i, Report: r, Err: err}
+				rt0 := time.Now()
+				r, err := scanResolved(ctx, ds, cfg, p, be, bm.Replicate(i))
+				rep.Replicates[i] = BatchResult{
+					Index: i, Report: r, Err: err,
+					Seconds: time.Since(rt0).Seconds(),
+				}
 			}
 		}()
 	}

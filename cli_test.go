@@ -1,6 +1,7 @@
 package omegago_test
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -124,6 +125,78 @@ func TestCLIPipeline(t *testing.T) {
 		if !strings.Contains(warned, "warning") || !strings.Contains(warned, flag) {
 			t.Errorf("no stderr warning for %s with -backend fpga:\n%s", flag, warned)
 		}
+	}
+}
+
+// TestObsCLIExitCodesAndFlags checks the CLI's exit-code classes and
+// smokes the observability flags (-progress, -metrics-addr).
+func TestObsCLIExitCodesAndFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := map[string]string{}
+	for _, tool := range []string{"msgo", "omegago"} {
+		path := filepath.Join(dir, tool)
+		out, err := exec.Command("go", "build", "-o", path, "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+		bin[tool] = path
+	}
+	msOut, err := exec.Command(bin["msgo"], "24", "1", "-s", "150", "-r", "40", "-seed", "11").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msPath := filepath.Join(dir, "in.ms")
+	if err := os.WriteFile(msPath, msOut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runCode := func(args ...string) (int, string) {
+		t.Helper()
+		out, err := exec.Command(bin["omegago"], args...).CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("omegago %v: %v\n%s", args, err, out)
+		}
+		return ee.ExitCode(), string(out)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no input", nil, 2},
+		{"unknown backend", []string{"-input", msPath, "-backend", "tpu"}, 2},
+		{"unknown scheduler", []string{"-input", msPath, "-sched", "eager"}, 2},
+		{"missing file", []string{"-input", filepath.Join(dir, "nope.ms")}, 3},
+		{"bad grid", []string{"-input", msPath, "-length", "200000", "-grid", "-4"}, 4},
+	}
+	for _, c := range cases {
+		if code, out := runCode(c.args...); code != c.want {
+			t.Errorf("%s: exit %d, want %d\n%s", c.name, code, c.want, out)
+		}
+	}
+
+	// -progress draws a stderr ticker ending in a complete final line.
+	if code, out := runCode("-input", msPath, "-length", "200000",
+		"-grid", "10", "-maxwin", "40000", "-quiet", "-top", "1", "-progress"); code != 0 {
+		t.Errorf("-progress scan failed with exit %d:\n%s", code, out)
+	} else if !strings.Contains(out, "10/10 positions (100.0%)") {
+		t.Errorf("-progress final line missing:\n%s", out)
+	}
+
+	// -metrics-addr binds an ephemeral port and logs where it listens.
+	if code, out := runCode("-input", msPath, "-length", "200000",
+		"-grid", "10", "-maxwin", "40000", "-quiet", "-top", "1",
+		"-metrics-addr", "127.0.0.1:0"); code != 0 {
+		t.Errorf("-metrics-addr scan failed with exit %d:\n%s", code, out)
+	} else if !strings.Contains(out, "metrics listening on") {
+		t.Errorf("-metrics-addr log line missing:\n%s", out)
 	}
 }
 

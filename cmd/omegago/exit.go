@@ -1,0 +1,50 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"log"
+	"os"
+
+	"omegago"
+)
+
+// Exit codes of the omegago CLI. Scripts driving long batch runs can
+// dispatch on the class of a failure without parsing stderr.
+const (
+	exitOK      = 0
+	exitFailure = 1 // scan or runtime failure
+	exitUsage   = 2 // bad flag usage (unknown backend, scheduler, format, …)
+	exitInput   = 3 // input file missing or unparseable, empty dataset
+	exitConfig  = 4 // configuration rejected by Config.Validate
+	exitTimeout = 5 // -timeout expired or the scan was cancelled
+)
+
+// classify maps an error to the CLI exit code by its errors.Is class.
+func classify(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return exitTimeout
+	case errors.Is(err, omegago.ErrBadGrid) || errors.Is(err, omegago.ErrUnknownBackend):
+		return exitConfig
+	case errors.Is(err, omegago.ErrNoSNPs) || errors.Is(err, fs.ErrNotExist):
+		return exitInput
+	default:
+		return exitFailure
+	}
+}
+
+// fatal logs err and exits with its classified code.
+func fatal(err error) {
+	log.Print(err)
+	os.Exit(classify(err))
+}
+
+// fatalf logs a formatted message and exits with the given code.
+func fatalf(code int, format string, args ...any) {
+	log.Printf(format, args...)
+	os.Exit(code)
+}

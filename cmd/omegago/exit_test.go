@@ -1,0 +1,35 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"testing"
+
+	"omegago"
+)
+
+func TestObsClassifyExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, exitOK},
+		{"deadline", context.DeadlineExceeded, exitTimeout},
+		{"canceled", context.Canceled, exitTimeout},
+		{"wrapped deadline", fmt.Errorf("scan: %w", context.DeadlineExceeded), exitTimeout},
+		{"bad grid", omegago.ErrBadGrid, exitConfig},
+		{"wrapped bad grid", fmt.Errorf("omegago: invalid GridSize -4: %w", omegago.ErrBadGrid), exitConfig},
+		{"unknown backend", omegago.ErrUnknownBackend, exitConfig},
+		{"no snps", omegago.ErrNoSNPs, exitInput},
+		{"missing file", fmt.Errorf("open x.ms: %w", fs.ErrNotExist), exitInput},
+		{"generic", errors.New("boom"), exitFailure},
+	}
+	for _, c := range cases {
+		if got := classify(c.err); got != c.want {
+			t.Errorf("%s: classify(%v) = %d, want %d", c.name, c.err, got, c.want)
+		}
+	}
+}

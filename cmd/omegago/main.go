@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"omegago"
 	"omegago/internal/fpga"
@@ -67,14 +68,16 @@ func main() {
 		repl       = flag.String("replicate", "1", "ms replicate to scan: a 1-based index, or 'all' for a per-replicate summary")
 		allReps    = flag.Bool("all-replicates", false, "scan every ms replicate through the concurrent batch pipeline (same as -replicate all)")
 		batchWork  = flag.Int("batch-workers", 0, "concurrent replicate scans in batch mode (0 = GOMAXPROCS)")
-		timeout    = flag.Duration("timeout", 0, "abort the scan after this duration, e.g. 30s (0 = no limit)")
-		htmlOut    = flag.String("html", "", "write a self-contained HTML report (SVG ω landscape) to this path")
-		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run's phases to this path")
+		timeout     = flag.Duration("timeout", 0, "abort the scan after this duration, e.g. 30s (0 = no limit)")
+		htmlOut     = flag.String("html", "", "write a self-contained HTML report (SVG ω landscape) to this path")
+		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON of the run's phases to this path")
+		progress    = flag.Bool("progress", false, "render a live progress line (positions, ω/s, ETA) on stderr")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090 or 127.0.0.1:0)")
 	)
 	flag.Parse()
 	if *input == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	var tr *trace.Tracer
@@ -84,7 +87,7 @@ func main() {
 
 	f, closer, err := seqio.OpenMaybeGzip(*input)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	defer closer()
 
@@ -105,18 +108,18 @@ func main() {
 		default:
 			idx, cerr := strconv.Atoi(*repl)
 			if cerr != nil || idx < 1 {
-				log.Fatalf("bad -replicate %q (want a 1-based index or 'all')", *repl)
+				fatalf(exitUsage, "bad -replicate %q (want a 1-based index or 'all')", *repl)
 			}
 			all, lerr := omegago.LoadMSAll(f, *length)
 			if lerr != nil {
-				log.Fatal(lerr)
+				fatalf(exitInput, "%v", lerr)
 			}
 			if idx > len(all) {
-				log.Fatalf("replicate %d requested, stream holds %d", idx, len(all))
+				fatalf(exitInput, "replicate %d requested, stream holds %d", idx, len(all))
 			}
 			ds = all[idx-1]
 			if ds == nil {
-				log.Fatalf("replicate %d has no segregating sites", idx)
+				fatalf(exitInput, "replicate %d has no segregating sites", idx)
 			}
 		}
 	case "fasta", "fa":
@@ -124,10 +127,10 @@ func main() {
 	case "vcf":
 		ds, err = omegago.LoadVCF(f)
 	default:
-		log.Fatalf("unknown format %q (want ms, fasta, or vcf)", *format)
+		fatalf(exitUsage, "unknown format %q (want ms, fasta, or vcf)", *format)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatalf(exitInput, "%v", err)
 	}
 	loadArgs := map[string]any{}
 	if ds != nil {
@@ -142,44 +145,39 @@ func main() {
 		MaxWindow: *maxwin,
 		Threads:   *threads,
 		UseGEMMLD: *gemmLD,
-		Tracer:    tr,
 	}
-	switch strings.ToLower(*sched) {
-	case "auto":
-		cfg.Sched = omegago.SchedAuto
-	case "snapshot":
-		cfg.Sched = omegago.SchedSnapshot
-	case "sharded":
-		cfg.Sched = omegago.SchedSharded
-	default:
-		log.Fatalf("unknown scheduler %q (want snapshot, sharded, or auto)", *sched)
+	cfg.Sched, err = omegago.ParseScheduler(strings.ToLower(*sched))
+	if err != nil {
+		fatalf(exitUsage, "%v", err)
 	}
-	switch strings.ToLower(*backend) {
-	case "cpu":
-	case "gpu":
-		cfg.Backend = omegago.BackendGPU
+	cfg.Backend, err = omegago.ParseBackend(strings.ToLower(*backend))
+	if err != nil {
+		fatalf(exitUsage, "%v", err)
+	}
+	switch cfg.Backend {
+	case omegago.BackendGPU:
 		if *deviceFile != "" {
 			df, err := os.Open(*deviceFile)
 			if err != nil {
-				log.Fatal(err)
+				fatalf(exitInput, "%v", err)
 			}
 			d, derr := gpu.DeviceFromJSON(df)
 			df.Close()
 			if derr != nil {
-				log.Fatal(derr)
+				fatalf(exitInput, "%v", derr)
 			}
 			cfg.GPUDevice = &d
-			break
-		}
-		switch strings.ToLower(*device) {
-		case "", "k80":
-			d := gpu.TeslaK80
-			cfg.GPUDevice = &d
-		case "hd8750m", "radeon":
-			d := gpu.RadeonHD8750M
-			cfg.GPUDevice = &d
-		default:
-			log.Fatalf("unknown GPU device %q (want k80 or hd8750m)", *device)
+		} else {
+			switch strings.ToLower(*device) {
+			case "", "k80":
+				d := gpu.TeslaK80
+				cfg.GPUDevice = &d
+			case "hd8750m", "radeon":
+				d := gpu.RadeonHD8750M
+				cfg.GPUDevice = &d
+			default:
+				fatalf(exitUsage, "unknown GPU device %q (want k80 or hd8750m)", *device)
+			}
 		}
 		switch strings.ToLower(*kernel) {
 		case "1", "i":
@@ -189,10 +187,9 @@ func main() {
 		case "dynamic", "d":
 			cfg.GPUKernel = gpu.Dynamic
 		default:
-			log.Fatalf("unknown kernel %q (want 1, 2, or dynamic)", *kernel)
+			fatalf(exitUsage, "unknown kernel %q (want 1, 2, or dynamic)", *kernel)
 		}
-	case "fpga":
-		cfg.Backend = omegago.BackendFPGA
+	case omegago.BackendFPGA:
 		switch strings.ToLower(*device) {
 		case "", "alveo", "u200":
 			d := fpga.AlveoU200
@@ -201,12 +198,30 @@ func main() {
 			d := fpga.ZCU102
 			cfg.FPGADevice = &d
 		default:
-			log.Fatalf("unknown FPGA device %q (want alveo or zcu102)", *device)
+			fatalf(exitUsage, "unknown FPGA device %q (want alveo or zcu102)", *device)
 		}
-	default:
-		log.Fatalf("unknown backend %q (want cpu, gpu, or fpga)", *backend)
 	}
 	cfg.BatchWorkers = *batchWork
+
+	// Observability: the tracer and the -progress ticker share the one
+	// Observer slot; -metrics-addr wires a live registry and serves it.
+	var observers []omegago.Observer
+	if tr != nil {
+		observers = append(observers, tr)
+	}
+	if *progress {
+		observers = append(observers, omegago.NewProgressWriter(os.Stderr, 200*time.Millisecond))
+	}
+	cfg.Observer = omegago.MultiObserver(observers...)
+	if *metricsAddr != "" {
+		reg := omegago.NewRegistry()
+		cfg.Metrics = omegago.NewMetrics(reg)
+		addr, merr := serveMetrics(*metricsAddr, reg)
+		if merr != nil {
+			fatal(merr)
+		}
+		log.Printf("metrics listening on http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)", addr)
+	}
 
 	// CPU-only flags silently do nothing on accelerator backends; say so
 	// on stderr instead of swallowing them.
@@ -246,7 +261,7 @@ func main() {
 		scanDone := tr.Begin("batch-scan")
 		brep, err := omegago.ScanBatch(ctx, batch, cfg)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		scanDone(map[string]any{"replicates": len(batch), "workers": workers})
 		fmt.Println("# replicate\tsnps\tbest_position\tmax_omega")
@@ -270,6 +285,9 @@ func main() {
 			brep.Scanned, brep.Skipped, brep.Failed,
 			stats.FormatSI(float64(brep.OmegaScores)), stats.FormatSI(float64(brep.R2Computed)),
 			brep.WallSeconds)
+		if p50, p95, ok := brep.ReplicateSeconds(); ok {
+			fmt.Printf("# replicate wall-clock: p50 %.4fs, p95 %.4fs\n", p50, p95)
+		}
 		if best, idx, ok := brep.Best(); ok {
 			fmt.Printf("# batch best: replicate %d, position %.2f, ω = %.4f\n",
 				idx+1, best.Center, best.MaxOmega)
@@ -283,9 +301,9 @@ func main() {
 	rep, err := omegago.ScanContext(ctx, ds, cfg)
 	if err != nil {
 		if ctx.Err() != nil {
-			log.Fatalf("scan aborted after -timeout %v: %v", *timeout, err)
+			fatalf(exitTimeout, "scan aborted after -timeout %v: %v", *timeout, err)
 		}
-		log.Fatal(err)
+		fatal(err)
 	}
 	scanDone(map[string]any{
 		"omega_scores":  rep.OmegaScores,
@@ -298,13 +316,13 @@ func main() {
 		}
 		tf, err := os.Create(*traceOut)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := tr.ExportChromeJSON(tf); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := tf.Close(); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("# trace written to %s\n%s", *traceOut, tr.Summary())
 	}()
@@ -312,14 +330,14 @@ func main() {
 	if *reportOut != "" {
 		rf, err := os.Create(*reportOut)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		label := fmt.Sprintf("omegago %s backend=%s grid=%d", *input, cfg.Backend, cfg.GridSize)
 		if err := rep.WriteReport(rf, label); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := rf.Close(); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("# report written to %s\n", *reportOut)
 	}
@@ -327,7 +345,7 @@ func main() {
 	if *htmlOut != "" {
 		hf, err := os.Create(*htmlOut)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		meta := report.Meta{
 			Title:   fmt.Sprintf("omegago scan of %s", *input),
@@ -337,10 +355,10 @@ func main() {
 			Runtime:    fmt.Sprintf("%.3fs wall", rep.WallSeconds),
 		}
 		if err := report.HTML(hf, meta, rep.Results); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := hf.Close(); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("# HTML report written to %s\n", *htmlOut)
 	}
@@ -349,7 +367,7 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return
 	}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"omegago"
+)
+
+// publishOnce guards the process-global expvar name (expvar panics on
+// duplicate registration).
+var publishOnce sync.Once
+
+// serveMetrics starts an HTTP listener on addr serving the metrics
+// registry and the standard Go diagnostics on one mux:
+//
+//	/metrics       Prometheus text exposition (version 0.0.4)
+//	/debug/vars    expvar JSON (the registry under the "omegago" key)
+//	/debug/pprof/  CPU/heap/goroutine profiles
+//
+// It returns the bound address (useful with ":0") and serves until the
+// process exits; scrapes are lock-free against the scan hot path.
+func serveMetrics(addr string, reg *omegago.Registry) (string, error) {
+	publishOnce.Do(func() { reg.PublishExpvar("omegago") })
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

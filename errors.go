@@ -1,0 +1,51 @@
+package omegago
+
+import (
+	"errors"
+	"fmt"
+
+	"omegago/internal/exec"
+)
+
+// Sentinel errors of the public API. Scan, ScanContext and ScanBatch
+// wrap them with field-level detail; match with errors.Is. The CLI maps
+// each class to a distinct exit code.
+var (
+	// ErrUnknownBackend marks a Config.Backend outside the registered
+	// execution engines.
+	ErrUnknownBackend = errors.New("omegago: unknown backend")
+	// ErrNoSNPs marks a nil dataset or one holding no segregating sites
+	// (for example an ms replicate of a fully swept sample).
+	ErrNoSNPs = errors.New("omegago: dataset has no SNPs")
+	// ErrBadGrid marks grid-geometry configuration a scan cannot run
+	// with (negative sizes, inverted window bounds).
+	ErrBadGrid = errors.New("omegago: invalid grid configuration")
+)
+
+// Validate reports the first configuration error, annotated with the
+// offending field and wrapping the matching sentinel (ErrBadGrid or
+// ErrUnknownBackend) for errors.Is dispatch. Scan, ScanContext and
+// ScanBatch each call it exactly once per invocation; callers
+// constructing a Config interactively can call it early for the same
+// diagnostics.
+func (c Config) Validate() error {
+	if c.GridSize < 0 {
+		return fmt.Errorf("%w: GridSize %d < 0", ErrBadGrid, c.GridSize)
+	}
+	if c.MinWindow < 0 {
+		return fmt.Errorf("%w: MinWindow %g < 0", ErrBadGrid, c.MinWindow)
+	}
+	if c.MaxWindow < 0 {
+		return fmt.Errorf("%w: MaxWindow %g < 0", ErrBadGrid, c.MaxWindow)
+	}
+	if c.MaxWindow > 0 && c.MinWindow > c.MaxWindow {
+		return fmt.Errorf("%w: MinWindow %g > MaxWindow %g", ErrBadGrid, c.MinWindow, c.MaxWindow)
+	}
+	if c.MaxSNPsPerSide < 0 {
+		return fmt.Errorf("%w: MaxSNPsPerSide %d < 0", ErrBadGrid, c.MaxSNPsPerSide)
+	}
+	if _, err := exec.Lookup(c.Backend.String()); err != nil {
+		return fmt.Errorf("%w: %v", ErrUnknownBackend, c.Backend)
+	}
+	return nil
+}

@@ -53,9 +53,9 @@ func (cpuBackend) Scan(ctx context.Context, a *seqio.Alignment, p omega.Params, 
 		err     error
 	)
 	if UseSharded(opts.Sched, p.GridSize, threads) {
-		results, st, err = omega.ScanShardedTracedCtx(ctx, a, p, engine, threads, opts.Tracer)
+		results, st, err = omega.ScanShardedCtx(ctx, a, p, engine, threads, opts.Meter)
 	} else {
-		results, st, err = omega.ScanParallelCtx(ctx, a, p, engine, threads)
+		results, st, err = omega.ScanParallelCtx(ctx, a, p, engine, threads, opts.Meter)
 	}
 	if err != nil {
 		return nil, err

@@ -25,9 +25,9 @@ import (
 
 	"omegago/internal/fpga"
 	"omegago/internal/gpu"
+	"omegago/internal/obs"
 	"omegago/internal/omega"
 	"omegago/internal/seqio"
-	"omegago/internal/trace"
 )
 
 // Scheduler selects how the CPU backend parallelizes a multithreaded
@@ -58,9 +58,11 @@ type Options struct {
 	Sched Scheduler
 	// UseGEMMLD batches CPU-backend LD through the bit-matrix GEMM.
 	UseGEMMLD bool
-	// Tracer, when non-nil, receives timing spans (CPU backend; per shard
-	// with the sharded scheduler).
-	Tracer *trace.Tracer
+	// Meter, when non-nil, receives per-grid-position progress ticks and
+	// phase spans from every backend. Observers that want timing spans
+	// (the old Tracer hook) subscribe through the Meter's Observer; see
+	// internal/obs.
+	Meter *obs.Meter
 	// GPUDevice / GPUKernel configure the gpu-sim backend (defaults:
 	// Tesla K80, dynamic kernel selection).
 	GPUDevice *gpu.Device
@@ -128,6 +130,25 @@ func (s *Stats) Add(other Stats) {
 	s.HardwareOmegas += other.HardwareOmegas
 	s.SoftwareOmegas += other.SoftwareOmegas
 	s.Cycles += other.Cycles
+}
+
+// Publish snapshots the per-scan totals into the metrics bundle (no-op
+// on a nil bundle). The live counters a Meter feeds per grid position
+// (grid positions, ω scores, fresh r²) are deliberately excluded —
+// they were already counted while the scan ran; Publish adds only the
+// once-per-scan totals the engines report on completion.
+func (s Stats) Publish(met *obs.Metrics) {
+	if met == nil {
+		return
+	}
+	met.R2Reused.Add(s.R2Reused)
+	met.LDSeconds.Add(s.LDSeconds)
+	met.OmegaSeconds.Add(s.OmegaSeconds)
+	met.ScanSeconds.Observe(s.WallSeconds)
+	met.KernelLaunches.Add(int64(s.KernelILaunches + s.KernelIILaunches))
+	met.BytesTransferred.Add(s.BytesTransferred)
+	met.HardwareOmegas.Add(s.HardwareOmegas)
+	met.SoftwareOmegas.Add(s.SoftwareOmegas)
 }
 
 // Output is the uniform result of a Backend.Scan.

@@ -21,7 +21,9 @@ func (fpgaBackend) Scan(ctx context.Context, a *seqio.Alignment, p omega.Params,
 	if opts.FPGADevice != nil {
 		dev = *opts.FPGADevice
 	}
-	rep, err := fpga.ScanCtx(ctx, dev, a, p, opts.FPGAOpts)
+	fopts := opts.FPGAOpts
+	fopts.Meter = opts.Meter
+	rep, err := fpga.ScanCtx(ctx, dev, a, p, fopts)
 	if err != nil {
 		return nil, err
 	}

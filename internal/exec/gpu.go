@@ -23,6 +23,7 @@ func (gpuBackend) Scan(ctx context.Context, a *seqio.Alignment, p omega.Params, 
 	}
 	gopts := opts.GPUOpts
 	gopts.Workers = opts.Threads
+	gopts.Meter = opts.Meter
 	rep, err := gpu.ScanCtx(ctx, dev, opts.GPUKernel, a, p, gopts)
 	if err != nil {
 		return nil, err

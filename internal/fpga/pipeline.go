@@ -3,6 +3,7 @@ package fpga
 import (
 	"math"
 
+	"omegago/internal/obs"
 	"omegago/internal/omega"
 	"omegago/internal/seqio"
 )
@@ -20,6 +21,9 @@ type Options struct {
 	// CPUSecondsPerOmega is the host cost of one remainder ω score
 	// (0 = DefaultCPUSecondsPerOmega).
 	CPUSecondsPerOmega float64
+	// Meter (nil = disabled) receives one progress tick and modeled
+	// LD/ω phase spans per grid position from ScanCtx.
+	Meter *obs.Meter
 }
 
 func (o Options) withDefaults(d Device) (int, float64) {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"omegago/internal/ld"
+	"omegago/internal/obs"
 	"omegago/internal/omega"
 	"omegago/internal/seqio"
 )
@@ -57,6 +58,7 @@ func ScanCtx(ctx context.Context, d Device, a *seqio.Alignment, p omega.Params, 
 	t0 := time.Now()
 	comp := ld.NewComputer(a, ld.Direct, 1)
 	m := omega.NewDPMatrix(comp)
+	mt := opts.Meter
 	rep := &ScanReport{Results: make([]omega.Result, 0, len(regions))}
 	for _, reg := range regions {
 		if err := ctx.Err(); err != nil {
@@ -64,18 +66,29 @@ func ScanCtx(ctx context.Context, d Device, a *seqio.Alignment, p omega.Params, 
 		}
 		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {
 			rep.Results = append(rep.Results, omega.Result{GridIndex: reg.Index, Center: reg.Center})
+			mt.Tick(0, 0)
 			continue
 		}
+		regStart := time.Now()
 		before := m.R2Computed()
 		m.Advance(reg.Lo, reg.Hi)
-		rep.LDSeconds += ModelLDSeconds(d, m.R2Computed()-before, a.Samples())
+		pairs := m.R2Computed() - before
+		ldSec := ModelLDSeconds(d, pairs, a.Samples())
+		rep.LDSeconds += ldSec
+		mt.Span(obs.PhaseLD, 0, regStart, time.Duration(ldSec*float64(time.Second)), true, nil)
 
 		in := omega.BuildKernelInput(m, a, reg, p)
 		if in == nil {
 			rep.Results = append(rep.Results, omega.Result{GridIndex: reg.Index, Center: reg.Center})
+			mt.Tick(0, pairs)
 			continue
 		}
+		omegaStart := time.Now()
 		res, lr := LaunchOmega(d, in, a, opts)
+		mt.Span(obs.PhaseOmega, 0, omegaStart, time.Duration(lr.TotalSeconds()*float64(time.Second)), true, map[string]any{
+			"unroll_factor": lr.UnrollFactor,
+		})
+		mt.Tick(res.Scores, pairs)
 		rep.Results = append(rep.Results, res)
 		rep.OmegaScores += res.Scores
 		rep.HardwareOmegas += lr.HardwareOmegas

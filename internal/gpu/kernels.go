@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"omegago/internal/obs"
 	"omegago/internal/omega"
 	"omegago/internal/seqio"
 )
@@ -82,6 +83,9 @@ type Options struct {
 	// Workers caps the goroutines simulating compute units (0 = one per
 	// CU).
 	Workers int
+	// Meter (nil = disabled) receives one progress tick and modeled
+	// LD/ω phase spans per grid position from ScanCtx.
+	Meter *obs.Meter
 }
 
 // LaunchReport describes one kernel launch: functional counters plus the

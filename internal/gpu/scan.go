@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"omegago/internal/ld"
+	"omegago/internal/obs"
 	"omegago/internal/omega"
 	"omegago/internal/seqio"
 )
@@ -97,6 +98,7 @@ func ScanCtx(ctx context.Context, d Device, kind Kind, a *seqio.Alignment, p ome
 	t0 := time.Now()
 	comp := ld.NewComputer(a, ld.GEMM, maxInt(1, opts.Workers))
 	m := omega.NewDPMatrix(comp)
+	mt := opts.Meter
 	rep := &ScanReport{Results: make([]omega.Result, 0, len(regions))}
 	for _, reg := range regions {
 		if err := ctx.Err(); err != nil {
@@ -104,8 +106,10 @@ func ScanCtx(ctx context.Context, d Device, kind Kind, a *seqio.Alignment, p ome
 		}
 		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {
 			rep.Results = append(rep.Results, omega.Result{GridIndex: reg.Index, Center: reg.Center})
+			mt.Tick(0, 0)
 			continue
 		}
+		regStart := time.Now()
 		// LD phase: the DP extension computes r² for entering SNPs via
 		// the GEMM engine; its device time is modeled from the fresh
 		// pair count.
@@ -116,18 +120,26 @@ func ScanCtx(ctx context.Context, d Device, kind Kind, a *seqio.Alignment, p ome
 		}
 		m.Advance(reg.Lo, reg.Hi)
 		pairs := m.R2Computed() - before
-		rep.LDSeconds += ModelLDSeconds(d, pairs, newRows, reg.Hi-reg.Lo+1, a.Samples())
+		ldSec := ModelLDSeconds(d, pairs, newRows, reg.Hi-reg.Lo+1, a.Samples())
+		rep.LDSeconds += ldSec
+		mt.Span(obs.PhaseLD, 0, regStart, time.Duration(ldSec*float64(time.Second)), true, nil)
 
 		// ω phase: pack buffers (host), transfer, launch.
 		in := omega.BuildKernelInput(m, a, reg, p)
 		if in == nil {
 			rep.Results = append(rep.Results, omega.Result{GridIndex: reg.Index, Center: reg.Center})
+			mt.Tick(0, pairs)
 			continue
 		}
 		o := opts
 		windowSNPs := int64(reg.Hi - reg.Lo + 1)
 		o.PrepWorkingSetBytes = in.Bytes() + windowSNPs*windowSNPs*4 // buffers + triangular M
+		omegaStart := time.Now()
 		res, lr := LaunchOmega(d, kind, in, a, o)
+		mt.Span(obs.PhaseOmega, 0, omegaStart, time.Duration(lr.TotalSeconds()*float64(time.Second)), true, map[string]any{
+			"kernel": lr.Kind.String(),
+		})
+		mt.Tick(lr.Omegas, pairs)
 		rep.Results = append(rep.Results, res)
 		rep.OmegaScores += lr.Omegas
 		rep.BytesTransferred += lr.Bytes

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a lock-free monotonically increasing integer metric.
+// The zero value is ready to use; all methods are safe for concurrent
+// callers and never allocate.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is ignored: counters are
+// monotonic by contract).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a lock-free float64 metric that can move in both
+// directions. Adds use a CAS loop over the float's bit pattern, so
+// concurrent Add calls never lose updates.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds delta to the gauge.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DurationBuckets are the default histogram bounds (seconds) for phase
+// durations: per-region LD/ω stages sit in the µs–ms decades, whole
+// scans in the ms–minutes decades, so one exponential ladder covers
+// both.
+var DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 60}
+
+// Histogram is a lock-free fixed-bucket histogram in the Prometheus
+// style: observations land in the first bucket whose upper bound is ≥
+// the value, with an implicit +Inf bucket, plus a running sum and
+// count. All updates are atomic; a concurrent scrape sees a consistent
+// enough view for monitoring (buckets may momentarily lead sum/count).
+type Histogram struct {
+	bounds []float64      // ascending upper bounds, +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    Gauge
+}
+
+// NewHistogram builds a histogram over ascending upper bounds. Nil or
+// empty bounds default to DurationBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DurationBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value (seconds for duration histograms).
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Bounds returns the configured upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Cumulative returns the cumulative bucket counts aligned with
+// Bounds(), with the final entry the +Inf bucket (== Count modulo a
+// racing in-flight observation).
+func (h *Histogram) Cumulative() []int64 {
+	out := make([]int64, len(h.counts))
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		out[i] = run
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds named metrics and exposes them in the Prometheus text
+// exposition format (version 0.0.4) and as an expvar map. Registration
+// takes a lock; the metrics themselves stay lock-free, so the scan hot
+// path never contends with a scrape.
+//
+// Get-or-create semantics: asking for an existing name of the same
+// kind returns the same metric (so NewMetrics can be called per scan
+// against a shared registry); asking for an existing name of a
+// different kind panics, because that is a programming error that
+// would silently fork the time series.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	help     map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
+	}
+}
+
+// checkName panics on names that would corrupt the exposition format.
+func checkName(name string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	for _, r := range name {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' || r == ':' {
+			continue
+		}
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+func (r *Registry) taken(name, want string) {
+	kinds := map[string]bool{
+		"counter":   r.counters[name] != nil,
+		"gauge":     r.gauges[name] != nil,
+		"histogram": r.hists[name] != nil,
+	}
+	for kind, present := range kinds {
+		if present && kind != want {
+			panic(fmt.Sprintf("obs: metric %q already registered as a %s", name, kind))
+		}
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	checkName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.taken(name, "counter")
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+		r.help[name] = help
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	checkName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.taken(name, "gauge")
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.help[name] = help
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bounds on first use (nil bounds = DurationBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	checkName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.taken(name, "histogram")
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+		r.help[name] = help
+	}
+	return h
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips, +Inf spelled literally.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered metric in the text
+// exposition format, sorted by name so output is deterministic (the
+// golden test pins this byte-for-byte).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.help))
+	for n := range r.help {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Snapshot the metric pointers so the writes below run without the
+	// registration lock.
+	type entry struct {
+		name, help string
+		c          *Counter
+		g          *Gauge
+		h          *Histogram
+	}
+	entries := make([]entry, len(names))
+	for i, n := range names {
+		entries[i] = entry{name: n, help: r.help[n], c: r.counters[n], g: r.gauges[n], h: r.hists[n]}
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, e := range entries {
+		if e.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", e.name, e.help)
+		}
+		switch {
+		case e.c != nil:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.c.Value())
+		case e.g != nil:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", e.name, e.name, formatFloat(e.g.Value()))
+		case e.h != nil:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", e.name)
+			cum := e.h.Cumulative()
+			for i, bound := range e.h.Bounds() {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", e.name, formatFloat(bound), cum[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", e.name, cum[len(cum)-1])
+			fmt.Fprintf(&b, "%s_sum %s\n", e.name, formatFloat(e.h.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", e.name, e.h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the registry as a Prometheus scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Snapshot returns the current value of every metric as a plain map
+// (histograms as {sum, count}); this is what the expvar integration
+// publishes.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]any, len(r.help))
+	for n, c := range r.counters {
+		out[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		out[n] = map[string]any{"sum": h.Sum(), "count": h.Count()}
+	}
+	return out
+}
+
+// PublishExpvar publishes the registry under the given expvar name
+// (visible at /debug/vars). expvar panics on duplicate names, so call
+// this once per process per name.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// progressWriter renders Progress events as a single self-overwriting
+// terminal line (carriage-return style), rate-limited to one render
+// per interval, with a final newline when the run completes. It is the
+// implementation behind cmd/omegago's -progress flag.
+type progressWriter struct {
+	w     io.Writer
+	every time.Duration
+
+	mu      sync.Mutex
+	last    time.Time
+	lastLen int
+}
+
+// NewProgressWriter returns an Observer that prints a live progress
+// line (rate + ETA) to w at most once per `every` (every ≤ 0 prints on
+// each event). Safe for concurrent scans; I/O is serialized by a
+// mutex.
+func NewProgressWriter(w io.Writer, every time.Duration) Observer {
+	return &progressWriter{w: w, every: every}
+}
+
+// formatSI mirrors stats.FormatSI for the counter readouts without
+// importing the stats package (obs stays a leaf).
+func formatSI(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func (pw *progressWriter) OnProgress(p Progress) {
+	final := p.GridTotal > 0 && p.GridDone >= p.GridTotal &&
+		(p.ReplicatesTotal == 0 || p.ReplicatesDone >= p.ReplicatesTotal)
+	now := time.Now()
+
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	if !final && pw.every > 0 && now.Sub(pw.last) < pw.every {
+		return
+	}
+	pw.last = now
+
+	line := fmt.Sprintf("progress [%s] %d/%d positions (%.1f%%) | %s ω (%s ω/s)",
+		p.Backend, p.GridDone, p.GridTotal, p.Percent(),
+		formatSI(float64(p.OmegaScores)), formatSI(p.OmegaPerSec))
+	if p.ReplicatesTotal > 0 {
+		line += fmt.Sprintf(" | replicates %d/%d", p.ReplicatesDone, p.ReplicatesTotal)
+	}
+	if !final && p.ETA > 0 {
+		line += " | ETA " + formatETA(p.ETA)
+	}
+	if final {
+		line += fmt.Sprintf(" | done in %s", formatETA(p.Elapsed))
+	}
+	// Pad with spaces so a shorter line fully overwrites the previous
+	// render, then park the cursor at the line start.
+	pad := 0
+	if n := len(line); n < pw.lastLen {
+		pad = pw.lastLen - n
+	}
+	pw.lastLen = len(line)
+	end := "\r"
+	if final {
+		end = "\n"
+		pw.lastLen = 0
+	}
+	fmt.Fprintf(pw.w, "\r%s%s%s", line, strings.Repeat(" ", pad), end)
+}
+
+func (pw *progressWriter) OnPhase(Phase) {}
+
+// formatETA renders a duration coarsely: sub-second to the
+// millisecond, otherwise to the second.
+func formatETA(d time.Duration) string {
+	if d < time.Second {
+		return d.Round(time.Millisecond).String()
+	}
+	return d.Round(time.Second).String()
+}

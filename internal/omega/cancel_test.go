@@ -36,10 +36,10 @@ func cancelScanners(threads int) map[string]func(context.Context, *seqio.Alignme
 			return ScanCtx(ctx, a, p, e, 1)
 		},
 		"snapshot": func(ctx context.Context, a *seqio.Alignment, p Params, e ld.Engine) ([]Result, Stats, error) {
-			return ScanParallelCtx(ctx, a, p, e, threads)
+			return ScanParallelCtx(ctx, a, p, e, threads, nil)
 		},
 		"sharded": func(ctx context.Context, a *seqio.Alignment, p Params, e ld.Engine) ([]Result, Stats, error) {
-			return ScanShardedCtx(ctx, a, p, e, threads)
+			return ScanShardedCtx(ctx, a, p, e, threads, nil)
 		},
 	}
 }

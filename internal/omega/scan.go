@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"omegago/internal/ld"
+	"omegago/internal/obs"
 	"omegago/internal/seqio"
 )
 
@@ -68,16 +69,20 @@ func ScanCtx(ctx context.Context, a *seqio.Alignment, p Params, engine ld.Engine
 		return nil, Stats{}, err
 	}
 	comp := ld.NewComputer(a, engine, ldWorkers)
-	return scanRegions(ctx, comp, a, regions, p)
+	return scanRegions(ctx, comp, a, regions, p, nil)
 }
 
 // scanRegions evaluates a contiguous, sorted slice of regions with one
-// DP matrix, checking ctx once per region.
-func scanRegions(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, regions []Region, p Params) ([]Result, Stats, error) {
+// DP matrix, checking ctx once per region. mt (nil = disabled) receives
+// one progress tick and the LD/ω phase spans per region; the span
+// durations reuse the Stats timing measurements, so observability adds
+// no clock reads of its own.
+func scanRegions(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, regions []Region, p Params, mt *obs.Meter) ([]Result, Stats, error) {
 	p = p.WithDefaults()
 	m := NewDPMatrix(comp)
 	results := make([]Result, 0, len(regions))
 	var st Stats
+	var prevR2 int64
 	for _, reg := range regions {
 		if err := ctx.Err(); err != nil {
 			return nil, st, err
@@ -85,17 +90,25 @@ func scanRegions(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, reg
 		st.Grid++
 		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {
 			results = append(results, Result{GridIndex: reg.Index, Center: reg.Center})
+			mt.Tick(0, 0)
 			continue
 		}
 		t0 := time.Now()
 		m.Advance(reg.Lo, reg.Hi)
-		st.LDTime += time.Since(t0)
+		dLD := time.Since(t0)
+		st.LDTime += dLD
+		mt.Span(obs.PhaseLD, 0, t0, dLD, false, nil)
 
 		t1 := time.Now()
 		res := ComputeOmega(m, a, reg, p)
-		st.OmegaTime += time.Since(t1)
+		dOmega := time.Since(t1)
+		st.OmegaTime += dOmega
+		mt.Span(obs.PhaseOmega, 0, t1, dOmega, false, nil)
 		st.OmegaScores += res.Scores
 		results = append(results, res)
+		r2 := m.R2Computed()
+		mt.Tick(res.Scores, r2-prevR2)
+		prevR2 = r2
 	}
 	st.R2Computed = m.R2Computed()
 	st.R2Reused = m.R2Reused()
@@ -114,15 +127,19 @@ func scanRegions(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, reg
 // threads — the bottleneck ScanSharded exists to remove on the
 // LD-dominated workloads of Fig. 14.
 func ScanParallel(a *seqio.Alignment, p Params, engine ld.Engine, threads int) ([]Result, Stats, error) {
-	return ScanParallelCtx(context.Background(), a, p, engine, threads)
+	return ScanParallelCtx(context.Background(), a, p, engine, threads, nil)
 }
 
-// ScanParallelCtx is ScanParallel with cancellation. The producer
-// checks ctx before sliding the DP matrix to each region and the
-// workers drop queued snapshots once the context is done, so the call
-// returns ctx.Err() within one region of work; all workers are joined
-// before returning, leaking no goroutines.
-func ScanParallelCtx(ctx context.Context, a *seqio.Alignment, p Params, engine ld.Engine, threads int) ([]Result, Stats, error) {
+// ScanParallelCtx is ScanParallel with cancellation and live metering.
+// The producer checks ctx before sliding the DP matrix to each region
+// and the workers drop queued snapshots once the context is done, so
+// the call returns ctx.Err() within one region of work; all workers
+// are joined before returning, leaking no goroutines.
+//
+// mt (nil = disabled) receives LD/snapshot phase spans on track 1 from
+// the producer, ω spans on track 2+w from worker w, r² progress as the
+// producer advances, and one grid-position tick per scored region.
+func ScanParallelCtx(ctx context.Context, a *seqio.Alignment, p Params, engine ld.Engine, threads int, mt *obs.Meter) ([]Result, Stats, error) {
 	if threads < 1 {
 		return nil, Stats{}, fmt.Errorf("omega: thread count %d < 1", threads)
 	}
@@ -132,7 +149,7 @@ func ScanParallelCtx(ctx context.Context, a *seqio.Alignment, p Params, engine l
 	}
 	comp := ld.NewComputer(a, engine, 1)
 	if threads == 1 || len(regions) < 2 {
-		return scanRegions(ctx, comp, a, regions, p)
+		return scanRegions(ctx, comp, a, regions, p, mt)
 	}
 	p = p.WithDefaults()
 
@@ -156,15 +173,19 @@ func ScanParallelCtx(ctx context.Context, a *seqio.Alignment, p Params, engine l
 				}
 				t0 := time.Now()
 				res := ComputeOmega(jb.view, a, jb.reg, p)
-				omegaNs[w] += time.Since(t0).Nanoseconds()
+				d := time.Since(t0)
+				omegaNs[w] += d.Nanoseconds()
+				mt.Span(obs.PhaseOmega, 2+w, t0, d, false, nil)
 				scores[w] += res.Scores
 				results[jb.slot] = res
+				mt.Tick(res.Scores, 0)
 			}
 		}(w)
 	}
 
 	m := NewDPMatrix(comp)
 	var st Stats
+	var prevR2 int64
 	for i, reg := range regions {
 		if ctx.Err() != nil {
 			break
@@ -172,14 +193,22 @@ func ScanParallelCtx(ctx context.Context, a *seqio.Alignment, p Params, engine l
 		st.Grid++
 		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {
 			results[i] = Result{GridIndex: reg.Index, Center: reg.Center}
+			mt.Tick(0, 0)
 			continue
 		}
 		t0 := time.Now()
 		m.Advance(reg.Lo, reg.Hi)
-		st.LDTime += time.Since(t0)
+		dLD := time.Since(t0)
+		st.LDTime += dLD
+		mt.Span(obs.PhaseLD, 1, t0, dLD, false, nil)
+		r2 := m.R2Computed()
+		mt.AddR2(r2 - prevR2)
+		prevR2 = r2
 		t1 := time.Now()
 		view := m.Snapshot()
-		st.SnapshotTime += time.Since(t1)
+		dSnap := time.Since(t1)
+		st.SnapshotTime += dSnap
+		mt.Span(obs.PhaseSnapshot, 1, t1, dSnap, false, nil)
 		jobs <- job{view: view, reg: reg, slot: i}
 	}
 	close(jobs)

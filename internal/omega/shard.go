@@ -7,8 +7,8 @@ import (
 	"time"
 
 	"omegago/internal/ld"
+	"omegago/internal/obs"
 	"omegago/internal/seqio"
-	"omegago/internal/trace"
 )
 
 // shardSpan is a contiguous run of grid regions [Lo, Hi) owned by one
@@ -108,27 +108,21 @@ func partitionRegions(regions []Region, threads int) []shardSpan {
 // same recurrence over the same r² values), and ComputeOmega reads the
 // same cells in the same order.
 func ScanSharded(a *seqio.Alignment, p Params, engine ld.Engine, threads int) ([]Result, Stats, error) {
-	return ScanShardedTracedCtx(context.Background(), a, p, engine, threads, nil)
+	return ScanShardedCtx(context.Background(), a, p, engine, threads, nil)
 }
 
-// ScanShardedCtx is ScanSharded with cancellation: every shard worker
-// checks ctx between regions, so a cancelled or expired context aborts
-// the scan within one region of work per shard and returns ctx.Err().
-// All shard workers are joined before returning, leaking no goroutines.
-func ScanShardedCtx(ctx context.Context, a *seqio.Alignment, p Params, engine ld.Engine, threads int) ([]Result, Stats, error) {
-	return ScanShardedTracedCtx(ctx, a, p, engine, threads, nil)
-}
-
-// ScanShardedTraced is ScanSharded with per-shard spans emitted through
-// tr (nil disables tracing): each shard gets its own trace track
-// carrying one summary span plus per-region "ld" and "omega" spans, so
-// the LD/ω overlap across shards is visible in Perfetto.
-func ScanShardedTraced(a *seqio.Alignment, p Params, engine ld.Engine, threads int, tr *trace.Tracer) ([]Result, Stats, error) {
-	return ScanShardedTracedCtx(context.Background(), a, p, engine, threads, tr)
-}
-
-// ScanShardedTracedCtx combines ScanShardedCtx and ScanShardedTraced.
-func ScanShardedTracedCtx(ctx context.Context, a *seqio.Alignment, p Params, engine ld.Engine, threads int, tr *trace.Tracer) ([]Result, Stats, error) {
+// ScanShardedCtx is ScanSharded with cancellation and live metering:
+// every shard worker checks ctx between regions, so a cancelled or
+// expired context aborts the scan within one region of work per shard
+// and returns ctx.Err(). All shard workers are joined before
+// returning, leaking no goroutines.
+//
+// mt (nil = disabled) receives per-region "ld"/"omega" phase spans on
+// track 2+s from shard s plus one shard-summary span per shard, and
+// one grid-position tick per region — passing a trace.Tracer as the
+// scan's Observer therefore renders each shard on its own Perfetto
+// lane, exactly as the pre-obs ScanShardedTraced entry point did.
+func ScanShardedCtx(ctx context.Context, a *seqio.Alignment, p Params, engine ld.Engine, threads int, mt *obs.Meter) ([]Result, Stats, error) {
 	if threads < 1 {
 		return nil, Stats{}, fmt.Errorf("omega: thread count %d < 1", threads)
 	}
@@ -140,7 +134,7 @@ func ScanShardedTracedCtx(ctx context.Context, a *seqio.Alignment, p Params, eng
 	comp := ld.NewComputer(a, engine, 1)
 	shards := partitionRegions(regions, threads)
 	if len(shards) <= 1 {
-		return scanRegions(ctx, comp, a, regions, p)
+		return scanRegions(ctx, comp, a, regions, p, mt)
 	}
 	results := make([]Result, len(regions))
 	perShard := make([]Stats, len(shards))
@@ -149,7 +143,7 @@ func ScanShardedTracedCtx(ctx context.Context, a *seqio.Alignment, p Params, eng
 		wg.Add(1)
 		go func(s int, sp shardSpan) {
 			defer wg.Done()
-			perShard[s] = scanShard(ctx, comp.Clone(), a, regions, sp, p, results, tr, s)
+			perShard[s] = scanShard(ctx, comp.Clone(), a, regions, sp, p, results, mt, s)
 		}(s, sp)
 	}
 	wg.Wait()
@@ -164,13 +158,14 @@ func ScanShardedTracedCtx(ctx context.Context, a *seqio.Alignment, p Params, eng
 }
 
 // scanShard evaluates one shard with a private DP matrix, writing
-// results into their global slots. track selects the shard's trace
-// lane; lane 1 is reserved for the caller's top-level phases.
-func scanShard(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, regions []Region, sp shardSpan, p Params, out []Result, tr *trace.Tracer, track int) Stats {
+// results into their global slots. track selects the shard's span
+// lane (offset by 2; lanes 0–1 are reserved for top-level phases and
+// the snapshot producer).
+func scanShard(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, regions []Region, sp shardSpan, p Params, out []Result, mt *obs.Meter, track int) Stats {
 	var st Stats
 	m := NewDPMatrix(comp)
 	lane := track + 2
-	shardDone := tr.BeginOn(lane, fmt.Sprintf("shard %d", track))
+	shardStart := time.Now()
 
 	// Serial-predecessor window: the last region before the shard that
 	// would have advanced a serial matrix. Its overlap with the shard's
@@ -184,6 +179,7 @@ func scanShard(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, regio
 		}
 	}
 	first := true
+	var prevR2 int64
 	for i := sp.Lo; i < sp.Hi; i++ {
 		if ctx.Err() != nil {
 			break // the scan is aborting; the caller reports ctx.Err()
@@ -192,29 +188,33 @@ func scanShard(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, regio
 		st.Grid++
 		if reg.Lo > reg.Hi || reg.K < reg.Lo || reg.K >= reg.Hi {
 			out[i] = Result{GridIndex: reg.Index, Center: reg.Center}
+			mt.Tick(0, 0)
 			continue
 		}
 		if first {
 			st.R2Duplicated = triangleCells(prevHi - reg.Lo + 1)
 			first = false
 		}
-		ldDone := tr.BeginOn(lane, "ld")
 		t0 := time.Now()
 		m.Advance(reg.Lo, reg.Hi)
-		st.LDTime += time.Since(t0)
-		ldDone(nil)
+		dLD := time.Since(t0)
+		st.LDTime += dLD
+		mt.Span(obs.PhaseLD, lane, t0, dLD, false, nil)
 
-		omegaDone := tr.BeginOn(lane, "omega")
 		t1 := time.Now()
 		res := ComputeOmega(m, a, reg, p)
-		st.OmegaTime += time.Since(t1)
-		omegaDone(nil)
+		dOmega := time.Since(t1)
+		st.OmegaTime += dOmega
+		mt.Span(obs.PhaseOmega, lane, t1, dOmega, false, nil)
 		st.OmegaScores += res.Scores
 		out[i] = res
+		r2 := m.R2Computed()
+		mt.Tick(res.Scores, r2-prevR2)
+		prevR2 = r2
 	}
 	st.R2Computed = m.R2Computed()
 	st.R2Reused = m.R2Reused()
-	shardDone(map[string]any{
+	mt.Span(fmt.Sprintf("shard %d", track), lane, shardStart, time.Since(shardStart), false, map[string]any{
 		"regions":       sp.Hi - sp.Lo,
 		"r2_computed":   st.R2Computed,
 		"r2_reused":     st.R2Reused,

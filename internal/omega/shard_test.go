@@ -1,11 +1,13 @@
 package omega
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"omegago/internal/ld"
 	"omegago/internal/mssim"
+	"omegago/internal/obs"
 	"omegago/internal/trace"
 )
 
@@ -178,7 +180,8 @@ func TestScanShardedTraceSpans(t *testing.T) {
 	a, _ := reps[0].ToAlignment(50000)
 	tr := trace.NewTracer()
 	const threads = 3
-	if _, _, err := ScanShardedTraced(a, Params{GridSize: 12, MaxWindow: 10000}, ld.Direct, threads, tr); err != nil {
+	mt := obs.NewMeter("cpu", 12, tr, nil)
+	if _, _, err := ScanShardedCtx(context.Background(), a, Params{GridSize: 12, MaxWindow: 10000}, ld.Direct, threads, mt); err != nil {
 		t.Fatal(err)
 	}
 	tracks := map[int]bool{}

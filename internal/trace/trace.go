@@ -11,6 +11,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"omegago/internal/obs"
 )
 
 // Span is one completed region of work.
@@ -74,6 +76,27 @@ func (t *Tracer) BeginOn(track int, name string) func(args map[string]any) {
 		t.mu.Unlock()
 	}
 }
+
+// OnPhase implements obs.Observer: every Phase event a scan emits
+// becomes a span, so passing a Tracer as the scan's Observer records
+// the per-region LD/ω stages (and, with the sharded scheduler, the
+// per-shard lanes) without any engine knowing about tracing. This is
+// how the pre-obs Tracer hook is absorbed into the Observer surface.
+func (t *Tracer) OnPhase(p obs.Phase) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{
+		Name: p.Name, Start: p.Start, Duration: p.Duration, Track: p.Track, Args: p.Args,
+	})
+	t.mu.Unlock()
+}
+
+// OnProgress implements obs.Observer; a Tracer records phases only.
+func (t *Tracer) OnProgress(obs.Progress) {}
+
+var _ obs.Observer = (*Tracer)(nil)
 
 // Spans returns the completed spans in completion order.
 func (t *Tracer) Spans() []Span {

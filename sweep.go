@@ -37,6 +37,7 @@ import (
 	"omegago/internal/fpga"
 	"omegago/internal/gpu"
 	"omegago/internal/mssim"
+	"omegago/internal/obs"
 	"omegago/internal/omega"
 	"omegago/internal/seqio"
 	"omegago/internal/sfs"
@@ -44,9 +45,9 @@ import (
 )
 
 // Tracer collects hierarchical timing spans of a scan and exports them
-// in the Chrome trace-event format (see cmd/omegago's -trace flag). Set
-// Config.Tracer to capture per-phase — and, with the sharded scheduler,
-// per-shard — spans of a scan.
+// in the Chrome trace-event format (see cmd/omegago's -trace flag). A
+// Tracer is an Observer: set Config.Observer to capture per-phase —
+// and, with the sharded scheduler, per-shard — spans of a scan.
 type Tracer = trace.Tracer
 
 // NewTracer starts a Tracer whose timestamps are relative to now.
@@ -84,6 +85,23 @@ func (s Scheduler) String() string {
 		return "sharded"
 	default:
 		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// ParseScheduler resolves a scheduler name as printed by
+// Scheduler.String ("auto", "snapshot", "sharded"). It is the inverse
+// of String over every defined scheduler; the CLI's -sched flag parses
+// through it.
+func ParseScheduler(name string) (Scheduler, error) {
+	switch name {
+	case "auto":
+		return SchedAuto, nil
+	case "snapshot":
+		return SchedSnapshot, nil
+	case "sharded":
+		return SchedSharded, nil
+	default:
+		return SchedAuto, fmt.Errorf("omegago: unknown scheduler %q (want auto, snapshot, or sharded)", name)
 	}
 }
 
@@ -129,9 +147,23 @@ func (b Backend) String() string {
 	}
 }
 
-// execName maps the public Backend enum to its registry name in the
-// internal execution layer. It matches String() by construction.
-func (b Backend) execName() string { return b.String() }
+// ParseBackend resolves a backend name to the Backend enum. It accepts
+// exactly the registry names Backend.String prints ("cpu", "gpu-sim",
+// "fpga-sim") plus the bare accelerator aliases "gpu" and "fpga", so
+// the CLI and config files share one parser with the execution-layer
+// registry rather than each keeping a switch of its own.
+func ParseBackend(name string) (Backend, error) {
+	switch name {
+	case "cpu":
+		return BackendCPU, nil
+	case "gpu", "gpu-sim":
+		return BackendGPU, nil
+	case "fpga", "fpga-sim":
+		return BackendFPGA, nil
+	default:
+		return BackendCPU, fmt.Errorf("%w: %q (want cpu, gpu-sim, or fpga-sim)", ErrUnknownBackend, name)
+	}
+}
 
 // Config configures a sweep scan.
 type Config struct {
@@ -153,9 +185,16 @@ type Config struct {
 	Sched Scheduler
 	// Backend selects the engine (default BackendCPU).
 	Backend Backend
-	// Tracer, when non-nil, receives timing spans of the scan (per shard
-	// with the sharded scheduler).
-	Tracer *Tracer
+	// Observer, when non-nil, receives live Progress snapshots (one per
+	// completed grid position) and Phase spans from the scan. A *Tracer
+	// satisfies this (replacing the removed Config.Tracer hook); compose
+	// several with MultiObserver. Must be safe for concurrent use.
+	Observer Observer
+	// Metrics, when non-nil, is fed live counters (grid positions, ω
+	// scores, fresh r², per-phase histograms) plus per-scan totals on
+	// completion. Expose its Registry over HTTP for Prometheus scraping;
+	// the CLI's -metrics-addr flag does exactly that.
+	Metrics *Metrics
 	// GPU options (BackendGPU).
 	GPUDevice *gpu.Device // default Tesla K80
 	GPUKernel gpu.Kind    // default Dynamic
@@ -214,16 +253,26 @@ func (r *Report) Best() (Result, bool) { return omega.MaxResult(r.Results) }
 
 // execOptions translates the public Config into the unified execution
 // layer's option set.
-func (c Config) execOptions() exec.Options {
+func (c Config) execOptions(mt *obs.Meter) exec.Options {
 	return exec.Options{
 		Threads:    c.Threads,
 		Sched:      exec.Scheduler(c.Sched),
 		UseGEMMLD:  c.UseGEMMLD,
-		Tracer:     c.Tracer,
+		Meter:      mt,
 		GPUDevice:  c.GPUDevice,
 		GPUKernel:  c.GPUKernel,
 		FPGADevice: c.FPGADevice,
 	}
+}
+
+// newMeter builds the scan-progress meter for a run of gridTotal
+// positions, or nil when nobody is observing — the engines then pay a
+// single nil check per grid position.
+func (c Config) newMeter(gridTotal int) *obs.Meter {
+	if c.Observer == nil && c.Metrics == nil {
+		return nil
+	}
+	return obs.NewMeter(c.Backend.String(), gridTotal, c.Observer, c.Metrics)
 }
 
 // Scan runs LD-based selective sweep detection over a dataset. It is
@@ -238,35 +287,54 @@ func Scan(ds *Dataset, cfg Config) (*Report, error) {
 // within one grid position of work on every backend — CPU schedulers
 // included — returning ctx.Err() and leaking no goroutines.
 //
-// The backend is resolved through the internal execution registry by
-// Config.Backend; every engine returns the same bit-identical results
-// and is assembled into the Report through this single path.
+// The configuration is checked by Config.Validate exactly once (errors
+// match ErrBadGrid / ErrUnknownBackend via errors.Is; an empty dataset
+// matches ErrNoSNPs). The backend is resolved through the internal
+// execution registry by Config.Backend; every engine returns the same
+// bit-identical results and is assembled into the Report through this
+// single path.
 func ScanContext(ctx context.Context, ds *Dataset, cfg Config) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if ds == nil || ds.NumSNPs() == 0 {
-		return nil, fmt.Errorf("omegago: empty dataset")
-	}
-	if err := ds.Validate(); err != nil {
-		return nil, fmt.Errorf("omegago: invalid dataset: %w", err)
-	}
-	// Resolve the parameter defaults exactly once; every layer below
-	// receives the resolved set.
-	p := cfg.params().WithDefaults()
-	if err := p.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	be, err := exec.Lookup(cfg.Backend.execName())
+	// Resolve the parameter defaults exactly once; every layer below —
+	// scanResolved included — receives the resolved set.
+	p := cfg.params().WithDefaults()
+	be, err := exec.Lookup(cfg.Backend.String())
 	if err != nil {
-		return nil, fmt.Errorf("omegago: unknown backend %v", cfg.Backend)
+		return nil, fmt.Errorf("%w: %v", ErrUnknownBackend, cfg.Backend)
+	}
+	mt := cfg.newMeter(p.GridSize)
+	return scanResolved(ctx, ds, cfg, p, be, mt)
+}
+
+// scanResolved runs one scan with configuration already validated,
+// defaults resolved and the backend looked up — the shared inner path
+// of ScanContext and ScanBatch (which validates once for the whole
+// batch, not once per replicate). mt may be nil; a non-nil meter has
+// Done called exactly once, on every path.
+func scanResolved(ctx context.Context, ds *Dataset, cfg Config, p omega.Params, be exec.Backend, mt *obs.Meter) (*Report, error) {
+	if ds == nil || ds.NumSNPs() == 0 {
+		err := fmt.Errorf("%w (empty dataset)", ErrNoSNPs)
+		mt.Done(err)
+		return nil, err
+	}
+	if err := ds.Validate(); err != nil {
+		err = fmt.Errorf("omegago: invalid dataset: %w", err)
+		mt.Done(err)
+		return nil, err
 	}
 	t0 := time.Now()
-	out, err := be.Scan(ctx, ds, p, cfg.execOptions())
+	out, err := be.Scan(ctx, ds, p, cfg.execOptions(mt))
+	mt.Done(err)
 	if err != nil {
 		return nil, err
 	}
 	st := out.Stats
+	st.Publish(cfg.Metrics)
 	return &Report{
 		Results: out.Results, Backend: cfg.Backend,
 		OmegaScores: st.OmegaScores, R2Computed: st.R2Computed, R2Reused: st.R2Reused,
