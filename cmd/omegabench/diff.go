@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// readFile loads and validates a BENCH_*.json report.
+func readFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != schemaVersion {
+		return nil, fmt.Errorf("%s: schema %d, this tool reads %d", path, f.Schema, schemaVersion)
+	}
+	return &f, nil
+}
+
+// writeFile emits a report with a trailing newline, deterministic field
+// order, and human-readable indentation (the file is committed to git).
+func writeFile(path string, f *File) error {
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// diffLine is one row of the comparison table.
+type diffLine struct {
+	text       string
+	regression bool
+}
+
+// diffFiles compares new throughput against old per benchmark name.
+// A benchmark regresses when its throughput drops by more than
+// threshold (e.g. 0.15 = 15%), or when it vanished from the new report.
+// Benchmarks only present in the new file are listed but never fail the
+// diff (they have no baseline yet).
+func diffFiles(old, cur *File, threshold float64) (lines []diffLine, regressions int) {
+	curByName := make(map[string]Record, len(cur.Benchmarks))
+	for _, r := range cur.Benchmarks {
+		curByName[r.Name] = r
+	}
+	seen := make(map[string]bool, len(old.Benchmarks))
+	for _, o := range old.Benchmarks {
+		seen[o.Name] = true
+		n, ok := curByName[o.Name]
+		if !ok {
+			lines = append(lines, diffLine{
+				text:       fmt.Sprintf("%-24s MISSING from new report (baseline %.2f %s)", o.Name, o.Throughput, o.Metric),
+				regression: true,
+			})
+			regressions++
+			continue
+		}
+		delta := 0.0
+		if o.Throughput > 0 {
+			delta = n.Throughput/o.Throughput - 1
+		}
+		bad := delta < -threshold
+		mark := "ok"
+		if bad {
+			mark = fmt.Sprintf("REGRESSION (>%0.f%%)", threshold*100)
+			regressions++
+		}
+		lines = append(lines, diffLine{
+			text: fmt.Sprintf("%-24s %10.2f → %10.2f %s  %+6.1f%%  %s",
+				o.Name, o.Throughput, n.Throughput, n.Metric, delta*100, mark),
+			regression: bad,
+		})
+	}
+	for _, r := range cur.Benchmarks {
+		if !seen[r.Name] {
+			lines = append(lines, diffLine{
+				text: fmt.Sprintf("%-24s %10.2f %s  (new, no baseline)", r.Name, r.Throughput, r.Metric),
+			})
+		}
+	}
+	return lines, regressions
+}

@@ -1,0 +1,108 @@
+// Command omegabench is the reproducible benchmark harness behind the
+// repo's perf-trajectory record and the CI perf gate.
+//
+// Every benchmark runs on pinned seeds at fixed sizes, so two runs of
+// the same binary measure identical work and a BENCH_<rev>.json file is
+// comparable across revisions on the same machine. Two subcommands:
+//
+//	omegabench run  [-preset short|full] [-rev NAME] [-out PATH]
+//	omegabench diff [-threshold 0.15] OLD.json NEW.json
+//
+// run executes the preset's fixed table — the flat and blocked
+// triangular LD popcount kernels at several sizes, and full sweep scans
+// with the direct and GEMM LD engines — and writes a machine-readable
+// JSON report (ns/op, Mpairs/s or Momega/s throughput, allocs/op).
+//
+// diff compares two reports by benchmark name and exits 1 when any
+// throughput dropped by more than the threshold (or a baselined
+// benchmark disappeared) — the check the CI bench job runs against the
+// committed baseline. Exit codes: 0 ok, 1 regression, 2 usage or I/O
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "omegabench: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  omegabench run  [-preset short|full] [-rev NAME] [-out PATH]
+  omegabench diff [-threshold FRAC] OLD.json NEW.json
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		runCmd(os.Args[2:])
+	case "diff":
+		diffCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	preset := fs.String("preset", "short", "benchmark preset: short (CI) or full")
+	rev := fs.String("rev", "local", "revision label recorded in the report")
+	out := fs.String("out", "", "output path (default BENCH_<rev>.json)")
+	fs.Parse(args)
+	if *preset != "short" && *preset != "full" {
+		fatalf("unknown preset %q (want short or full)", *preset)
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", *rev)
+	}
+	fmt.Fprintf(os.Stderr, "omegabench: preset %s, rev %s\n", *preset, *rev)
+	f := runPreset(*preset, *rev, func(line string) {
+		fmt.Fprintln(os.Stderr, "  "+line)
+	})
+	if err := writeFile(path, f); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "omegabench: wrote %s (%d benchmarks)\n", path, len(f.Benchmarks))
+}
+
+func diffCmd(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.15, "relative throughput drop that counts as a regression")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+	}
+	if *threshold < 0 || *threshold >= 1 {
+		fatalf("threshold %g out of range [0, 1)", *threshold)
+	}
+	old, err := readFile(fs.Arg(0))
+	if err != nil {
+		fatalf("baseline: %v", err)
+	}
+	cur, err := readFile(fs.Arg(1))
+	if err != nil {
+		fatalf("new report: %v", err)
+	}
+	fmt.Printf("baseline %s (%s) vs %s (%s), threshold %.0f%%\n",
+		old.Rev, old.GoVersion, cur.Rev, cur.GoVersion, *threshold*100)
+	lines, regressions := diffFiles(old, cur, *threshold)
+	for _, l := range lines {
+		fmt.Println("  " + l.text)
+	}
+	if regressions > 0 {
+		fmt.Printf("FAIL: %d benchmark(s) regressed more than %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("ok: no regressions")
+}

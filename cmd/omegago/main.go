@@ -48,26 +48,26 @@ func main() {
 	log.SetPrefix("omegago: ")
 
 	var (
-		input      = flag.String("input", "", "input file (required)")
-		format     = flag.String("format", "ms", "input format: ms, fasta, vcf")
-		length     = flag.Float64("length", 1e6, "region length in bp (ms format only)")
-		grid       = flag.Int("grid", 100, "number of ω positions")
-		minwin     = flag.Float64("minwin", 0, "minimum window span in bp")
-		maxwin     = flag.Float64("maxwin", 0, "maximum border distance from the ω position in bp (0 = unbounded)")
-		threads    = flag.Int("threads", 1, "CPU threads (cpu backend)")
-		sched      = flag.String("sched", "auto", "CPU multithreading scheduler: snapshot, sharded, auto")
-		backend    = flag.String("backend", "cpu", "backend: cpu, gpu, fpga")
-		device     = flag.String("device", "", "accelerator device: k80, hd8750m, alveo, zcu102")
-		deviceFile = flag.String("device-file", "", "JSON GPU device profile (overrides -device for the gpu backend)")
-		kernel     = flag.String("kernel", "dynamic", "GPU kernel: 1, 2, dynamic")
-		gemmLD     = flag.Bool("gemm-ld", false, "batch LD through the BLIS-style bit-matrix GEMM (cpu backend)")
-		top        = flag.Int("top", 5, "number of top candidates to print")
-		quiet      = flag.Bool("quiet", false, "print only the candidate summary")
-		reportOut  = flag.String("report", "", "write an OmegaPlus-style report file to this path")
-		asJSON     = flag.Bool("json", false, "print results as JSON instead of the tab layout")
-		repl       = flag.String("replicate", "1", "ms replicate to scan: a 1-based index, or 'all' for a per-replicate summary")
-		allReps    = flag.Bool("all-replicates", false, "scan every ms replicate through the concurrent batch pipeline (same as -replicate all)")
-		batchWork  = flag.Int("batch-workers", 0, "concurrent replicate scans in batch mode (0 = GOMAXPROCS)")
+		input       = flag.String("input", "", "input file (required)")
+		format      = flag.String("format", "ms", "input format: ms, fasta, vcf")
+		length      = flag.Float64("length", 1e6, "region length in bp (ms format only)")
+		grid        = flag.Int("grid", 100, "number of ω positions")
+		minwin      = flag.Float64("minwin", 0, "minimum window span in bp")
+		maxwin      = flag.Float64("maxwin", 0, "maximum border distance from the ω position in bp (0 = unbounded)")
+		threads     = flag.Int("threads", 1, "CPU threads (cpu backend)")
+		sched       = flag.String("sched", "auto", "CPU multithreading scheduler: snapshot, sharded, auto")
+		backend     = flag.String("backend", "cpu", "backend: cpu, gpu, fpga")
+		device      = flag.String("device", "", "accelerator device: k80, hd8750m, alveo, zcu102")
+		deviceFile  = flag.String("device-file", "", "JSON GPU device profile (overrides -device for the gpu backend)")
+		kernel      = flag.String("kernel", "dynamic", "GPU kernel: 1, 2, dynamic")
+		gemmLD      = flag.Bool("gemm-ld", false, "batch LD through the BLIS-style bit-matrix GEMM (cpu backend)")
+		top         = flag.Int("top", 5, "number of top candidates to print")
+		quiet       = flag.Bool("quiet", false, "print only the candidate summary")
+		reportOut   = flag.String("report", "", "write an OmegaPlus-style report file to this path")
+		asJSON      = flag.Bool("json", false, "print results as JSON instead of the tab layout")
+		repl        = flag.String("replicate", "1", "ms replicate to scan: a 1-based index, or 'all' for a per-replicate summary")
+		allReps     = flag.Bool("all-replicates", false, "scan every ms replicate through the concurrent batch pipeline (same as -replicate all)")
+		batchWork   = flag.Int("batch-workers", 0, "concurrent replicate scans in batch mode (0 = GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, "abort the scan after this duration, e.g. 30s (0 = no limit)")
 		htmlOut     = flag.String("html", "", "write a self-contained HTML report (SVG ω landscape) to this path")
 		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON of the run's phases to this path")

@@ -56,7 +56,10 @@ type Options struct {
 	Threads int
 	// Sched selects the CPU multithreading scheduler (default SchedAuto).
 	Sched Scheduler
-	// UseGEMMLD batches CPU-backend LD through the bit-matrix GEMM.
+	// UseGEMMLD batches CPU-backend LD through the cache-blocked
+	// triangular bit-matrix GEMM (gemm.PopcountTrapezoid): the DP fill
+	// hands whole trapezoids of fresh pairs to one packed popcount
+	// kernel instead of walking vectors pair by pair.
 	UseGEMMLD bool
 	// Meter, when non-nil, receives per-grid-position progress ticks and
 	// phase spans from every backend. Observers that want timing spans

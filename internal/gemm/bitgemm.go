@@ -27,19 +27,38 @@ func NewBitMatrix(rows, cols int) *BitMatrix {
 }
 
 // FromVectors packs bit vectors (all of equal length) into a BitMatrix,
-// copying the words so the matrix owns its storage.
+// copying the words so the matrix owns its storage. Nil entries and
+// ragged lengths panic: a silently truncated or misaligned pack would
+// corrupt every downstream pair count.
 func FromVectors(vs []*bitvec.Vector) *BitMatrix {
 	if len(vs) == 0 {
 		return NewBitMatrix(0, 0)
 	}
+	if vs[0] == nil {
+		panic("gemm: FromVectors: vector 0 is nil")
+	}
 	m := NewBitMatrix(len(vs), vs[0].Len())
 	for i, v := range vs {
+		if v == nil {
+			panic(fmt.Sprintf("gemm: FromVectors: vector %d is nil", i))
+		}
 		if v.Len() != m.Cols {
-			panic(fmt.Sprintf("gemm: vector %d has length %d, want %d", i, v.Len(), m.Cols))
+			panic(fmt.Sprintf("gemm: FromVectors: ragged input: vector %d has length %d, want %d (the length of vector 0)", i, v.Len(), m.Cols))
 		}
 		copy(m.Data[i*m.Words:(i+1)*m.Words], v.Words())
 	}
 	return m
+}
+
+// checkSameCols panics unless a and b agree on the shared (column)
+// dimension — the sample axis both operands popcount over. Every bit
+// kernel calls it on entry so shape bugs surface at the call site with
+// the full shapes, not as silently wrong counts.
+func checkSameCols(op string, a, b *BitMatrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("gemm: %s: column (sample) dimensions differ: a is %d×%d, b is %d×%d",
+			op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
 }
 
 // RowWords returns the packed words of row i.
@@ -77,9 +96,7 @@ func (c *CountMatrix) At(i, j int) int32 { return c.Data[i*c.Cols+j] }
 // Rows are tiled in blocks so each b tile stays cache-resident while a
 // streams through, and tiles are distributed over `workers` goroutines.
 func PopcountGemm(a, b *BitMatrix, workers int) *CountMatrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("gemm: bit matrices have %d and %d columns", a.Cols, b.Cols))
-	}
+	checkSameCols("PopcountGemm", a, b)
 	c := &CountMatrix{Rows: a.Rows, Cols: b.Rows, Data: make([]int32, a.Rows*b.Rows)}
 	if a.Rows == 0 || b.Rows == 0 {
 		return c
@@ -145,9 +162,7 @@ func popcountTile(a, b *BitMatrix, c *CountMatrix, iLo, iHi int) {
 
 // PopcountGemmNaive is the reference implementation used by tests.
 func PopcountGemmNaive(a, b *BitMatrix) *CountMatrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("gemm: bit matrices have %d and %d columns", a.Cols, b.Cols))
-	}
+	checkSameCols("PopcountGemmNaive", a, b)
 	c := &CountMatrix{Rows: a.Rows, Cols: b.Rows, Data: make([]int32, a.Rows*b.Rows)}
 	for i := 0; i < a.Rows; i++ {
 		for j := 0; j < b.Rows; j++ {

@@ -1,8 +1,10 @@
 package gemm
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -325,4 +327,94 @@ func TestMulStrideIndependence(t *testing.T) {
 	}
 	b := randomDense(rng, 6, 7)
 	densesClose(t, Mul(padded, b), Mul(base, b), 1e-12)
+}
+
+// TestBitKernelDimensionMismatchTable drives every bit kernel through a
+// table of shape mismatches: each must panic with a message naming the
+// kernel and both full shapes (never compute silently wrong counts).
+func TestBitKernelDimensionMismatchTable(t *testing.T) {
+	kernels := []struct {
+		name string
+		call func(a, b *BitMatrix)
+	}{
+		{"PopcountGemm", func(a, b *BitMatrix) { PopcountGemm(a, b, 1) }},
+		{"PopcountGemmNaive", func(a, b *BitMatrix) { PopcountGemmNaive(a, b) }},
+		{"PopcountTrapezoid", func(a, b *BitMatrix) { PopcountTrapezoid(a, b, 0, 2) }},
+	}
+	shapes := []struct {
+		ra, ca, rb, cb int
+	}{
+		{2, 10, 2, 11}, // off by one
+		{2, 10, 3, 64}, // word-boundary mismatch
+		{0, 5, 0, 6},   // zero rows still validated
+		{1, 0, 1, 1},   // zero vs nonzero columns
+		{4, 65, 4, 64}, // crosses a word boundary
+	}
+	for _, k := range kernels {
+		for _, s := range shapes {
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Errorf("%s(%dx%d, %dx%d): no panic", k.name, s.ra, s.ca, s.rb, s.cb)
+						return
+					}
+					msg, ok := r.(string)
+					if !ok || !strings.Contains(msg, k.name) || !strings.Contains(msg, fmt.Sprintf("%d×%d", s.ra, s.ca)) {
+						t.Errorf("%s(%dx%d, %dx%d): unhelpful panic %v", k.name, s.ra, s.ca, s.rb, s.cb, r)
+					}
+				}()
+				k.call(NewBitMatrix(s.ra, s.ca), NewBitMatrix(s.rb, s.cb))
+			}()
+		}
+		// Matching columns must not panic, whatever the row counts.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s on matched columns panicked: %v", k.name, r)
+				}
+			}()
+			k.call(NewBitMatrix(3, 70), NewBitMatrix(5, 70))
+		}()
+	}
+}
+
+// TestFromVectorsMismatchTable covers the ragged and nil input cases.
+func TestFromVectorsMismatchTable(t *testing.T) {
+	v3 := bitvec.FromBools([]bool{true, false, true})
+	v5 := bitvec.New(5)
+	cases := []struct {
+		name string
+		vs   []*bitvec.Vector
+		want string // substring of the panic; "" means no panic
+	}{
+		{"equal", []*bitvec.Vector{v3, bitvec.New(3)}, ""},
+		{"empty", nil, ""},
+		{"ragged-longer", []*bitvec.Vector{v3, v5}, "ragged"},
+		{"ragged-shorter", []*bitvec.Vector{v5, v3}, "ragged"},
+		{"ragged-middle", []*bitvec.Vector{v3, bitvec.New(3), v5, bitvec.New(3)}, "vector 2"},
+		{"nil-first", []*bitvec.Vector{nil, v3}, "vector 0 is nil"},
+		{"nil-later", []*bitvec.Vector{v3, nil}, "vector 1 is nil"},
+	}
+	for _, cse := range cases {
+		func() {
+			defer func() {
+				r := recover()
+				if cse.want == "" {
+					if r != nil {
+						t.Errorf("%s: unexpected panic %v", cse.name, r)
+					}
+					return
+				}
+				if r == nil {
+					t.Errorf("%s: no panic", cse.name)
+					return
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, cse.want) {
+					t.Errorf("%s: panic %v does not mention %q", cse.name, r, cse.want)
+				}
+			}()
+			FromVectors(cse.vs)
+		}()
+	}
 }

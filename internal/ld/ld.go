@@ -9,10 +9,12 @@
 //
 //   - Direct: one AND+popcount per pair over the bit-packed alignment
 //     (the OmegaPlus CPU path), mask-aware for missing data;
-//   - GEMM: pair counts for whole rectangles of the pair matrix computed
-//     as a bit-matrix multiplication (internal/gemm), the dense-linear-
+//   - GEMM: pair counts for whole rectangles (Rect) or window trapezoids
+//     (PairCounts) of the pair matrix computed as a cache-blocked
+//     bit-matrix multiplication (internal/gemm), the dense-linear-
 //     algebra cast of Binder et al. / Alachiotis-Popovici-Low that the
-//     paper's GPU LD implementation uses.
+//     paper's GPU LD implementation uses; the trapezoid path skips the
+//     lower triangle and out-of-window pairs entirely.
 //
 // Both engines produce bit-identical r² values (a property test holds
 // them to that), so backends may switch freely between them.
@@ -173,6 +175,108 @@ func (c *Computer) Rect(iLo, iHi, jLo, jHi int, set func(i, j int, r2 float64)) 
 			set(i, j, c.R2(i, j))
 		}
 	}
+}
+
+// gemmMinPairs is the density threshold below which PairCounts keeps
+// the per-pair direct walk even on the GEMM engine: packing panels and
+// allocating a count matrix for a handful of pairs costs more than the
+// pairs themselves. Results are bit-identical either way, so the
+// threshold is purely a performance knob.
+const gemmMinPairs = 1024
+
+// PairCounts computes r² for every pair (i, j) with i ∈ [iLo, iHi) and
+// jLo ≤ j < i — the trapezoid of fresh pairs a DP-matrix extension
+// consumes — writing each value through set(i, j, r²).
+//
+// When the engine batches (GEMM, mask-free data) and the trapezoid is
+// dense enough, all pair counts come from one cache-blocked triangular
+// bit-GEMM (gemm.PopcountTrapezoid): the lower triangle and
+// out-of-window pairs are never popcounted, unlike the rectangular Rect
+// path which pads the region to full blocks. Sparse trapezoids and
+// masked alignments fall back to the direct per-pair walk, parallelized
+// across rows when the computer has workers. Both paths produce
+// bit-identical r² (the counts are exact integers either way).
+func (c *Computer) PairCounts(iLo, iHi, jLo int, set func(i, j int, r2 float64)) {
+	n := c.aln.NumSNPs()
+	if iLo < 0 || jLo < 0 || iHi > n || iLo > iHi || jLo > n {
+		panic(fmt.Sprintf("ld: bad trapezoid rows [%d,%d) cols from %d of %d SNPs",
+			iLo, iHi, jLo, n))
+	}
+	pairs := gemm.TrapezoidPairs(iHi-iLo, iHi-1-jLo, iLo-jLo-1)
+	if pairs == 0 {
+		return
+	}
+	if c.Batched() && pairs >= gemmMinPairs {
+		c.trapezoidGEMM(iLo, iHi, jLo, set)
+		return
+	}
+	if c.workers > 1 && iHi-iLo > 1 {
+		c.trapezoidParallelDirect(iLo, iHi, jLo, set)
+		return
+	}
+	for i := iLo; i < iHi; i++ {
+		for j := jLo; j < i; j++ {
+			set(i, j, c.R2(i, j))
+		}
+	}
+}
+
+// trapezoidGEMM packs the window rows once and runs the blocked
+// triangular kernel: A rows are the new SNPs [iLo, iHi), B rows the
+// window SNPs [jLo, iHi−1), and the diagonal offset iLo−jLo−1 encodes
+// the j < i constraint in packed coordinates.
+func (c *Computer) trapezoidGEMM(iLo, iHi, jLo int, set func(i, j int, r2 float64)) {
+	rowsA := make([]*bitvec.Vector, iHi-iLo)
+	for i := range rowsA {
+		rowsA[i] = c.aln.Matrix.Row(iLo + i)
+	}
+	rowsB := make([]*bitvec.Vector, iHi-1-jLo)
+	for j := range rowsB {
+		rowsB[j] = c.aln.Matrix.Row(jLo + j)
+	}
+	a := gemm.FromVectors(rowsA)
+	b := gemm.FromVectors(rowsB)
+	counts := gemm.PopcountTrapezoid(a, b, iLo-jLo-1, c.workers)
+	n := c.aln.Samples()
+	var pairs int64
+	for i := iLo; i < iHi; i++ {
+		for j := jLo; j < i; j++ {
+			cij := int(counts.At(i-iLo, j-jLo))
+			set(i, j, RSquaredFromCounts(n, c.ones[i], c.ones[j], cij))
+		}
+		pairs += int64(i - jLo)
+	}
+	c.scores.Add(pairs)
+}
+
+// trapezoidParallelDirect splits the trapezoid's rows over the
+// computer's workers (the OmegaPlus-F strategy): row lengths grow with
+// i, so the atomic row counter keeps the load balanced. The callback
+// must tolerate concurrent calls on distinct (i, j) pairs.
+func (c *Computer) trapezoidParallelDirect(iLo, iHi, jLo int, set func(i, j int, r2 float64)) {
+	workers := c.workers
+	if workers > iHi-iLo {
+		workers = iHi - iLo
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	next.Store(int64(iLo))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= iHi {
+					return
+				}
+				for j := jLo; j < i; j++ {
+					set(i, j, c.R2(i, j))
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func (c *Computer) rectParallelDirect(iLo, iHi, jLo, jHi int, set func(i, j int, r2 float64)) {

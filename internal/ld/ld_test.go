@@ -402,3 +402,137 @@ func TestScanParallelLDWorkersEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// randomCols builds w random SNP columns over n samples.
+func randomCols(rng *rand.Rand, w, n int) [][]bool {
+	cols := make([][]bool, w)
+	for i := range cols {
+		cols[i] = make([]bool, n)
+		for k := range cols[i] {
+			cols[i][k] = rng.Intn(2) == 1
+		}
+	}
+	return cols
+}
+
+// pairCountsReference computes the trapezoid reference with per-pair R2
+// calls on a fresh direct computer.
+func pairCountsReference(a *seqio.Alignment, iLo, iHi, jLo int) map[[2]int]float64 {
+	c := NewComputer(a, Direct, 1)
+	want := make(map[[2]int]float64)
+	for i := iLo; i < iHi; i++ {
+		for j := jLo; j < i; j++ {
+			want[[2]int{i, j}] = c.R2(i, j)
+		}
+	}
+	return want
+}
+
+// TestPairCountsPathsAgree holds every PairCounts execution path — the
+// blocked triangular GEMM, the serial direct walk, and the parallel
+// direct walk — to bit-identical r² over randomized trapezoids.
+func TestPairCountsPathsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := rng.Intn(60) + 2
+		n := rng.Intn(120) + 2
+		a := alignmentFromBools(randomCols(rng, w, n), nil)
+		iLo := rng.Intn(w)
+		iHi := iLo + rng.Intn(w-iLo) + 1
+		jLo := rng.Intn(iLo + 1)
+		want := pairCountsReference(a, iLo, iHi, jLo)
+		for _, cse := range []struct {
+			engine  Engine
+			workers int
+		}{{Direct, 1}, {Direct, 3}, {GEMM, 1}, {GEMM, 4}} {
+			got := make(map[[2]int]float64)
+			var mu sync.Mutex
+			NewComputer(a, cse.engine, cse.workers).PairCounts(iLo, iHi, jLo,
+				func(i, j int, r2 float64) {
+					mu.Lock()
+					got[[2]int{i, j}] = r2
+					mu.Unlock()
+				})
+			if len(got) != len(want) {
+				return false
+			}
+			for k, v := range want {
+				if gv, ok := got[k]; !ok || gv != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPairCountsGEMMLargeTrapezoid forces the blocked kernel past the
+// gemmMinPairs threshold and checks it against the direct walk.
+func TestPairCountsGEMMLargeTrapezoid(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	const w = 160 // 160·159/2 pairs ≫ gemmMinPairs
+	a := alignmentFromBools(randomCols(rng, w, 257), nil)
+	want := pairCountsReference(a, 0, w, 0)
+	c := NewComputer(a, GEMM, 2)
+	seen := 0
+	var mu sync.Mutex
+	c.PairCounts(0, w, 0, func(i, j int, r2 float64) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen++
+		if want[[2]int{i, j}] != r2 {
+			t.Errorf("r²(%d,%d) = %g, want %g", i, j, r2, want[[2]int{i, j}])
+		}
+	})
+	if seen != w*(w-1)/2 {
+		t.Fatalf("saw %d pairs, want %d", seen, w*(w-1)/2)
+	}
+	if c.Scores() != int64(w*(w-1)/2) {
+		t.Errorf("Scores = %d, want %d (exactly the useful pairs)", c.Scores(), w*(w-1)/2)
+	}
+}
+
+// TestPairCountsMissingDataFallsBack checks masked alignments take the
+// mask-aware direct path and still agree with per-pair R2.
+func TestPairCountsMissingDataFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	w, n := 20, 40
+	cols := randomCols(rng, w, n)
+	masks := make([][]bool, w)
+	masks[3] = make([]bool, n)
+	for k := range masks[3] {
+		masks[3][k] = k%5 != 0
+	}
+	a := alignmentFromBools(cols, masks)
+	want := pairCountsReference(a, 0, w, 0)
+	c := NewComputer(a, GEMM, 1)
+	if c.Batched() {
+		t.Fatal("masked alignment must not report Batched")
+	}
+	c.PairCounts(0, w, 0, func(i, j int, r2 float64) {
+		if want[[2]int{i, j}] != r2 {
+			t.Errorf("r²(%d,%d) = %g, want %g", i, j, r2, want[[2]int{i, j}])
+		}
+	})
+}
+
+func TestPairCountsEmptyAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	a := alignmentFromBools(randomCols(rng, 8, 16), nil)
+	c := NewComputer(a, GEMM, 1)
+	// Empty trapezoids: no callback, no panic.
+	for _, cse := range [][3]int{{0, 0, 0}, {3, 3, 0}, {0, 1, 0}, {5, 6, 5}, {2, 4, 6}} {
+		c.PairCounts(cse[0], cse[1], cse[2], func(i, j int, r2 float64) {
+			t.Fatalf("unexpected pair (%d,%d) for %v", i, j, cse)
+		})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range trapezoid")
+		}
+	}()
+	c.PairCounts(0, 9, 0, func(int, int, float64) {})
+}

@@ -94,41 +94,25 @@ func (m *DPMatrix) Advance(lo, hi int) {
 }
 
 // extendTo appends rows (m.hi, hi] using the recurrence. Fresh r² values
-// are fetched through the LD computer; with the GEMM engine the whole
-// rectangle of new pairs is batched in one bit-matrix multiplication.
+// are fetched through the LD computer's PairCounts trapezoid path: with
+// the GEMM engine the counts for exactly the needed pairs — rows
+// i ∈ [first, hi], columns j ∈ [lo, i) — come from one cache-blocked
+// triangular bit-matrix multiplication that never touches the lower
+// triangle or out-of-window cells; the direct engine walks the same
+// trapezoid pair by pair (across the computer's workers when it has
+// them).
 func (m *DPMatrix) extendTo(hi int) {
 	if hi <= m.hi {
 		return
 	}
 	first := m.hi + 1
-	// Batch r²(i, j) for new rows i ∈ [first, hi], columns j ∈ [lo, i).
 	nNew := hi - first + 1
 	width := hi - m.lo + 1
 	fresh := make([]float64, nNew*width) // fresh[(i-first)*width + (j-lo)]
 	store := func(i, j int, r2 float64) {
 		fresh[(i-first)*width+(j-m.lo)] = r2
 	}
-	if m.comp.Batched() {
-		// Row blocks keep each bit-matrix multiplication large (the
-		// BLIS cast of the paper) while wasting only the diagonal
-		// block's upper triangle.
-		const blockRows = 128
-		for blo := first; blo <= hi; blo += blockRows {
-			bhi := blo + blockRows - 1
-			if bhi > hi {
-				bhi = hi
-			}
-			m.comp.Rect(blo, bhi+1, m.lo, bhi+1, store)
-		}
-	} else {
-		if first > m.lo {
-			m.comp.Rect(first, hi+1, m.lo, first, store)
-		}
-		// Pairs among the new rows themselves (lower triangle only).
-		for i := first + 1; i <= hi; i++ {
-			m.comp.Rect(i, i+1, first, i, store)
-		}
-	}
+	m.comp.PairCounts(first, hi+1, m.lo, store)
 	for i := first; i <= hi; i++ {
 		row := make([]float64, i-m.lo+1)
 		ri := i - m.lo

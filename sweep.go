@@ -200,8 +200,12 @@ type Config struct {
 	GPUKernel gpu.Kind    // default Dynamic
 	// FPGA options (BackendFPGA).
 	FPGADevice *fpga.Device // default Alveo U200
-	// UseGEMMLD batches CPU-backend LD through the BLIS-style bit-matrix
-	// multiply instead of per-pair popcounts.
+	// UseGEMMLD batches CPU-backend LD through the BLIS-style
+	// cache-blocked triangular bit-matrix multiply instead of per-pair
+	// popcounts: SNP bit-rows are packed into word-aligned panels and
+	// only the window trapezoid ω consumes is popcounted. Results are
+	// bit-identical to the direct engine; only the throughput differs
+	// (see cmd/omegabench and BENCH_*.json for the recorded trajectory).
 	UseGEMMLD bool
 	// BatchWorkers bounds the concurrent replicate scans of ScanBatch
 	// (default GOMAXPROCS, capped at the batch size). Ignored by Scan.
