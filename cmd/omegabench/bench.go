@@ -129,6 +129,15 @@ func benchTable(preset string) []benchCase {
 		scanCase("scan/direct/g32", scanCfg, 800, false),
 		scanCase("scan/gemm-ld/g32", gemmCfg, 800, false),
 	)
+	// ω-kernel comparison on an ω-bound workload: a dense grid with an
+	// effectively unbounded window keeps the borders long, so the region
+	// loop dominates and the scalar/blocked gap is what gets measured.
+	for _, k := range []omegago.OmegaKernel{
+		omegago.OmegaKernelScalar, omegago.OmegaKernelBlocked, omegago.OmegaKernelAuto,
+	} {
+		kernCfg := omegago.Config{GridSize: 24, MaxWindow: 1e6, OmegaKernel: k}
+		cases = append(cases, scanCase("omega/"+k.String()+"/g24", kernCfg, 500, false))
+	}
 	if full {
 		bigCfg := omegago.Config{GridSize: 64, MaxWindow: 60000}
 		bigGemm := bigCfg

@@ -38,11 +38,17 @@ type diffLine struct {
 	regression bool
 }
 
+// allocsFloor is the baseline allocs/op below which the allocation gate
+// stays silent: a one-or-two alloc jitter on a nearly alloc-free
+// benchmark is measurement noise, not a leak.
+const allocsFloor = 8
+
 // diffFiles compares new throughput against old per benchmark name.
 // A benchmark regresses when its throughput drops by more than
-// threshold (e.g. 0.15 = 15%), or when it vanished from the new report.
-// Benchmarks only present in the new file are listed but never fail the
-// diff (they have no baseline yet).
+// threshold (e.g. 0.15 = 15%), when its allocs/op grow by more than the
+// same threshold over a baseline of at least allocsFloor, or when it
+// vanished from the new report. Benchmarks only present in the new file
+// are listed but never fail the diff (they have no baseline yet).
 func diffFiles(old, cur *File, threshold float64) (lines []diffLine, regressions int) {
 	curByName := make(map[string]Record, len(cur.Benchmarks))
 	for _, r := range cur.Benchmarks {
@@ -65,15 +71,26 @@ func diffFiles(old, cur *File, threshold float64) (lines []diffLine, regressions
 			delta = n.Throughput/o.Throughput - 1
 		}
 		bad := delta < -threshold
+		allocsBad := o.AllocsPerOp >= allocsFloor &&
+			float64(n.AllocsPerOp) > float64(o.AllocsPerOp)*(1+threshold)
 		mark := "ok"
-		if bad {
+		switch {
+		case bad && allocsBad:
+			mark = fmt.Sprintf("REGRESSION (>%0.f%% slower, allocs %d → %d)",
+				threshold*100, o.AllocsPerOp, n.AllocsPerOp)
+		case bad:
 			mark = fmt.Sprintf("REGRESSION (>%0.f%%)", threshold*100)
+		case allocsBad:
+			mark = fmt.Sprintf("REGRESSION (allocs %d → %d, >%0.f%%)",
+				o.AllocsPerOp, n.AllocsPerOp, threshold*100)
+		}
+		if bad || allocsBad {
 			regressions++
 		}
 		lines = append(lines, diffLine{
 			text: fmt.Sprintf("%-24s %10.2f → %10.2f %s  %+6.1f%%  %s",
 				o.Name, o.Throughput, n.Throughput, n.Metric, delta*100, mark),
-			regression: bad,
+			regression: bad || allocsBad,
 		})
 	}
 	for _, r := range cur.Benchmarks {

@@ -44,6 +44,35 @@ func TestDiffWithinThresholdPasses(t *testing.T) {
 	}
 }
 
+// TestDiffAllocsRegression is the allocation-gate proof: allocs/op
+// growing past the threshold must fail the diff even when throughput
+// holds steady.
+func TestDiffAllocsRegression(t *testing.T) {
+	base := report("base", map[string]float64{"scan/direct/g32": 24})
+	cur := report("cur", map[string]float64{"scan/direct/g32": 24})
+	base.Benchmarks[0].AllocsPerOp = 100
+	cur.Benchmarks[0].AllocsPerOp = 921
+	lines, regressions := diffFiles(base, cur, 0.15)
+	if regressions != 1 {
+		t.Fatalf("9x alloc growth produced %d regressions, want 1\n%v", regressions, lines)
+	}
+	if !strings.Contains(lines[0].text, "allocs 100 → 921") {
+		t.Fatalf("regression line does not name the alloc growth: %v", lines)
+	}
+}
+
+// TestDiffAllocsFloorExempt: near-alloc-free benchmarks jitter by a few
+// allocs between runs; the gate must ignore baselines under the floor.
+func TestDiffAllocsFloorExempt(t *testing.T) {
+	base := report("base", map[string]float64{"ld/tri/512x512x1000": 70})
+	cur := report("cur", map[string]float64{"ld/tri/512x512x1000": 70})
+	base.Benchmarks[0].AllocsPerOp = 4
+	cur.Benchmarks[0].AllocsPerOp = 7 // +75%, but under the 8-alloc floor
+	if _, regressions := diffFiles(base, cur, 0.15); regressions != 0 {
+		t.Fatal("alloc jitter under the floor must not regress")
+	}
+}
+
 func TestDiffMissingBenchmarkRegresses(t *testing.T) {
 	base := report("base", map[string]float64{"a": 100, "b": 50})
 	cur := report("cur", map[string]float64{"a": 100})
@@ -114,6 +143,7 @@ func TestBenchTablePresets(t *testing.T) {
 		"ld/flat/512x512x1000", "ld/tri/512x512x1000",
 		"ld/flat/256x256x1024", "ld/tri/256x256x1024",
 		"scan/direct/g32", "scan/gemm-ld/g32",
+		"omega/scalar/g24", "omega/blocked/g24", "omega/auto/g24",
 	} {
 		if !names[want] {
 			t.Errorf("short preset missing %s", want)

@@ -9,15 +9,18 @@
 //	omegabench diff [-threshold 0.15] OLD.json NEW.json
 //
 // run executes the preset's fixed table — the flat and blocked
-// triangular LD popcount kernels at several sizes, and full sweep scans
-// with the direct and GEMM LD engines — and writes a machine-readable
-// JSON report (ns/op, Mpairs/s or Momega/s throughput, allocs/op).
+// triangular LD popcount kernels at several sizes, full sweep scans
+// with the direct and GEMM LD engines, and ω-bound scans pinning each
+// CPU ω kernel (omega/{scalar,blocked,auto}/g24) — and writes a
+// machine-readable JSON report (ns/op, Mpairs/s or Momega/s throughput,
+// allocs/op).
 //
 // diff compares two reports by benchmark name and exits 1 when any
-// throughput dropped by more than the threshold (or a baselined
-// benchmark disappeared) — the check the CI bench job runs against the
-// committed baseline. Exit codes: 0 ok, 1 regression, 2 usage or I/O
-// error.
+// throughput dropped by more than the threshold, allocs/op grew by more
+// than the threshold (baselines under 8 allocs are exempt as noise), or
+// a baselined benchmark disappeared — the check the CI bench job runs
+// against the committed baseline. Exit codes: 0 ok, 1 regression, 2
+// usage or I/O error.
 package main
 
 import (

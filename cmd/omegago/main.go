@@ -56,6 +56,7 @@ func main() {
 		maxwin      = flag.Float64("maxwin", 0, "maximum border distance from the ω position in bp (0 = unbounded)")
 		threads     = flag.Int("threads", 1, "CPU threads (cpu backend)")
 		sched       = flag.String("sched", "auto", "CPU multithreading scheduler: snapshot, sharded, auto")
+		omegaKernel = flag.String("omega-kernel", "auto", "CPU ω kernel: scalar, blocked, auto (per-region dispatch)")
 		backend     = flag.String("backend", "cpu", "backend: cpu, gpu, fpga")
 		device      = flag.String("device", "", "accelerator device: k80, hd8750m, alveo, zcu102")
 		deviceFile  = flag.String("device-file", "", "JSON GPU device profile (overrides -device for the gpu backend)")
@@ -150,6 +151,10 @@ func main() {
 	if err != nil {
 		fatalf(exitUsage, "%v", err)
 	}
+	cfg.OmegaKernel, err = omegago.ParseOmegaKernel(strings.ToLower(*omegaKernel))
+	if err != nil {
+		fatalf(exitUsage, "%v", err)
+	}
 	cfg.Backend, err = omegago.ParseBackend(strings.ToLower(*backend))
 	if err != nil {
 		fatalf(exitUsage, "%v", err)
@@ -228,7 +233,7 @@ func main() {
 	if cfg.Backend != omegago.BackendCPU {
 		set := map[string]bool{}
 		flag.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
-		for _, name := range []string{"sched", "gemm-ld"} {
+		for _, name := range []string{"sched", "gemm-ld", "omega-kernel"} {
 			if set[name] {
 				log.Printf("warning: -%s only applies to the cpu backend; ignored with -backend %s", name, *backend)
 			}
@@ -401,6 +406,10 @@ func main() {
 		fmt.Printf("# measured: LD %.3fs, ω %.3fs%s, wall %.3fs (%s ω/s)\n",
 			rep.LDSeconds, rep.OmegaSeconds, snap, rep.WallSeconds,
 			stats.FormatSI(float64(rep.OmegaScores)/rep.OmegaSeconds))
+		if rep.OmegaKernelScalar+rep.OmegaKernelBlocked > 0 {
+			fmt.Printf("# ω kernel dispatch: %d scalar, %d blocked regions\n",
+				rep.OmegaKernelScalar, rep.OmegaKernelBlocked)
+		}
 	} else {
 		fmt.Printf("# modeled device time: LD %.4fs, ω %.4fs (%s ω/s); host simulation wall %.3fs\n",
 			rep.LDSeconds, rep.OmegaSeconds,

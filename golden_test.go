@@ -87,6 +87,15 @@ func TestGoldenScanRegression(t *testing.T) {
 		{"cpu/snapshot-3threads", "cpu", exec.Options{Threads: 3, Sched: exec.SchedSnapshot}},
 		{"cpu/sharded-3threads", "cpu", exec.Options{Threads: 3, Sched: exec.SchedSharded}},
 		{"cpu/gemm-ld", "cpu", exec.Options{UseGEMMLD: true}},
+		// ω-kernel variants: each forced kernel, alone and under both
+		// parallel schedulers, plus auto pushed down each dispatch path
+		// via the Nthr override — all must reproduce the golden results.
+		{"cpu/kernel-scalar", "cpu", exec.Options{OmegaKernel: OmegaKernelScalar}},
+		{"cpu/kernel-blocked", "cpu", exec.Options{OmegaKernel: OmegaKernelBlocked}},
+		{"cpu/kernel-blocked/snapshot", "cpu", exec.Options{OmegaKernel: OmegaKernelBlocked, Threads: 3, Sched: exec.SchedSnapshot}},
+		{"cpu/kernel-blocked/sharded", "cpu", exec.Options{OmegaKernel: OmegaKernelBlocked, Threads: 3, Sched: exec.SchedSharded}},
+		{"cpu/kernel-auto/all-blocked", "cpu", exec.Options{OmegaKernel: OmegaKernelAuto, OmegaNthr: 1}},
+		{"cpu/kernel-auto/all-scalar", "cpu", exec.Options{OmegaKernel: OmegaKernelAuto, OmegaNthr: 1 << 30}},
 		{"gpu-sim", "gpu-sim", exec.Options{}},
 		{"fpga-sim", "fpga-sim", exec.Options{}},
 	}

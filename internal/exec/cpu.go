@@ -38,6 +38,12 @@ func UseSharded(s Scheduler, gridSize, threads int) bool {
 
 func (cpuBackend) Scan(ctx context.Context, a *seqio.Alignment, p omega.Params, opts Options) (*Output, error) {
 	p = p.WithDefaults()
+	if opts.OmegaKernel != omega.KernelAuto {
+		p.Kernel = opts.OmegaKernel
+	}
+	if opts.OmegaNthr > 0 {
+		p.KernelNthr = opts.OmegaNthr
+	}
 	engine := ld.Direct
 	if opts.UseGEMMLD {
 		engine = ld.GEMM
@@ -63,15 +69,17 @@ func (cpuBackend) Scan(ctx context.Context, a *seqio.Alignment, p omega.Params, 
 	return &Output{
 		Results: results,
 		Stats: Stats{
-			Grid:            st.Grid,
-			OmegaScores:     st.OmegaScores,
-			R2Computed:      st.R2Computed,
-			R2Reused:        st.R2Reused,
-			R2Duplicated:    st.R2Duplicated,
-			LDSeconds:       st.LDTime.Seconds(),
-			OmegaSeconds:    st.OmegaTime.Seconds(),
-			SnapshotSeconds: st.SnapshotTime.Seconds(),
-			WallSeconds:     time.Since(t0).Seconds(),
+			Grid:               st.Grid,
+			OmegaScores:        st.OmegaScores,
+			R2Computed:         st.R2Computed,
+			R2Reused:           st.R2Reused,
+			R2Duplicated:       st.R2Duplicated,
+			LDSeconds:          st.LDTime.Seconds(),
+			OmegaSeconds:       st.OmegaTime.Seconds(),
+			SnapshotSeconds:    st.SnapshotTime.Seconds(),
+			WallSeconds:        time.Since(t0).Seconds(),
+			OmegaKernelScalar:  st.KernelScalar,
+			OmegaKernelBlocked: st.KernelBlocked,
 		},
 	}, nil
 }

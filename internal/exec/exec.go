@@ -61,6 +61,15 @@ type Options struct {
 	// hands whole trapezoids of fresh pairs to one packed popcount
 	// kernel instead of walking vectors pair by pair.
 	UseGEMMLD bool
+	// OmegaKernel selects the CPU ω kernel implementation: scalar (the
+	// reference nested loop), blocked (branch-free flat-buffer kernel),
+	// or auto (per-region Nthr-style dispatch, the default — the CPU
+	// analogue of the paper's Kernel I/II selection). Accelerator
+	// backends ignore it: they always run the packed KernelInput path.
+	OmegaKernel omega.KernelKind
+	// OmegaNthr overrides the auto dispatch threshold in border
+	// combinations per region (0 = omega.DefaultNthr).
+	OmegaNthr int
 	// Meter, when non-nil, receives per-grid-position progress ticks and
 	// phase spans from every backend. Observers that want timing spans
 	// (the old Tracer hook) subscribe through the Meter's Observer; see
@@ -113,6 +122,11 @@ type Stats struct {
 	HardwareOmegas int64 // ω scores produced by the unrolled pipeline
 	SoftwareOmegas int64 // remainder iterations scored on the host
 	Cycles         int64 // modeled pipeline cycles
+
+	// CPU ω-kernel dispatch split: grid regions evaluated by each kernel
+	// implementation (the Kernel I/II launch-count analogue of §IV-A).
+	OmegaKernelScalar  int64
+	OmegaKernelBlocked int64
 }
 
 // Add accumulates other into s (used by the batch scanner's aggregate).
@@ -133,6 +147,8 @@ func (s *Stats) Add(other Stats) {
 	s.HardwareOmegas += other.HardwareOmegas
 	s.SoftwareOmegas += other.SoftwareOmegas
 	s.Cycles += other.Cycles
+	s.OmegaKernelScalar += other.OmegaKernelScalar
+	s.OmegaKernelBlocked += other.OmegaKernelBlocked
 }
 
 // Publish snapshots the per-scan totals into the metrics bundle (no-op
@@ -152,6 +168,8 @@ func (s Stats) Publish(met *obs.Metrics) {
 	met.BytesTransferred.Add(s.BytesTransferred)
 	met.HardwareOmegas.Add(s.HardwareOmegas)
 	met.SoftwareOmegas.Add(s.SoftwareOmegas)
+	met.KernelDispatchScalar.Add(s.OmegaKernelScalar)
+	met.KernelDispatchBlocked.Add(s.OmegaKernelBlocked)
 }
 
 // Output is the uniform result of a Backend.Scan.

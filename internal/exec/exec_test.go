@@ -8,6 +8,7 @@ import (
 
 	"omegago/internal/harness"
 	"omegago/internal/ld"
+	"omegago/internal/obs"
 	"omegago/internal/omega"
 )
 
@@ -123,14 +124,66 @@ func TestStatsAdd(t *testing.T) {
 	a := Stats{Grid: 1, OmegaScores: 2, R2Computed: 3, R2Reused: 4, R2Duplicated: 5,
 		LDSeconds: 1, OmegaSeconds: 2, SnapshotSeconds: 3, WallSeconds: 4,
 		KernelILaunches: 6, KernelIILaunches: 7, OrderSwitches: 8, BytesTransferred: 9,
-		HardwareOmegas: 10, SoftwareOmegas: 11, Cycles: 12}
+		HardwareOmegas: 10, SoftwareOmegas: 11, Cycles: 12,
+		OmegaKernelScalar: 13, OmegaKernelBlocked: 14}
 	sum := a
 	sum.Add(a)
 	want := Stats{Grid: 2, OmegaScores: 4, R2Computed: 6, R2Reused: 8, R2Duplicated: 10,
 		LDSeconds: 2, OmegaSeconds: 4, SnapshotSeconds: 6, WallSeconds: 8,
 		KernelILaunches: 12, KernelIILaunches: 14, OrderSwitches: 16, BytesTransferred: 18,
-		HardwareOmegas: 20, SoftwareOmegas: 22, Cycles: 24}
+		HardwareOmegas: 20, SoftwareOmegas: 22, Cycles: 24,
+		OmegaKernelScalar: 26, OmegaKernelBlocked: 28}
 	if sum != want {
 		t.Fatalf("Add: got %+v, want %+v", sum, want)
+	}
+}
+
+// TestCPUKernelOptionDispatch: the exec-layer kernel option must force
+// the selected ω kernel, keep results bit-identical, and surface the
+// dispatch split through Stats and the labeled Prometheus counters.
+func TestCPUKernelOptionDispatch(t *testing.T) {
+	a, err := harness.Dataset(400, 32, 161803)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := Lookup("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams()
+	ref, err := cpu.Scan(context.Background(), a, p, Options{OmegaKernel: omega.KernelScalar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats.OmegaKernelScalar == 0 || ref.Stats.OmegaKernelBlocked != 0 {
+		t.Fatalf("forced scalar dispatch: %+v", ref.Stats)
+	}
+	blk, err := cpu.Scan(context.Background(), a, p, Options{OmegaKernel: omega.KernelBlocked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.Stats.OmegaKernelBlocked == 0 || blk.Stats.OmegaKernelScalar != 0 {
+		t.Fatalf("forced blocked dispatch: %+v", blk.Stats)
+	}
+	for i := range ref.Results {
+		if blk.Results[i] != ref.Results[i] {
+			t.Fatalf("kernel option broke bit identity at result %d", i)
+		}
+	}
+	// OmegaNthr drives the auto kernel down one path per extreme.
+	aut, err := cpu.Scan(context.Background(), a, p, Options{OmegaNthr: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aut.Stats.OmegaKernelScalar != 0 || aut.Stats.OmegaKernelBlocked == 0 {
+		t.Fatalf("auto Nthr=1 dispatch: %+v", aut.Stats)
+	}
+	met := obs.NewMetrics(obs.NewRegistry())
+	blk.Stats.Publish(met)
+	if met.KernelDispatchBlocked.Value() != blk.Stats.OmegaKernelBlocked ||
+		met.KernelDispatchScalar.Value() != 0 {
+		t.Fatalf("published dispatch counters scalar=%d blocked=%d, want 0/%d",
+			met.KernelDispatchScalar.Value(), met.KernelDispatchBlocked.Value(),
+			blk.Stats.OmegaKernelBlocked)
 	}
 }

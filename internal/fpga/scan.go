@@ -57,7 +57,11 @@ func ScanCtx(ctx context.Context, d Device, a *seqio.Alignment, p omega.Params, 
 	}
 	t0 := time.Now()
 	comp := ld.NewComputer(a, ld.Direct, 1)
-	m := omega.NewDPMatrix(comp)
+	// One scratch per scan: packed buffers and DP rows are reused across
+	// grid positions (the pipeline consumes each input before the next
+	// position is packed).
+	sc := omega.NewScratch(a, p)
+	m := omega.NewDPMatrixScratch(comp, sc)
 	mt := opts.Meter
 	rep := &ScanReport{Results: make([]omega.Result, 0, len(regions))}
 	for _, reg := range regions {
@@ -77,7 +81,7 @@ func ScanCtx(ctx context.Context, d Device, a *seqio.Alignment, p omega.Params, 
 		rep.LDSeconds += ldSec
 		mt.Span(obs.PhaseLD, 0, regStart, time.Duration(ldSec*float64(time.Second)), true, nil)
 
-		in := omega.BuildKernelInput(m, a, reg, p)
+		in := sc.BuildKernelInput(m, reg, p)
 		if in == nil {
 			rep.Results = append(rep.Results, omega.Result{GridIndex: reg.Index, Center: reg.Center})
 			mt.Tick(0, pairs)

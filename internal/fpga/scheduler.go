@@ -45,7 +45,8 @@ func ScanScheduled(cards []Device, a *seqio.Alignment, p omega.Params, opts Opti
 	}
 	t0 := time.Now()
 	comp := ld.NewComputer(a, ld.Direct, 1)
-	m := omega.NewDPMatrix(comp)
+	sc := omega.NewScratch(a, p)
+	m := omega.NewDPMatrixScratch(comp, sc)
 	rep := &ScheduledReport{
 		Results:          make([]omega.Result, 0, len(regions)),
 		PerCardSeconds:   make([]float64, len(cards)),
@@ -60,7 +61,7 @@ func ScanScheduled(cards []Device, a *seqio.Alignment, p omega.Params, opts Opti
 		m.Advance(reg.Lo, reg.Hi)
 		rep.LDSeconds += ModelLDSeconds(cards[0], m.R2Computed()-before, a.Samples())
 
-		in := omega.BuildKernelInput(m, a, reg, p)
+		in := sc.BuildKernelInput(m, reg, p)
 		if in == nil {
 			rep.Results = append(rep.Results, omega.Result{GridIndex: reg.Index, Center: reg.Center})
 			continue

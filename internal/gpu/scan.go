@@ -97,7 +97,12 @@ func ScanCtx(ctx context.Context, d Device, kind Kind, a *seqio.Alignment, p ome
 	}
 	t0 := time.Now()
 	comp := ld.NewComputer(a, ld.GEMM, maxInt(1, opts.Workers))
-	m := omega.NewDPMatrix(comp)
+	// One scratch per scan: the packed kernel-input buffers and the DP
+	// row arena are reused across grid positions instead of rebuilding
+	// KernelInput from fresh allocations per position (each launch
+	// consumes its input fully before the next position is packed).
+	sc := omega.NewScratch(a, p)
+	m := omega.NewDPMatrixScratch(comp, sc)
 	mt := opts.Meter
 	rep := &ScanReport{Results: make([]omega.Result, 0, len(regions))}
 	for _, reg := range regions {
@@ -124,8 +129,8 @@ func ScanCtx(ctx context.Context, d Device, kind Kind, a *seqio.Alignment, p ome
 		rep.LDSeconds += ldSec
 		mt.Span(obs.PhaseLD, 0, regStart, time.Duration(ldSec*float64(time.Second)), true, nil)
 
-		// ω phase: pack buffers (host), transfer, launch.
-		in := omega.BuildKernelInput(m, a, reg, p)
+		// ω phase: pack buffers (host, scratch-backed), transfer, launch.
+		in := sc.BuildKernelInput(m, reg, p)
 		if in == nil {
 			rep.Results = append(rep.Results, omega.Result{GridIndex: reg.Index, Center: reg.Center})
 			mt.Tick(0, pairs)

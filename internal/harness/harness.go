@@ -161,9 +161,13 @@ func Dataset(snps, samples int, seed int64) (*seqio.Alignment, error) {
 	return a, nil
 }
 
-// Params returns the scan parameters of a workload.
+// Params returns the scan parameters of a workload. The harness pins
+// the scalar reference kernel: its CPU column reproduces the paper's
+// serial OmegaPlus loop, and letting the auto kernel swap in the faster
+// blocked implementation would skew every speedup ratio against the
+// modeled accelerators.
 func (w Workload) Params() omega.Params {
-	return omega.Params{GridSize: w.GridSize, MaxWindow: w.MaxWindow}
+	return omega.Params{GridSize: w.GridSize, MaxWindow: w.MaxWindow, Kernel: omega.KernelScalar}
 }
 
 // Alignment simulates the workload's dataset.
@@ -198,7 +202,9 @@ func calibrate() {
 		if err != nil {
 			panic(fmt.Sprintf("harness: calibration dataset: %v", err))
 		}
-		p := omega.Params{GridSize: 10, MaxWindow: 200000}.WithDefaults()
+		// Scalar reference kernel: the calibration models the paper's
+		// serial CPU cost per ω score (see Workload.Params).
+		p := omega.Params{GridSize: 10, MaxWindow: 200000, Kernel: omega.KernelScalar}.WithDefaults()
 		_, st, err := omega.Scan(a, p, ld.Direct, 1)
 		if err != nil {
 			panic(fmt.Sprintf("harness: calibration scan: %v", err))

@@ -37,6 +37,10 @@ type Metrics struct {
 	BytesTransferred *Counter   // omegago_gpu_bytes_transferred_total
 	HardwareOmegas   *Counter   // omegago_fpga_hardware_omegas_total
 	SoftwareOmegas   *Counter   // omegago_fpga_software_omegas_total
+	// CPU ω-kernel dispatch split: one labeled series per kernel
+	// implementation under the base omegago_kernel_dispatch_total.
+	KernelDispatchScalar  *Counter // omegago_kernel_dispatch_total{kernel="scalar"}
+	KernelDispatchBlocked *Counter // omegago_kernel_dispatch_total{kernel="blocked"}
 
 	// Per-phase duration histograms, created lazily by phase name:
 	// omegago_phase_seconds_<name>.
@@ -64,6 +68,10 @@ func NewMetrics(reg *Registry) *Metrics {
 		BytesTransferred: reg.Counter("omegago_gpu_bytes_transferred_total", "Modeled host-device bytes moved."),
 		HardwareOmegas:   reg.Counter("omegago_fpga_hardware_omegas_total", "Omega scores produced by the unrolled FPGA pipeline."),
 		SoftwareOmegas:   reg.Counter("omegago_fpga_software_omegas_total", "Remainder omega scores computed on the host."),
+		KernelDispatchScalar: reg.Counter(`omegago_kernel_dispatch_total{kernel="scalar"}`,
+			"Grid regions evaluated per CPU omega kernel implementation."),
+		KernelDispatchBlocked: reg.Counter(`omegago_kernel_dispatch_total{kernel="blocked"}`,
+			"Grid regions evaluated per CPU omega kernel implementation."),
 	}
 }
 

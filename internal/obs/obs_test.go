@@ -85,12 +85,20 @@ func TestObsPrometheusGolden(t *testing.T) {
 	h.Observe(0.05)
 	h.Observe(0.5)
 	h.Observe(5)
+	// Labeled series of one base share a single HELP/TYPE block, with
+	// sample lines grouped under it in label order.
+	reg.Counter(`test_dispatch_total{kernel="blocked"}`, "Dispatches per kernel.").Add(2)
+	reg.Counter(`test_dispatch_total{kernel="scalar"}`, "Dispatches per kernel.").Add(5)
 
 	var sb strings.Builder
 	if err := reg.WritePrometheus(&sb); err != nil {
 		t.Fatal(err)
 	}
-	want := `# HELP test_rate Current rate.
+	want := `# HELP test_dispatch_total Dispatches per kernel.
+# TYPE test_dispatch_total counter
+test_dispatch_total{kernel="blocked"} 2
+test_dispatch_total{kernel="scalar"} 5
+# HELP test_rate Current rate.
 # TYPE test_rate gauge
 test_rate 1.5
 # HELP test_scans_total Scans run.
@@ -122,6 +130,33 @@ func TestObsRegistryGetOrCreate(t *testing.T) {
 		}
 	}()
 	reg.Gauge("x_total", "x")
+}
+
+// TestObsLabeledNameValidation: malformed label syntax and labeled
+// histograms (whose _bucket/_sum suffixes a label set would corrupt)
+// must be rejected at registration.
+func TestObsLabeledNameValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	reg := NewRegistry()
+	mustPanic("unterminated labels", func() { reg.Counter(`x_total{kernel="a"`, "") })
+	mustPanic("missing value quotes", func() { reg.Counter(`x_total{kernel=a}`, "") })
+	mustPanic("quote inside value", func() { reg.Counter(`x_total{kernel="a"b"}`, "") })
+	mustPanic("pair without =", func() { reg.Counter(`x_total{kernel}`, "") })
+	mustPanic("labeled histogram", func() { reg.Histogram(`x_seconds{kernel="a"}`, "", nil) })
+	// Well-formed labels register fine and are distinct series.
+	a := reg.Counter(`y_total{kernel="a"}`, "y")
+	b := reg.Counter(`y_total{kernel="b"}`, "y")
+	if a == b {
+		t.Error("distinct label sets returned the same counter")
+	}
 }
 
 func TestObsHandlerContentType(t *testing.T) {

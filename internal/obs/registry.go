@@ -40,7 +40,32 @@ func NewRegistry() *Registry {
 }
 
 // checkName panics on names that would corrupt the exposition format.
+// A name is either a bare metric name or a labeled series
+// `base{key="value",...}`; labeled counters and gauges of the same base
+// share one HELP/TYPE block in the exposition (see WritePrometheus).
 func checkName(name string) {
+	base, labels, found := strings.Cut(name, "{")
+	checkBareName(base)
+	if !found {
+		return
+	}
+	if !strings.HasSuffix(labels, "}") || len(labels) < 2 {
+		panic(fmt.Sprintf("obs: malformed labels in metric name %q", name))
+	}
+	for _, pair := range strings.Split(strings.TrimSuffix(labels, "}"), ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			panic(fmt.Sprintf("obs: malformed label %q in metric name %q", pair, name))
+		}
+		checkBareName(k)
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' ||
+			strings.ContainsAny(v[1:len(v)-1], "\"\\\n") {
+			panic(fmt.Sprintf("obs: malformed label value %s in metric name %q", v, name))
+		}
+	}
+}
+
+func checkBareName(name string) {
 	if name == "" {
 		panic("obs: empty metric name")
 	}
@@ -50,6 +75,12 @@ func checkName(name string) {
 		}
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
+}
+
+// baseName strips the label set from a series name.
+func baseName(name string) string {
+	base, _, _ := strings.Cut(name, "{")
+	return base
 }
 
 func (r *Registry) taken(name, want string) {
@@ -99,7 +130,12 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 
 // Histogram returns the histogram registered under name, creating it
 // with the given bounds on first use (nil bounds = DurationBuckets).
+// Labeled names are rejected: a histogram's exposition appends _bucket/
+// _sum/_count suffixes to the name, which a label set would corrupt.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if strings.Contains(name, "{") {
+		panic(fmt.Sprintf("obs: labeled histogram %q unsupported", name))
+	}
 	checkName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -120,15 +156,24 @@ func formatFloat(v float64) string {
 }
 
 // WritePrometheus writes every registered metric in the text
-// exposition format, sorted by name so output is deterministic (the
-// golden test pins this byte-for-byte).
+// exposition format, sorted by (base name, label set) so output is
+// deterministic (the golden test pins this byte-for-byte). Labeled
+// series sharing a base name — e.g. omegago_kernel_dispatch_total with
+// kernel="scalar"/"blocked" — emit one HELP/TYPE block followed by all
+// their sample lines, as the format requires.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	names := make([]string, 0, len(r.help))
 	for n := range r.help {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	sort.Slice(names, func(i, j int) bool {
+		bi, bj := baseName(names[i]), baseName(names[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return names[i] < names[j]
+	})
 	// Snapshot the metric pointers so the writes below run without the
 	// registration lock.
 	type entry struct {
@@ -144,17 +189,29 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RUnlock()
 
 	var b strings.Builder
+	prevBase := ""
 	for _, e := range entries {
-		if e.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", e.name, e.help)
+		base := baseName(e.name)
+		if base != prevBase {
+			prevBase = base
+			if e.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", base, e.help)
+			}
+			switch {
+			case e.c != nil:
+				fmt.Fprintf(&b, "# TYPE %s counter\n", base)
+			case e.g != nil:
+				fmt.Fprintf(&b, "# TYPE %s gauge\n", base)
+			case e.h != nil:
+				fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+			}
 		}
 		switch {
 		case e.c != nil:
-			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.c.Value())
+			fmt.Fprintf(&b, "%s %d\n", e.name, e.c.Value())
 		case e.g != nil:
-			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", e.name, e.name, formatFloat(e.g.Value()))
+			fmt.Fprintf(&b, "%s %s\n", e.name, formatFloat(e.g.Value()))
 		case e.h != nil:
-			fmt.Fprintf(&b, "# TYPE %s histogram\n", e.name)
 			cum := e.h.Cumulative()
 			for i, bound := range e.h.Bounds() {
 				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", e.name, formatFloat(bound), cum[i])

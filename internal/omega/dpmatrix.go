@@ -19,10 +19,11 @@ import (
 // (re-based) rather than recomputed, and only r² values that involve
 // newly entering SNPs are calculated.
 type DPMatrix struct {
-	comp *ld.Computer
-	lo   int         // first covered global SNP
-	hi   int         // last covered global SNP; hi < lo means empty
-	rows [][]float64 // rows[i-lo] holds M[i][j] at offset j-lo, j ∈ [lo, i]
+	comp    *ld.Computer
+	lo      int         // first covered global SNP
+	hi      int         // last covered global SNP; hi < lo means empty
+	rows    [][]float64 // rows[i-lo] holds M[i][j] at offset j-lo, j ∈ [lo, i]
+	scratch *Scratch    // optional arena for row/staging storage (nil: allocate)
 
 	r2Computed int64 // cells filled via the recurrence (one r² each)
 	r2Reused   int64 // cells preserved by relocation
@@ -31,6 +32,16 @@ type DPMatrix struct {
 // NewDPMatrix creates an empty matrix over the computer's alignment.
 func NewDPMatrix(c *ld.Computer) *DPMatrix {
 	return &DPMatrix{comp: c, lo: 0, hi: -1}
+}
+
+// NewDPMatrixScratch creates an empty matrix whose row storage and
+// recurrence staging buffer come from the scan-scoped scratch arena, so
+// steady-state Advance calls allocate nothing. The scratch must belong
+// to the same goroutine driving the matrix; snapshots taken from the
+// matrix remain valid for the scratch's lifetime (arena chunks are
+// never recycled mid-scan).
+func NewDPMatrixScratch(c *ld.Computer, s *Scratch) *DPMatrix {
+	return &DPMatrix{comp: c, lo: 0, hi: -1, scratch: s}
 }
 
 // Lo returns the first covered global SNP index.
@@ -108,13 +119,16 @@ func (m *DPMatrix) extendTo(hi int) {
 	first := m.hi + 1
 	nNew := hi - first + 1
 	width := hi - m.lo + 1
-	fresh := make([]float64, nNew*width) // fresh[(i-first)*width + (j-lo)]
+	// fresh[(i-first)*width + (j-lo)]; scratch-backed and reused across
+	// Advance calls (PairCounts writes every cell the recurrence reads,
+	// so stale values from earlier regions are never observed).
+	fresh := m.scratch.freshBuf(nNew * width)
 	store := func(i, j int, r2 float64) {
 		fresh[(i-first)*width+(j-m.lo)] = r2
 	}
 	m.comp.PairCounts(first, hi+1, m.lo, store)
 	for i := first; i <= hi; i++ {
-		row := make([]float64, i-m.lo+1)
+		row := m.scratch.allocRow(i - m.lo + 1)
 		ri := i - m.lo
 		row[ri] = 0
 		if i-1 >= m.lo {
@@ -187,3 +201,11 @@ func (v *View) At(i, j int) float64 {
 	}
 	return v.rows[i-v.lo][j-v.lo]
 }
+
+// rawRows exposes the matrix's row storage for the blocked kernel's
+// direct-indexing fast path (see rowsProvider).
+func (m *DPMatrix) rawRows() ([][]float64, int) { return m.rows, m.lo }
+
+// rawRows exposes the snapshot's row storage for the blocked kernel's
+// direct-indexing fast path (see rowsProvider).
+func (v *View) rawRows() ([][]float64, int) { return v.rows, v.lo }

@@ -36,6 +36,13 @@ type Params struct {
 	MaxSNPsPerSide int
 	// Epsilon is the denominator offset (default DefaultEpsilon).
 	Epsilon float64
+	// Kernel selects the ω kernel implementation (see KernelKind). The
+	// zero value is KernelAuto: per-region scalar/blocked dispatch by
+	// workload size, mirroring the paper's Kernel I/II selection (§IV-A).
+	Kernel KernelKind
+	// KernelNthr overrides the auto-dispatch workload threshold (border
+	// combinations per region). Zero means DefaultNthr.
+	KernelNthr int
 }
 
 // WithDefaults returns a copy with unset fields defaulted.
@@ -66,6 +73,12 @@ func (p Params) Validate() error {
 	if p.MaxSNPsPerSide != 0 && p.MaxSNPsPerSide < p.MinSNPsPerSide {
 		return fmt.Errorf("omega: MaxSNPsPerSide %d < MinSNPsPerSide %d",
 			p.MaxSNPsPerSide, p.MinSNPsPerSide)
+	}
+	if _, err := kernelFor(p); err != nil {
+		return err
+	}
+	if p.KernelNthr < 0 {
+		return fmt.Errorf("omega: negative KernelNthr %d", p.KernelNthr)
 	}
 	return nil
 }

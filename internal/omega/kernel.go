@@ -45,43 +45,13 @@ type Result struct {
 // directly against the DP matrix (the OmegaPlus CPU nested loop: outer
 // over left borders, inner over right borders) and returns the maximum.
 // The matrix must already cover [reg.Lo, reg.Hi].
+//
+// This is the convenience entry point over the scalar reference kernel
+// with a one-shot scratch; scan loops resolve a Kernel and reuse a
+// per-goroutine Scratch instead (see kernels.go).
 func ComputeOmega(m MatrixView, a *seqio.Alignment, reg Region, p Params) Result {
 	p = p.WithDefaults()
-	res := Result{GridIndex: reg.Index, Center: reg.Center, MaxOmega: math.Inf(-1)}
-	lMax, lMin, rMin, rMax, ok := reg.borders(p)
-	if !ok {
-		return Result{GridIndex: reg.Index, Center: reg.Center}
-	}
-	pos := a.Positions
-	c2 := stats.Choose2Table(maxInt(reg.K-lMin+1, rMax-reg.K) + 1)
-	eps := p.Epsilon
-	for l := lMax; l >= lMin; l-- {
-		ln := reg.K - l + 1
-		ls := m.At(reg.K, l)
-		kl := c2[ln]
-		fln := float64(ln)
-		for r := rMin; r <= rMax; r++ {
-			if pos[r]-pos[l] < p.MinWindow {
-				continue
-			}
-			rn := r - reg.K
-			rs := m.At(r, reg.K+1)
-			ts := m.At(r, l)
-			w := Score(ls, rs, ts, kl, c2[rn], fln, float64(rn), eps)
-			res.Scores++
-			if w > res.MaxOmega {
-				res.MaxOmega = w
-				res.LeftBorder, res.RightBorder = l, r
-			}
-		}
-	}
-	if res.Scores == 0 {
-		return Result{GridIndex: reg.Index, Center: reg.Center}
-	}
-	res.Valid = true
-	res.LeftPos = pos[res.LeftBorder]
-	res.RightPos = pos[res.RightBorder]
-	return res
+	return scalarKernel{}.Evaluate(scratchFor(a), m, reg, p)
 }
 
 // KernelInput is the packed per-grid-position buffer set handed to the
@@ -133,50 +103,74 @@ func (in *KernelInput) Bytes() int64 {
 
 // BuildKernelInput packs the region's window sums into flat buffers.
 // Returns nil when the region has no admissible window.
+//
+// Buffers are preallocated at their known sizes (outer = lMax−lMin+1,
+// inner = rMax−rMin+1) and the Skip bitmap is materialized only when at
+// least one slot actually violates MinWindow (checked via the narrowest
+// window first), instead of whenever MinWindow > 0. Scan loops use the
+// allocation-free Scratch.BuildKernelInput; this standalone variant
+// allocates fresh buffers the caller may retain.
 func BuildKernelInput(m MatrixView, a *seqio.Alignment, reg Region, p Params) *KernelInput {
 	p = p.WithDefaults()
 	lMax, lMin, rMin, rMax, ok := reg.borders(p)
 	if !ok {
 		return nil
 	}
-	in := &KernelInput{GridIndex: reg.Index, Center: reg.Center, Epsilon: p.Epsilon}
-	for l := lMax; l >= lMin; l-- {
+	outer := lMax - lMin + 1
+	inner := rMax - rMin + 1
+	c2 := stats.Choose2Table(maxInt(reg.K-lMin+1, rMax-reg.K) + 1)
+	in := &KernelInput{
+		GridIndex: reg.Index, Center: reg.Center, Epsilon: p.Epsilon,
+		LeftBorders:  make([]int, outer),
+		LS:           make([]float64, outer),
+		KL:           make([]float64, outer),
+		LN:           make([]float64, outer),
+		RightBorders: make([]int, inner),
+		RS:           make([]float64, inner),
+		KR:           make([]float64, inner),
+		RN:           make([]float64, inner),
+		TS:           make([]float64, outer*inner),
+	}
+	for o := 0; o < outer; o++ {
+		l := lMax - o
 		ln := reg.K - l + 1
-		in.LeftBorders = append(in.LeftBorders, l)
-		in.LS = append(in.LS, m.At(reg.K, l))
-		in.KL = append(in.KL, stats.Choose2(ln))
-		in.LN = append(in.LN, float64(ln))
+		in.LeftBorders[o] = l
+		in.LS[o] = m.At(reg.K, l)
+		in.KL[o] = c2[ln]
+		in.LN[o] = float64(ln)
 	}
-	for r := rMin; r <= rMax; r++ {
+	for i := 0; i < inner; i++ {
+		r := rMin + i
 		rn := r - reg.K
-		in.RightBorders = append(in.RightBorders, r)
-		in.RS = append(in.RS, m.At(r, reg.K+1))
-		in.KR = append(in.KR, stats.Choose2(rn))
-		in.RN = append(in.RN, float64(rn))
-	}
-	in.TS = make([]float64, in.Outer()*in.Inner())
-	pos := a.Positions
-	anySkip := false
-	var skip []bool
-	if p.MinWindow > 0 {
-		skip = make([]bool, len(in.TS))
+		in.RightBorders[i] = r
+		in.RS[i] = m.At(r, reg.K+1)
+		in.KR[i] = c2[rn]
+		in.RN[i] = float64(rn)
 	}
 	g := 0
 	for _, l := range in.LeftBorders {
 		for _, r := range in.RightBorders {
 			in.TS[g] = m.At(r, l)
-			if skip != nil && pos[r]-pos[l] < p.MinWindow {
-				skip[g] = true
-				anySkip = true
-			}
 			g++
 		}
 	}
-	if anySkip {
+	pos := a.Positions
+	// Lazy skip: only pay for the bitmap when the narrowest window
+	// (l = lMax, r = rMin) is itself below MinWindow — otherwise every
+	// slot is admissible and Skip stays nil.
+	if p.MinWindow > 0 && pos[rMin]-pos[lMax] < p.MinWindow {
+		skip := make([]bool, outer*inner)
+		rStart := rMax + 1
+		for o := 0; o < outer; o++ {
+			l := lMax - o
+			for rStart > rMin && pos[rStart-1]-pos[l] >= p.MinWindow {
+				rStart--
+			}
+			for i := 0; i < rStart-rMin && i < inner; i++ {
+				skip[o*inner+i] = true
+			}
+		}
 		in.Skip = skip
-	}
-	if in.Total() == 0 {
-		return nil
 	}
 	return in
 }

@@ -34,6 +34,13 @@ type Stats struct {
 	// from LDTime so the Fig. 14 LD/ω split is not inflated by scheduling
 	// overhead that the paper's serial profile does not contain.
 	SnapshotTime time.Duration
+	// KernelScalar/KernelBlocked count the grid regions evaluated by each
+	// ω kernel implementation — the CPU analogue of the paper's Kernel
+	// I/II launch split under dynamic selection (§IV-A). With a forced
+	// kernel one counter carries the whole grid; under auto dispatch the
+	// split shows which side of the Nthr threshold the workload fell on.
+	KernelScalar  int64
+	KernelBlocked int64
 }
 
 // Add accumulates other into s.
@@ -46,6 +53,8 @@ func (s *Stats) Add(other Stats) {
 	s.LDTime += other.LDTime
 	s.OmegaTime += other.OmegaTime
 	s.SnapshotTime += other.SnapshotTime
+	s.KernelScalar += other.KernelScalar
+	s.KernelBlocked += other.KernelBlocked
 }
 
 // Scan runs the complete OmegaPlus workflow (§III of the paper)
@@ -79,7 +88,12 @@ func ScanCtx(ctx context.Context, a *seqio.Alignment, p Params, engine ld.Engine
 // no clock reads of its own.
 func scanRegions(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, regions []Region, p Params, mt *obs.Meter) ([]Result, Stats, error) {
 	p = p.WithDefaults()
-	m := NewDPMatrix(comp)
+	krn, err := kernelFor(p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	s := NewScratch(a, p)
+	m := NewDPMatrixScratch(comp, s)
 	results := make([]Result, 0, len(regions))
 	var st Stats
 	var prevR2 int64
@@ -100,7 +114,7 @@ func scanRegions(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, reg
 		mt.Span(obs.PhaseLD, 0, t0, dLD, false, nil)
 
 		t1 := time.Now()
-		res := ComputeOmega(m, a, reg, p)
+		res := krn.Evaluate(s, m, reg, p)
 		dOmega := time.Since(t1)
 		st.OmegaTime += dOmega
 		mt.Span(obs.PhaseOmega, 0, t1, dOmega, false, nil)
@@ -112,6 +126,8 @@ func scanRegions(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, reg
 	}
 	st.R2Computed = m.R2Computed()
 	st.R2Reused = m.R2Reused()
+	st.KernelScalar = s.ScalarRegions
+	st.KernelBlocked = s.BlockedRegions
 	return results, st, nil
 }
 
@@ -152,6 +168,10 @@ func ScanParallelCtx(ctx context.Context, a *seqio.Alignment, p Params, engine l
 		return scanRegions(ctx, comp, a, regions, p, mt)
 	}
 	p = p.WithDefaults()
+	krn, err := kernelFor(p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 
 	type job struct {
 		view *View
@@ -162,17 +182,20 @@ func ScanParallelCtx(ctx context.Context, a *seqio.Alignment, p Params, engine l
 	results := make([]Result, len(regions))
 	omegaNs := make([]int64, threads)
 	scores := make([]int64, threads)
+	scratches := make([]*Scratch, threads) // one per worker, never shared
 	var wg sync.WaitGroup
 	for w := 0; w < threads; w++ {
+		scratches[w] = NewScratch(a, p)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			ws := scratches[w]
 			for jb := range jobs {
 				if ctx.Err() != nil {
 					continue // drain without scoring: the scan is aborting
 				}
 				t0 := time.Now()
-				res := ComputeOmega(jb.view, a, jb.reg, p)
+				res := krn.Evaluate(ws, jb.view, jb.reg, p)
 				d := time.Since(t0)
 				omegaNs[w] += d.Nanoseconds()
 				mt.Span(obs.PhaseOmega, 2+w, t0, d, false, nil)
@@ -183,7 +206,9 @@ func ScanParallelCtx(ctx context.Context, a *seqio.Alignment, p Params, engine l
 		}(w)
 	}
 
-	m := NewDPMatrix(comp)
+	// The producer's scratch backs only the DP matrix arena; workers
+	// score snapshots with their own scratches.
+	m := NewDPMatrixScratch(comp, NewScratch(a, p))
 	var st Stats
 	var prevR2 int64
 	for i, reg := range regions {
@@ -220,6 +245,8 @@ func ScanParallelCtx(ctx context.Context, a *seqio.Alignment, p Params, engine l
 	for w := 0; w < threads; w++ {
 		st.OmegaTime += time.Duration(omegaNs[w])
 		st.OmegaScores += scores[w]
+		st.KernelScalar += scratches[w].ScalarRegions
+		st.KernelBlocked += scratches[w].BlockedRegions
 	}
 	st.R2Computed = m.R2Computed()
 	st.R2Reused = m.R2Reused()

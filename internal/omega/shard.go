@@ -131,6 +131,10 @@ func ScanShardedCtx(ctx context.Context, a *seqio.Alignment, p Params, engine ld
 		return nil, Stats{}, err
 	}
 	p = p.WithDefaults()
+	krn, err := kernelFor(p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	comp := ld.NewComputer(a, engine, 1)
 	shards := partitionRegions(regions, threads)
 	if len(shards) <= 1 {
@@ -143,7 +147,7 @@ func ScanShardedCtx(ctx context.Context, a *seqio.Alignment, p Params, engine ld
 		wg.Add(1)
 		go func(s int, sp shardSpan) {
 			defer wg.Done()
-			perShard[s] = scanShard(ctx, comp.Clone(), a, regions, sp, p, results, mt, s)
+			perShard[s] = scanShard(ctx, comp.Clone(), a, regions, sp, p, krn, results, mt, s)
 		}(s, sp)
 	}
 	wg.Wait()
@@ -161,9 +165,10 @@ func ScanShardedCtx(ctx context.Context, a *seqio.Alignment, p Params, engine ld
 // results into their global slots. track selects the shard's span
 // lane (offset by 2; lanes 0–1 are reserved for top-level phases and
 // the snapshot producer).
-func scanShard(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, regions []Region, sp shardSpan, p Params, out []Result, mt *obs.Meter, track int) Stats {
+func scanShard(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, regions []Region, sp shardSpan, p Params, krn Kernel, out []Result, mt *obs.Meter, track int) Stats {
 	var st Stats
-	m := NewDPMatrix(comp)
+	sc := NewScratch(a, p) // shard-private: scratches are never shared
+	m := NewDPMatrixScratch(comp, sc)
 	lane := track + 2
 	shardStart := time.Now()
 
@@ -202,7 +207,7 @@ func scanShard(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, regio
 		mt.Span(obs.PhaseLD, lane, t0, dLD, false, nil)
 
 		t1 := time.Now()
-		res := ComputeOmega(m, a, reg, p)
+		res := krn.Evaluate(sc, m, reg, p)
 		dOmega := time.Since(t1)
 		st.OmegaTime += dOmega
 		mt.Span(obs.PhaseOmega, lane, t1, dOmega, false, nil)
@@ -214,6 +219,8 @@ func scanShard(ctx context.Context, comp *ld.Computer, a *seqio.Alignment, regio
 	}
 	st.R2Computed = m.R2Computed()
 	st.R2Reused = m.R2Reused()
+	st.KernelScalar = sc.ScalarRegions
+	st.KernelBlocked = sc.BlockedRegions
 	mt.Span(fmt.Sprintf("shard %d", track), lane, shardStart, time.Since(shardStart), false, map[string]any{
 		"regions":       sp.Hi - sp.Lo,
 		"r2_computed":   st.R2Computed,

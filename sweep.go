@@ -105,6 +105,29 @@ func ParseScheduler(name string) (Scheduler, error) {
 	}
 }
 
+// OmegaKernel selects the CPU ω-kernel implementation of a scan. All
+// kernels are bit-identical; they differ only in throughput and in how
+// the per-region work is organized (see internal/omega's kernel layer).
+type OmegaKernel = omega.KernelKind
+
+const (
+	// OmegaKernelAuto dispatches per grid region on workload size, the
+	// CPU analogue of the paper's dynamic Kernel I/II selection (§IV-A).
+	// The default.
+	OmegaKernelAuto = omega.KernelAuto
+	// OmegaKernelScalar forces the reference nested loop everywhere.
+	OmegaKernelScalar = omega.KernelScalar
+	// OmegaKernelBlocked forces the branch-free blocked kernel everywhere.
+	OmegaKernelBlocked = omega.KernelBlocked
+)
+
+// ParseOmegaKernel resolves an ω-kernel name ("auto", "scalar",
+// "blocked") as printed by OmegaKernel.String; the CLI's -omega-kernel
+// flag parses through it.
+func ParseOmegaKernel(name string) (OmegaKernel, error) {
+	return omega.ParseKernelKind(name)
+}
+
 // Dataset is a binary SNP alignment over a genomic region (positions in
 // base pairs plus a bit-packed SNP matrix).
 type Dataset = seqio.Alignment
@@ -183,6 +206,10 @@ type Config struct {
 	// Sched selects the CPU multithreading scheduler (default SchedAuto;
 	// ignored when Threads ≤ 1 or the backend is not BackendCPU).
 	Sched Scheduler
+	// OmegaKernel selects the CPU ω kernel (default OmegaKernelAuto:
+	// per-region scalar/blocked dispatch on workload size). Ignored by
+	// the accelerator backends, which always run the packed-buffer path.
+	OmegaKernel OmegaKernel
 	// Backend selects the engine (default BackendCPU).
 	Backend Backend
 	// Observer, when non-nil, receives live Progress snapshots (one per
@@ -250,6 +277,11 @@ type Report struct {
 	SnapshotSeconds float64
 	// WallSeconds is the measured wall-clock time of the scan.
 	WallSeconds float64
+	// OmegaKernelScalar / OmegaKernelBlocked count grid regions per CPU
+	// ω-kernel implementation — with OmegaKernelAuto they show where the
+	// Nthr-style dispatch landed. Zero on accelerator backends.
+	OmegaKernelScalar  int64
+	OmegaKernelBlocked int64
 }
 
 // Best returns the grid position with the highest ω.
@@ -259,13 +291,14 @@ func (r *Report) Best() (Result, bool) { return omega.MaxResult(r.Results) }
 // layer's option set.
 func (c Config) execOptions(mt *obs.Meter) exec.Options {
 	return exec.Options{
-		Threads:    c.Threads,
-		Sched:      exec.Scheduler(c.Sched),
-		UseGEMMLD:  c.UseGEMMLD,
-		Meter:      mt,
-		GPUDevice:  c.GPUDevice,
-		GPUKernel:  c.GPUKernel,
-		FPGADevice: c.FPGADevice,
+		Threads:     c.Threads,
+		Sched:       exec.Scheduler(c.Sched),
+		UseGEMMLD:   c.UseGEMMLD,
+		OmegaKernel: c.OmegaKernel,
+		Meter:       mt,
+		GPUDevice:   c.GPUDevice,
+		GPUKernel:   c.GPUKernel,
+		FPGADevice:  c.FPGADevice,
 	}
 }
 
@@ -344,8 +377,9 @@ func scanResolved(ctx context.Context, ds *Dataset, cfg Config, p omega.Params, 
 		OmegaScores: st.OmegaScores, R2Computed: st.R2Computed, R2Reused: st.R2Reused,
 		R2Duplicated: st.R2Duplicated,
 		LDSeconds:    st.LDSeconds, OmegaSeconds: st.OmegaSeconds,
-		SnapshotSeconds: st.SnapshotSeconds,
-		WallSeconds:     time.Since(t0).Seconds(),
+		SnapshotSeconds:   st.SnapshotSeconds,
+		WallSeconds:       time.Since(t0).Seconds(),
+		OmegaKernelScalar: st.OmegaKernelScalar, OmegaKernelBlocked: st.OmegaKernelBlocked,
 	}, nil
 }
 
