@@ -1,11 +1,16 @@
 // Command convert translates SNP datasets between the formats the
-// toolchain understands: ms, VCF, and FASTA (gzip input transparently
-// decompressed).
+// toolchain understands: ms, VCF, FASTA, and the packed bit-matrix
+// format bitmat (gzip input transparently decompressed).
 //
 // Usage:
 //
 //	convert -in data.ms -informat ms -length 1000000 -out data.vcf -outformat vcf
 //	convert -in chr1.vcf.gz -informat vcf -out chr1.fa -outformat fasta
+//	convert -in chr1.vcf.gz -informat vcf -out chr1.bitmat -outformat bitmat
+//
+// bitmat is the mmap-able on-disk layout specified in docs/FORMATS.md:
+// converting once lets repeated `omegago -stream -format bitmat` scans
+// map the file read-only and skip allele compression entirely.
 package main
 
 import (
@@ -24,10 +29,10 @@ func main() {
 
 	var (
 		in        = flag.String("in", "", "input file (.gz supported)")
-		informat  = flag.String("informat", "ms", "input format: ms, fasta, vcf")
+		informat  = flag.String("informat", "ms", "input format: ms, fasta, vcf, bitmat")
 		length    = flag.Float64("length", 1e6, "region length in bp (ms input)")
 		out       = flag.String("out", "-", "output file (default stdout)")
-		outformat = flag.String("outformat", "vcf", "output format: vcf, fasta")
+		outformat = flag.String("outformat", "vcf", "output format: vcf, fasta, bitmat")
 		chrom     = flag.String("chrom", "chr1", "chromosome name for VCF output")
 	)
 	flag.Parse()
@@ -59,6 +64,8 @@ func main() {
 		}
 	case "vcf":
 		a, err = seqio.ParseVCF(r)
+	case "bitmat":
+		a, err = seqio.ReadBitmat(r)
 	default:
 		log.Fatalf("unknown input format %q", *informat)
 	}
@@ -85,6 +92,8 @@ func main() {
 		err = seqio.WriteVCF(w, *chrom, a)
 	case "fasta", "fa":
 		err = seqio.WriteFASTA(w, a)
+	case "bitmat":
+		err = seqio.WriteBitmat(w, a)
 	default:
 		log.Fatalf("unknown output format %q", *outformat)
 	}

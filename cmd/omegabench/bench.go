@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"testing"
 
@@ -51,6 +52,7 @@ type benchCase struct {
 	fullOnly   bool
 	unitsPerOp float64
 	op         func()
+	cleanup    func()
 }
 
 // randomBitMatrix mirrors the gemm test generator at the pinned seed.
@@ -114,6 +116,49 @@ func scanCase(name string, cfg omegago.Config, segsites int, fullOnly bool) benc
 	}
 }
 
+// streamCase benches the out-of-core path end to end: each op reopens a
+// pinned-seed bitmat file (header parse + mmap) and runs ScanStream over
+// it, so the record covers chunk planning, the loader goroutine, and the
+// zero-copy row adoption that a resident Scan never pays. chunkSNPs 0
+// uses the default chunk sizing.
+func streamCase(name string, cfg omegago.Config, segsites, chunkSNPs int, fullOnly bool) benchCase {
+	ds, err := omegago.Simulate(omegago.SimConfig{
+		SampleSize: 64, Replicates: 1, SegSites: segsites, Seed: benchSeed,
+	}, 1e6)
+	if err != nil {
+		fatalf("simulating %s dataset: %v", name, err)
+	}
+	f, err := os.CreateTemp("", "omegabench-*.bitmat")
+	if err != nil {
+		fatalf("creating %s bitmat: %v", name, err)
+	}
+	path := f.Name()
+	f.Close()
+	if err := omegago.SaveBitmat(path, ds); err != nil {
+		fatalf("writing %s bitmat: %v", name, err)
+	}
+	cfg.ChunkSNPs = chunkSNPs
+	run := func() float64 {
+		src, err := omegago.OpenBitmatSource(path)
+		if err != nil {
+			fatalf("%s open: %v", name, err)
+		}
+		defer src.Close()
+		rep, err := omegago.ScanStream(src, cfg)
+		if err != nil {
+			fatalf("%s scan: %v", name, err)
+		}
+		return float64(rep.OmegaScores)
+	}
+	units := run() // prime, and pin the per-op ω count
+	return benchCase{
+		name: name, metric: "Momega/s", fullOnly: fullOnly,
+		unitsPerOp: units,
+		op:         func() { run() },
+		cleanup:    func() { os.Remove(path) },
+	}
+}
+
 // benchTable assembles the preset's fixed benchmark list.
 func benchTable(preset string) []benchCase {
 	full := preset == "full"
@@ -128,7 +173,12 @@ func benchTable(preset string) []benchCase {
 	cases = append(cases,
 		scanCase("scan/direct/g32", scanCfg, 800, false),
 		scanCase("scan/gemm-ld/g32", gemmCfg, 800, false),
+		streamCase("scan/stream-bitmat/g32", scanCfg, 800, 0, false),
 	)
+	if full {
+		cases = append(cases,
+			streamCase("scan/stream-bitmat/g32c128", scanCfg, 800, 128, true))
+	}
 	// ω-kernel comparison on an ω-bound workload: a dense grid with an
 	// effectively unbounded window keeps the borders long, so the region
 	// loop dominates and the scalar/blocked gap is what gets measured.
@@ -184,6 +234,9 @@ func runPreset(preset, rev string, progress func(string)) *File {
 		}
 		f.Benchmarks = append(f.Benchmarks, rec)
 		progress(fmt.Sprintf("%-24s %12.0f ns/op %10.2f %s", rec.Name, rec.NsPerOp, rec.Throughput, rec.Metric))
+		if c.cleanup != nil {
+			c.cleanup()
+		}
 	}
 	return f
 }

@@ -10,6 +10,14 @@
 //	omegago -input chr1.vcf -format vcf -grid 1000 -minwin 1000 -maxwin 50000
 //	omegago -input aln.fa -format fasta -backend gpu -threads 4
 //	omegago -input data.ms -threads 8 -sched sharded -trace scan.trace
+//	omegago -input chr1.bitmat -format bitmat -stream -maxwin 50000
+//
+// With -stream the input is scanned out-of-core: chunks of SNP rows are
+// parsed (or, for bitmat files, memory-mapped) while the previous chunk
+// is being scanned, so memory stays bounded by the chunk size instead of
+// the input size. Streaming is cpu-backend only; see docs/TUTORIAL.md
+// for the whole-chromosome walkthrough and cmd/convert for producing
+// bitmat files.
 //
 // Multithreaded CPU scans pick a scheduler with -sched: "snapshot"
 // (one producer slides the DP matrix, workers score snapshots),
@@ -49,7 +57,9 @@ func main() {
 
 	var (
 		input       = flag.String("input", "", "input file (required)")
-		format      = flag.String("format", "ms", "input format: ms, fasta, vcf")
+		format      = flag.String("format", "ms", "input format: ms, fasta, vcf, bitmat")
+		stream      = flag.Bool("stream", false, "scan out-of-core: read the input in chunks, double-buffered against compute (cpu backend)")
+		chunkSNPs   = flag.Int("chunk-snps", 0, "SNP rows per streamed chunk (0 = four times the widest grid region; implies nothing without -stream)")
 		length      = flag.Float64("length", 1e6, "region length in bp (ms format only)")
 		grid        = flag.Int("grid", 100, "number of ω positions")
 		minwin      = flag.Float64("minwin", 0, "minimum window span in bp")
@@ -96,20 +106,50 @@ func main() {
 		*repl = "all"
 	}
 
+	if *allReps && *stream {
+		log.Printf("warning: -stream does not apply to batch mode; scanning replicates resident")
+		*stream = false
+	}
+
 	loadDone := tr.Begin("load+parse")
 	var ds *omegago.Dataset
 	var batch []*omegago.Dataset
+	var src omegago.ChunkSource
 	switch strings.ToLower(*format) {
 	case "ms":
 		switch strings.ToLower(*repl) {
 		case "1":
-			ds, err = omegago.LoadMS(f, *length)
+			if *stream {
+				// Keep the sample-major text resident; defer bit-packing to
+				// the chunk loader.
+				reps, lerr := seqio.ParseMS(f)
+				if lerr != nil {
+					fatalf(exitInput, "%v", lerr)
+				}
+				if len(reps) == 0 {
+					fatalf(exitInput, "ms stream holds no replicates")
+				}
+				src, err = seqio.NewMSSource(reps[0], *length)
+			} else {
+				ds, err = omegago.LoadMS(f, *length)
+			}
 		case "all":
 			batch, err = omegago.LoadMSAll(f, *length)
 		default:
 			idx, cerr := strconv.Atoi(*repl)
 			if cerr != nil || idx < 1 {
 				fatalf(exitUsage, "bad -replicate %q (want a 1-based index or 'all')", *repl)
+			}
+			if *stream {
+				reps, lerr := seqio.ParseMS(f)
+				if lerr != nil {
+					fatalf(exitInput, "%v", lerr)
+				}
+				if idx > len(reps) {
+					fatalf(exitInput, "replicate %d requested, stream holds %d", idx, len(reps))
+				}
+				src, err = seqio.NewMSSource(reps[idx-1], *length)
+				break
 			}
 			all, lerr := omegago.LoadMSAll(f, *length)
 			if lerr != nil {
@@ -125,18 +165,44 @@ func main() {
 		}
 	case "fasta", "fa":
 		ds, err = omegago.LoadFASTA(f)
+		if err == nil && *stream {
+			// No streaming FASTA parser; wrap the resident alignment so the
+			// scan still exercises the chunked pipeline.
+			src, err = omegago.NewDatasetSource(ds)
+		}
 	case "vcf":
-		ds, err = omegago.LoadVCF(f)
+		if *stream {
+			src, err = omegago.OpenVCFSource(*input)
+		} else {
+			ds, err = omegago.LoadVCF(f)
+		}
+	case "bitmat":
+		if *stream {
+			src, err = omegago.OpenBitmatSource(*input)
+		} else {
+			ds, err = omegago.LoadBitmat(f)
+		}
 	default:
-		fatalf(exitUsage, "unknown format %q (want ms, fasta, or vcf)", *format)
+		fatalf(exitUsage, "unknown format %q (want ms, fasta, vcf, or bitmat)", *format)
 	}
 	if err != nil {
 		fatalf(exitInput, "%v", err)
 	}
+	if src != nil {
+		defer src.Close()
+	}
+	var nSNPs, nSamples int
+	switch {
+	case src != nil:
+		m := src.Meta()
+		nSNPs, nSamples = m.NumSNPs, m.Samples
+	case ds != nil:
+		nSNPs, nSamples = ds.NumSNPs(), ds.Samples()
+	}
 	loadArgs := map[string]any{}
-	if ds != nil {
-		loadArgs["snps"] = ds.NumSNPs()
-		loadArgs["samples"] = ds.Samples()
+	if src != nil || ds != nil {
+		loadArgs["snps"] = nSNPs
+		loadArgs["samples"] = nSamples
 	}
 	loadDone(loadArgs)
 
@@ -146,6 +212,7 @@ func main() {
 		MaxWindow: *maxwin,
 		Threads:   *threads,
 		UseGEMMLD: *gemmLD,
+		ChunkSNPs: *chunkSNPs,
 	}
 	cfg.Sched, err = omegago.ParseScheduler(strings.ToLower(*sched))
 	if err != nil {
@@ -228,6 +295,13 @@ func main() {
 		log.Printf("metrics listening on http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)", addr)
 	}
 
+	if *stream && cfg.Backend != omegago.BackendCPU {
+		fatalf(exitUsage, "-stream requires -backend cpu (the simulated accelerators scan resident alignments)")
+	}
+	if *chunkSNPs != 0 && !*stream {
+		log.Printf("warning: -chunk-snps only applies with -stream; ignored")
+	}
+
 	// CPU-only flags silently do nothing on accelerator backends; say so
 	// on stderr instead of swallowing them.
 	if cfg.Backend != omegago.BackendCPU {
@@ -300,10 +374,19 @@ func main() {
 		return
 	}
 
-	fmt.Printf("# omegago scan: %d SNPs, %d samples, backend=%s\n",
-		ds.NumSNPs(), ds.Samples(), cfg.Backend)
+	mode := "scan"
+	if src != nil {
+		mode = "streamed scan"
+	}
+	fmt.Printf("# omegago %s: %d SNPs, %d samples, backend=%s\n",
+		mode, nSNPs, nSamples, cfg.Backend)
 	scanDone := tr.Begin("scan")
-	rep, err := omegago.ScanContext(ctx, ds, cfg)
+	var rep *omegago.Report
+	if src != nil {
+		rep, err = omegago.ScanStreamContext(ctx, src, cfg)
+	} else {
+		rep, err = omegago.ScanContext(ctx, ds, cfg)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			fatalf(exitTimeout, "scan aborted after -timeout %v: %v", *timeout, err)
@@ -355,7 +438,7 @@ func main() {
 		meta := report.Meta{
 			Title:   fmt.Sprintf("omegago scan of %s", *input),
 			Dataset: *input, Backend: rep.Backend.String(),
-			SNPs: ds.NumSNPs(), Samples: ds.Samples(), GridSize: cfg.GridSize,
+			SNPs: nSNPs, Samples: nSamples, GridSize: cfg.GridSize,
 			OmegaScans: rep.OmegaScores,
 			Runtime:    fmt.Sprintf("%.3fs wall", rep.WallSeconds),
 		}
@@ -391,7 +474,11 @@ func main() {
 
 	dup := ""
 	if rep.R2Duplicated > 0 {
-		dup = fmt.Sprintf(", %s duplicated at shard boundaries", stats.FormatSI(float64(rep.R2Duplicated)))
+		site := "shard"
+		if rep.StreamChunks > 0 {
+			site = "chunk"
+		}
+		dup = fmt.Sprintf(", %s duplicated at %s boundaries", stats.FormatSI(float64(rep.R2Duplicated)), site)
 	}
 	fmt.Printf("\n# %d grid positions, %s ω scores, %s r² computed (%s reused%s)\n",
 		len(rep.Results),
@@ -414,6 +501,18 @@ func main() {
 		fmt.Printf("# modeled device time: LD %.4fs, ω %.4fs (%s ω/s); host simulation wall %.3fs\n",
 			rep.LDSeconds, rep.OmegaSeconds,
 			stats.FormatSI(float64(rep.OmegaScores)/rep.OmegaSeconds), rep.WallSeconds)
+	}
+	if rep.StreamChunks > 0 {
+		zc := ""
+		if bs, ok := src.(*omegago.BitmatSource); ok && bs.Mapped() {
+			zc = ", rows mmap-adopted zero-copy"
+		}
+		fmt.Printf("# streamed: %d chunks, %sB read, %s SNPs allele-compressed%s; load %.3fs, stall %.3fs (%.0f%% of I/O hidden behind compute)\n",
+			rep.StreamChunks,
+			stats.FormatSI(float64(rep.StreamBytesRead)),
+			stats.FormatSI(float64(rep.StreamCompressedSNPs)), zc,
+			rep.StreamLoadSeconds, rep.StreamStallSeconds,
+			100*rep.StreamOverlapRatio())
 	}
 
 	type cand struct {

@@ -20,6 +20,10 @@ var (
 	// ErrBadGrid marks grid-geometry configuration a scan cannot run
 	// with (negative sizes, inverted window bounds).
 	ErrBadGrid = errors.New("omegago: invalid grid configuration")
+	// ErrStreamUnsupported marks a ScanStream call with a backend other
+	// than BackendCPU: the simulated accelerators' transfer models
+	// assume a resident alignment.
+	ErrStreamUnsupported = errors.New("omegago: streaming requires BackendCPU")
 )
 
 // Validate reports the first configuration error, annotated with the
@@ -43,6 +47,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxSNPsPerSide < 0 {
 		return fmt.Errorf("%w: MaxSNPsPerSide %d < 0", ErrBadGrid, c.MaxSNPsPerSide)
+	}
+	if c.ChunkSNPs < 0 {
+		return fmt.Errorf("%w: ChunkSNPs %d < 0", ErrBadGrid, c.ChunkSNPs)
 	}
 	if _, err := exec.Lookup(c.Backend.String()); err != nil {
 		return fmt.Errorf("%w: %v", ErrUnknownBackend, c.Backend)

@@ -71,6 +71,24 @@ func FromBytes(s []byte) (*Vector, error) {
 	return v, nil
 }
 
+// AdoptWords wraps an existing word slice as a Vector of n bits WITHOUT
+// copying: the vector aliases words for its lifetime. The caller must
+// guarantee len(words) == WordsFor(n) and that every bit of the last
+// word beyond n is zero — the invariant all popcount kernels rely on.
+// This is the zero-copy entry point of the mmap-backed bitmat reader
+// (internal/seqio), where rows are adopted straight out of the mapped
+// file; see docs/FORMATS.md for the on-disk guarantee.
+func AdoptWords(words []uint64, n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	if len(words) != WordsFor(n) {
+		panic(fmt.Sprintf("bitvec: AdoptWords: %d words for %d bits, want %d",
+			len(words), n, WordsFor(n)))
+	}
+	return &Vector{words: words, n: n}
+}
+
 // Len returns the number of sample states in the vector.
 func (v *Vector) Len() int { return v.n }
 

@@ -53,6 +53,35 @@ func (cpuBackend) Scan(ctx context.Context, a *seqio.Alignment, p omega.Params, 
 		threads = 1
 	}
 	t0 := time.Now()
+	if opts.Stream != nil {
+		// Out-of-core path: regions are scanned serially chunk by chunk
+		// with parsing double-buffered against compute; Threads feeds the
+		// LD stage's workers instead of a grid scheduler.
+		results, st, sst, err := omega.ScanStream(ctx, opts.Stream, p, engine, threads, opts.ChunkSNPs, opts.Meter)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{
+			Results: results,
+			Stats: Stats{
+				Grid:                 st.Grid,
+				OmegaScores:          st.OmegaScores,
+				R2Computed:           st.R2Computed,
+				R2Reused:             st.R2Reused,
+				R2Duplicated:         st.R2Duplicated,
+				LDSeconds:            st.LDTime.Seconds(),
+				OmegaSeconds:         st.OmegaTime.Seconds(),
+				WallSeconds:          time.Since(t0).Seconds(),
+				OmegaKernelScalar:    st.KernelScalar,
+				OmegaKernelBlocked:   st.KernelBlocked,
+				StreamChunks:         sst.Chunks,
+				StreamBytesRead:      sst.BytesRead,
+				StreamCompressedSNPs: sst.CompressedSNPs,
+				StreamLoadSeconds:    sst.LoadTime.Seconds(),
+				StreamStallSeconds:   sst.StallTime.Seconds(),
+			},
+		}, nil
+	}
 	var (
 		results []omega.Result
 		st      omega.Stats

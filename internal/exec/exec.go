@@ -70,6 +70,16 @@ type Options struct {
 	// OmegaNthr overrides the auto dispatch threshold in border
 	// combinations per region (0 = omega.DefaultNthr).
 	OmegaNthr int
+	// Stream, when non-nil, switches the CPU backend to the out-of-core
+	// chunked scanner (omega.ScanStream): the alignment argument of Scan
+	// is ignored (callers may pass nil) and rows are pulled from the
+	// source chunk by chunk, double-buffered against compute. The
+	// accelerator backends reject it — their simulated transfer models
+	// assume a resident alignment.
+	Stream seqio.ChunkSource
+	// ChunkSNPs bounds the SNP rows per streamed chunk (0 = four times
+	// the widest grid region). Ignored without Stream.
+	ChunkSNPs int
 	// Meter, when non-nil, receives per-grid-position progress ticks and
 	// phase spans from every backend. Observers that want timing spans
 	// (the old Tracer hook) subscribe through the Meter's Observer; see
@@ -127,6 +137,30 @@ type Stats struct {
 	// implementation (the Kernel I/II launch-count analogue of §IV-A).
 	OmegaKernelScalar  int64
 	OmegaKernelBlocked int64
+
+	// Streaming counters (CPU backend with Options.Stream; zero
+	// otherwise). See omega.StreamStats for their exact meaning.
+	StreamChunks         int
+	StreamBytesRead      int64
+	StreamCompressedSNPs int64
+	StreamLoadSeconds    float64
+	StreamStallSeconds   float64
+}
+
+// StreamOverlapRatio returns the fraction of streamed-chunk load time
+// hidden behind compute, in [0, 1] (0 when the scan did not stream).
+func (s Stats) StreamOverlapRatio() float64 {
+	if s.StreamLoadSeconds <= 0 {
+		return 0
+	}
+	r := (s.StreamLoadSeconds - s.StreamStallSeconds) / s.StreamLoadSeconds
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
 }
 
 // Add accumulates other into s (used by the batch scanner's aggregate).
@@ -149,6 +183,11 @@ func (s *Stats) Add(other Stats) {
 	s.Cycles += other.Cycles
 	s.OmegaKernelScalar += other.OmegaKernelScalar
 	s.OmegaKernelBlocked += other.OmegaKernelBlocked
+	s.StreamChunks += other.StreamChunks
+	s.StreamBytesRead += other.StreamBytesRead
+	s.StreamCompressedSNPs += other.StreamCompressedSNPs
+	s.StreamLoadSeconds += other.StreamLoadSeconds
+	s.StreamStallSeconds += other.StreamStallSeconds
 }
 
 // Publish snapshots the per-scan totals into the metrics bundle (no-op
@@ -170,6 +209,14 @@ func (s Stats) Publish(met *obs.Metrics) {
 	met.SoftwareOmegas.Add(s.SoftwareOmegas)
 	met.KernelDispatchScalar.Add(s.OmegaKernelScalar)
 	met.KernelDispatchBlocked.Add(s.OmegaKernelBlocked)
+	met.StreamChunks.Add(int64(s.StreamChunks))
+	met.StreamBytes.Add(s.StreamBytesRead)
+	met.StreamCompressedSNPs.Add(s.StreamCompressedSNPs)
+	met.StreamLoadSeconds.Add(s.StreamLoadSeconds)
+	met.StreamStallSeconds.Add(s.StreamStallSeconds)
+	if s.StreamChunks > 0 {
+		met.StreamOverlap.Set(s.StreamOverlapRatio())
+	}
 }
 
 // Output is the uniform result of a Backend.Scan.

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"fmt"
 
 	"omegago/internal/fpga"
 	"omegago/internal/omega"
@@ -17,6 +18,9 @@ type fpgaBackend struct{}
 func (fpgaBackend) Name() string { return "fpga-sim" }
 
 func (fpgaBackend) Scan(ctx context.Context, a *seqio.Alignment, p omega.Params, opts Options) (*Output, error) {
+	if opts.Stream != nil {
+		return nil, fmt.Errorf("exec: backend %q does not support streamed input; scan a resident alignment or use the cpu backend", "fpga-sim")
+	}
 	dev := fpga.AlveoU200
 	if opts.FPGADevice != nil {
 		dev = *opts.FPGADevice

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"fmt"
 
 	"omegago/internal/gpu"
 	"omegago/internal/omega"
@@ -17,6 +18,9 @@ type gpuBackend struct{}
 func (gpuBackend) Name() string { return "gpu-sim" }
 
 func (gpuBackend) Scan(ctx context.Context, a *seqio.Alignment, p omega.Params, opts Options) (*Output, error) {
+	if opts.Stream != nil {
+		return nil, fmt.Errorf("exec: backend %q does not support streamed input; scan a resident alignment or use the cpu backend", "gpu-sim")
+	}
 	dev := gpu.TeslaK80
 	if opts.GPUDevice != nil {
 		dev = *opts.GPUDevice

@@ -41,6 +41,13 @@ type Metrics struct {
 	// implementation under the base omegago_kernel_dispatch_total.
 	KernelDispatchScalar  *Counter // omegago_kernel_dispatch_total{kernel="scalar"}
 	KernelDispatchBlocked *Counter // omegago_kernel_dispatch_total{kernel="blocked"}
+	// Out-of-core streaming counters (CPU backend with a chunk source).
+	StreamChunks         *Counter // omegago_stream_chunks_total
+	StreamBytes          *Counter // omegago_stream_bytes_total
+	StreamCompressedSNPs *Counter // omegago_stream_compressed_snps_total
+	StreamLoadSeconds    *Gauge   // omegago_stream_load_seconds_total
+	StreamStallSeconds   *Gauge   // omegago_stream_stall_seconds_total
+	StreamOverlap        *Gauge   // omegago_stream_overlap_ratio
 
 	// Per-phase duration histograms, created lazily by phase name:
 	// omegago_phase_seconds_<name>.
@@ -72,6 +79,18 @@ func NewMetrics(reg *Registry) *Metrics {
 			"Grid regions evaluated per CPU omega kernel implementation."),
 		KernelDispatchBlocked: reg.Counter(`omegago_kernel_dispatch_total{kernel="blocked"}`,
 			"Grid regions evaluated per CPU omega kernel implementation."),
+		StreamChunks: reg.Counter("omegago_stream_chunks_total",
+			"Chunks read by the out-of-core streaming scanner."),
+		StreamBytes: reg.Counter("omegago_stream_bytes_total",
+			"Input bytes read (or freshly mapped) while streaming chunks."),
+		StreamCompressedSNPs: reg.Counter("omegago_stream_compressed_snps_total",
+			"SNPs allele-compressed while streaming (zero on the bitmat mmap path)."),
+		StreamLoadSeconds: reg.Gauge("omegago_stream_load_seconds_total",
+			"Cumulative chunk read/parse seconds of the streaming loader."),
+		StreamStallSeconds: reg.Gauge("omegago_stream_stall_seconds_total",
+			"Cumulative seconds the streaming scan waited for a chunk."),
+		StreamOverlap: reg.Gauge("omegago_stream_overlap_ratio",
+			"Fraction of chunk load time hidden behind compute in the last streamed scan."),
 	}
 }
 

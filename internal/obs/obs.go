@@ -34,6 +34,10 @@ const (
 	// PhaseSnapshot is the DP-matrix snapshot copy of the snapshot
 	// scheduler (scheduling overhead, kept out of the LD split).
 	PhaseSnapshot = "snapshot"
+	// PhaseStreamLoad is the chunk read/parse stage of the out-of-core
+	// streaming scanner (I/O that the double buffer hides behind
+	// compute; see omega.ScanStream).
+	PhaseStreamLoad = "stream_load"
 )
 
 // Progress is a point-in-time snapshot of a running scan (or batch of

@@ -4,6 +4,23 @@
 // sub-window borders, on top of the dynamic-programming matrix M of
 // region r² sums (Equation 3) with OmegaPlus's data-reuse (relocation)
 // optimization for overlapping consecutive regions.
+//
+// Entry points, all bit-identical in their Results:
+//
+//   - Scan / ScanCtx — the serial reference workflow.
+//   - ScanParallel / ScanSharded — the snapshot and work-sharded
+//     multithreaded schedulers (see shard.go for the boundary-triangle
+//     accounting that keeps the reuse counters honest).
+//   - ScanStream — the out-of-core path: an seqio.ChunkSource delivers
+//     overlapping row chunks, double-buffered against compute, with
+//     only the live DP band resident (stream.go).
+//
+// The per-region ω evaluation itself is pluggable: a registry of
+// Kernel implementations (kernels.go — scalar reference, branch-free
+// blocked, and the Nthr-style auto dispatch mirroring the paper's
+// Kernel I/II selection) drawing working memory from a per-goroutine
+// Scratch. ComputeOmega remains as the one-shot convenience wrapper
+// over the scalar kernel.
 package omega
 
 import (
@@ -133,15 +150,22 @@ func GridPositions(first, last float64, gridSize int) []float64 {
 // [Lo, Hi] ranges are monotone, which is what makes the DP-matrix
 // relocation optimization applicable.
 func BuildRegions(a *seqio.Alignment, p Params) ([]Region, error) {
+	return BuildRegionsFromPositions(a.Positions, p)
+}
+
+// BuildRegionsFromPositions is BuildRegions over a bare sorted
+// positions table — the entry point of ScanStream, whose chunked
+// sources expose the full positions up front (seqio.StreamMeta) without
+// materializing the alignment.
+func BuildRegionsFromPositions(pos []float64, p Params) ([]Region, error) {
 	p = p.WithDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	w := a.NumSNPs()
+	w := len(pos)
 	if w == 0 {
 		return nil, fmt.Errorf("omega: alignment has no SNPs")
 	}
-	pos := a.Positions
 	centers := GridPositions(pos[0], pos[w-1], p.GridSize)
 	regions := make([]Region, len(centers))
 	for i, c := range centers {

@@ -32,7 +32,8 @@ const (
 	// KernelAuto picks scalar or blocked per region by workload size
 	// against an Nthr-style threshold (Equation 4 analogue).
 	KernelAuto KernelKind = iota
-	// KernelScalar is the reference nested loop (today's ComputeOmega).
+	// KernelScalar is the reference nested loop, the same code path
+	// the ComputeOmega convenience wrapper runs.
 	KernelScalar
 	// KernelBlocked is the branch-free flat-buffer kernel: two-pointer
 	// MinWindow admissibility, packed right-border panels, inner loop

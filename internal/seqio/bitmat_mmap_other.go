@@ -1,0 +1,15 @@
+//go:build !unix
+
+package seqio
+
+import (
+	"errors"
+	"os"
+)
+
+// mapBitmat is unavailable off unix; OpenBitmat falls back to the
+// aligned in-memory read (still zero-copy per row on little-endian
+// hosts, just not demand-paged).
+func mapBitmat(f *os.File, size int64) (data []byte, release func() error, err error) {
+	return nil, nil, errors.New("seqio: mmap unsupported on this platform")
+}

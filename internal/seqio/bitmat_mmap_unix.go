@@ -1,0 +1,23 @@
+//go:build unix
+
+package seqio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapBitmat memory-maps the file read-only. On success the returned
+// bytes alias the page cache — the zero-copy path of BitmatSource — and
+// release unmaps them. Any mmap failure is reported to the caller,
+// which falls back to an aligned in-memory read.
+func mapBitmat(f *os.File, size int64) (data []byte, release func() error, err error) {
+	if int64(int(size)) != size {
+		return nil, nil, syscall.EOVERFLOW
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

@@ -1,0 +1,181 @@
+package seqio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+
+	"omegago/internal/bitvec"
+)
+
+// hostLittleEndian reports whether the host's native word order matches
+// the bitmat on-disk order; when it does, rows can be adopted from the
+// raw bytes without decoding.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// BitmatSource streams a bitmat file as chunks of pre-packed SNP rows —
+// the fast re-scan path of the format: the file is memory-mapped
+// (read-only) and on little-endian hosts every row is adopted straight
+// out of the mapping via bitvec.AdoptWords, so a chunked scan performs
+// zero allele compression and copies no row data. ChunkStats.
+// CompressedSNPs is always 0 here, which the golden tests assert
+// through the omegago_stream_compressed_snps_total counter.
+//
+// When mmap is unavailable (non-unix builds, or an mmap error) the
+// whole file is read into an 8-byte-aligned buffer once; rows are still
+// adopted without copying. Big-endian hosts decode each row word by
+// word instead.
+type BitmatSource struct {
+	bf          *bitmatFile
+	release     func() error
+	mapped      bool
+	meta        StreamMeta
+	prevLo      int
+	deliveredHi int
+	closed      bool
+}
+
+// OpenBitmat opens a bitmat file for chunked scanning, validating the
+// header and the SHA-256 content hash (one sequential pass) before any
+// chunk is served.
+func OpenBitmat(path string) (*BitmatSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	if size < BitmatHeaderSize {
+		f.Close()
+		return nil, fmt.Errorf("seqio: bitmat file shorter than the %d-byte header", BitmatHeaderSize)
+	}
+	data, release, mapErr := mapBitmat(f, size)
+	mapped := mapErr == nil
+	if !mapped {
+		data, release, err = readAligned(f, size)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("seqio: reading bitmat: %w", err)
+		}
+	}
+	f.Close() // the mapping (or buffer) outlives the descriptor
+	bf, err := parseBitmat(data)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	return &BitmatSource{
+		bf: bf, release: release, mapped: mapped,
+		meta: StreamMeta{
+			Samples:   bf.hdr.sampleCount,
+			NumSNPs:   bf.hdr.snpCount,
+			Length:    bf.hdr.length,
+			Positions: bf.positions,
+		},
+	}, nil
+}
+
+// readAligned reads the whole file into a buffer backed by a []uint64
+// allocation, guaranteeing the 8-byte alignment row adoption needs.
+func readAligned(f *os.File, size int64) ([]byte, func() error, error) {
+	words := make([]uint64, (size+7)/8)
+	data := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}
+
+// Meta returns the file's dimensions and decoded positions table.
+func (s *BitmatSource) Meta() StreamMeta { return s.meta }
+
+// Mapped reports whether the source is backed by a live memory mapping
+// (as opposed to the aligned-read fallback).
+func (s *BitmatSource) Mapped() bool { return s.mapped }
+
+// ContentHash returns the file's SHA-256 content hash — the cache key
+// defined in docs/FORMATS.md §6.
+func (s *BitmatSource) ContentHash() [32]byte { return s.bf.hdr.hash }
+
+// adoptRow turns one row's raw bytes into a word slice: aliased on
+// aligned little-endian storage, decoded otherwise.
+func adoptRow(raw []byte) []uint64 {
+	if len(raw) == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&raw[0]))&7 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&raw[0])), len(raw)/8)
+	}
+	words := make([]uint64, len(raw)/8)
+	for w := range words {
+		words[w] = binary.LittleEndian.Uint64(raw[8*w:])
+	}
+	return words
+}
+
+// ReadChunk serves rows [lo, hi) without compression: each row (and
+// mask row) is adopted from the file bytes, with only the padding-bit
+// invariant checked. Bytes counts the file bytes of rows not delivered
+// by an earlier (overlapping) chunk.
+func (s *BitmatSource) ReadChunk(lo, hi int) (*Alignment, ChunkStats, error) {
+	if s.closed {
+		return nil, ChunkStats{}, fmt.Errorf("seqio: ReadChunk on closed bitmat source")
+	}
+	if err := checkChunkBounds(lo, hi, s.meta.NumSNPs, s.prevLo); err != nil {
+		return nil, ChunkStats{}, err
+	}
+	s.prevLo = lo
+	samples := s.meta.Samples
+	m := bitvec.NewMatrix(samples)
+	var st ChunkStats
+	rowStride := int64(s.bf.hdr.wordsPerRow) * 8
+	for i := lo; i < hi; i++ {
+		words := adoptRow(s.bf.rowBytes(i))
+		if err := checkRowPadding(words, samples); err != nil {
+			return nil, ChunkStats{}, fmt.Errorf("seqio: bitmat SNP %d: %w", i, err)
+		}
+		var mask *bitvec.Vector
+		fresh := i >= s.deliveredHi
+		if raw := s.bf.maskBytes(i); raw != nil {
+			mw := adoptRow(raw)
+			if err := checkRowPadding(mw, samples); err != nil {
+				return nil, ChunkStats{}, fmt.Errorf("seqio: bitmat SNP %d mask: %w", i, err)
+			}
+			mask = bitvec.AdoptWords(mw, samples)
+			if fresh {
+				st.Bytes += rowStride
+			}
+		}
+		m.AppendRow(bitvec.AdoptWords(words, samples), mask)
+		if fresh {
+			st.Bytes += rowStride
+		}
+	}
+	if hi > s.deliveredHi {
+		s.deliveredHi = hi
+	}
+	return &Alignment{
+		Positions: s.meta.Positions[lo:hi],
+		Length:    s.meta.Length,
+		Matrix:    m,
+	}, st, nil
+}
+
+// Close releases the mapping (or buffer). Alignments returned by
+// ReadChunk alias the mapping and must not be used afterwards.
+func (s *BitmatSource) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.release()
+}

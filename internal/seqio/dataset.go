@@ -1,11 +1,3 @@
-// Package seqio parses population-genetic input formats (Hudson's ms,
-// FASTA, minimal VCF) into the binary SNP alignment consumed by the
-// sweep-detection engine, and writes ms-format output.
-//
-// The central type is Alignment: SNP positions in base pairs plus a
-// bit-packed SNP-major matrix (internal/bitvec) where bit s of row i is
-// 1 iff sample s carries the derived (or minor) allele at SNP i.
-// Missing data is tracked with per-SNP validity masks.
 package seqio
 
 import (

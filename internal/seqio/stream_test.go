@@ -1,0 +1,229 @@
+package seqio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// streamMS is a 6-SNP, 4-sample replicate the source tests share.
+const streamMS = `ms 4 1 -t 5
+1 2 3
+
+//
+segsites: 6
+positions: 0.05 0.20 0.35 0.50 0.80 0.95
+010011
+110100
+001110
+000101
+`
+
+func streamReplicate(t *testing.T) *MSReplicate {
+	t.Helper()
+	reps, err := ParseMS(strings.NewReader(streamMS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reps[0]
+}
+
+func TestAlignmentSourceChunks(t *testing.T) {
+	a, err := streamReplicate(t).ToAlignment(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewAlignmentSource(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	meta := src.Meta()
+	if meta.NumSNPs != 6 || meta.Samples != 4 || meta.Length != 1000 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	chunk, cst, err := src.ReadChunk(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunk.NumSNPs() != 3 || chunk.Positions[0] != a.Positions[2] {
+		t.Fatalf("chunk = %d SNPs starting at %g", chunk.NumSNPs(), chunk.Positions[0])
+	}
+	if cst.CompressedSNPs != 0 {
+		t.Errorf("resident source compressed %d SNPs", cst.CompressedSNPs)
+	}
+	for i := 0; i < 3; i++ {
+		if !chunk.Matrix.Row(i).Equal(a.Matrix.Row(2 + i)) {
+			t.Fatalf("chunk row %d differs from alignment row %d", i, 2+i)
+		}
+	}
+
+	// Contract enforcement: out-of-range and backwards chunks error.
+	if _, _, err := src.ReadChunk(4, 7); err == nil {
+		t.Error("out-of-range chunk accepted")
+	}
+	if _, _, err := src.ReadChunk(0, 2); err == nil {
+		t.Error("backwards chunk accepted")
+	}
+}
+
+func TestMSSourceMatchesToAlignment(t *testing.T) {
+	rep := streamReplicate(t)
+	const regionBP = 1000
+	want, err := rep.ToAlignment(regionBP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewMSSource(rep, regionBP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	meta := src.Meta()
+	for i, p := range meta.Positions {
+		if p != want.Positions[i] {
+			t.Fatalf("position[%d] = %g, want %g (must share ToAlignment's scaling)", i, p, want.Positions[i])
+		}
+	}
+
+	// Overlapping windows: [0,4) then [2,6). The second call must pack
+	// only the two fresh columns (4 and 5) — the overlap tail is reused.
+	c1, st1, err := src.ReadChunk(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.CompressedSNPs != 4 {
+		t.Errorf("first chunk compressed %d SNPs, want 4", st1.CompressedSNPs)
+	}
+	c2, st2, err := src.ReadChunk(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.CompressedSNPs != 2 {
+		t.Errorf("second chunk compressed %d SNPs, want 2 (tail reuse)", st2.CompressedSNPs)
+	}
+	for i := 0; i < 4; i++ {
+		if !c1.Matrix.Row(i).Equal(want.Matrix.Row(i)) {
+			t.Fatalf("chunk1 row %d differs", i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if !c2.Matrix.Row(i).Equal(want.Matrix.Row(2 + i)) {
+			t.Fatalf("chunk2 row %d differs", i)
+		}
+	}
+}
+
+func TestVCFSourceMatchesParseVCF(t *testing.T) {
+	a, err := streamReplicate(t).ToAlignment(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vcf bytes.Buffer
+	if err := WriteVCF(&vcf, "chr1", a); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ParseVCF(bytes.NewReader(vcf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "a.vcf")
+	if err := os.WriteFile(plain, vcf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gzPath := filepath.Join(dir, "a.vcf.gz")
+	var gzBuf bytes.Buffer
+	zw := gzip.NewWriter(&gzBuf)
+	if _, err := zw.Write(vcf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(gzPath, gzBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, path := range map[string]string{"plain": plain, "gzip": gzPath} {
+		t.Run(name, func(t *testing.T) {
+			src, err := OpenVCFSource(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			meta := src.Meta()
+			if meta.NumSNPs != want.NumSNPs() || meta.Samples != want.Samples() {
+				t.Fatalf("meta = %+v, want %d×%d", meta, want.NumSNPs(), want.Samples())
+			}
+			var compressed int
+			for lo := 0; lo < meta.NumSNPs; lo += 2 {
+				hi := lo + 3
+				if hi > meta.NumSNPs {
+					hi = meta.NumSNPs
+				}
+				chunk, cst, err := src.ReadChunk(lo, hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compressed += cst.CompressedSNPs
+				for i := 0; i < hi-lo; i++ {
+					if !chunk.Matrix.Row(i).Equal(want.Matrix.Row(lo + i)) {
+						t.Fatalf("chunk [%d,%d) row %d differs", lo, hi, i)
+					}
+					if chunk.Positions[i] != want.Positions[lo+i] {
+						t.Fatalf("chunk [%d,%d) position %d = %g, want %g",
+							lo, hi, i, chunk.Positions[i], want.Positions[lo+i])
+					}
+				}
+			}
+			// Overlapping windows reuse the tail, so each record is packed
+			// at most once: total fresh packings == SNP count.
+			if compressed != meta.NumSNPs {
+				t.Errorf("compressed %d SNPs across chunks, want %d (each record packed once)",
+					compressed, meta.NumSNPs)
+			}
+		})
+	}
+}
+
+func TestVCFSourceDetectsShrunkenFile(t *testing.T) {
+	a, err := streamReplicate(t).ToAlignment(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vcf bytes.Buffer
+	if err := WriteVCF(&vcf, "chr1", a); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "a.vcf")
+	if err := os.WriteFile(path, vcf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenVCFSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	// Truncate the file after the metadata pass: pass 2 must notice the
+	// record count no longer matches instead of serving short data.
+	lines := strings.SplitAfter(vcf.String(), "\n")
+	if err := os.WriteFile(path, []byte(strings.Join(lines[:len(lines)-3], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var readErr error
+	for lo := 0; lo < src.Meta().NumSNPs && readErr == nil; lo += 2 {
+		hi := lo + 2
+		if hi > src.Meta().NumSNPs {
+			hi = src.Meta().NumSNPs
+		}
+		_, _, readErr = src.ReadChunk(lo, hi)
+	}
+	if readErr == nil {
+		t.Fatal("shrunken VCF served all chunks without error")
+	}
+}

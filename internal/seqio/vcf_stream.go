@@ -1,0 +1,156 @@
+package seqio
+
+import (
+	"fmt"
+
+	"omegago/internal/bitvec"
+)
+
+// VCFSource streams a VCF file in SNP chunks with two passes over the
+// text: the constructor's metadata pass decodes every record once to
+// collect the positions table (and validate the file exactly as
+// ParseVCF would), then chunks are served from a second, incremental
+// pass that packs each record's bit row at most once — rows shared by
+// overlapping chunks are reused, so allele compression work equals the
+// SNP count, not the sum of chunk sizes. Only the live chunk's rows are
+// resident; the text is never held in memory.
+type VCFSource struct {
+	path    string
+	meta    StreamMeta
+	dec     *vcfDecoder
+	closeFn func() error
+
+	nextIdx   int // index of the next record dec will yield
+	prevBytes int64
+	prevLo    int
+	tailLo    int
+	tailRows  []*bitvec.Vector
+	tailMasks []*bitvec.Vector
+	closed    bool
+}
+
+// OpenVCFSource opens a VCF file (plain or .gz) for chunked scanning.
+// The whole file is decoded once up front for the positions table and
+// validation; failures surface the same errors as ParseVCF.
+func OpenVCFSource(path string) (*VCFSource, error) {
+	r, closeFn, err := OpenMaybeGzip(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := newVCFDecoder(r)
+	var positions []float64
+	length := 0.0
+	for {
+		rec, ok, err := dec.next()
+		if err != nil {
+			closeFn()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		positions = append(positions, rec.pos)
+		if rec.pos > length {
+			length = rec.pos
+		}
+	}
+	haplos := dec.haplos
+	if err := closeFn(); err != nil {
+		return nil, err
+	}
+	if len(positions) == 0 {
+		return nil, fmt.Errorf("seqio: no usable biallelic SNP records in VCF")
+	}
+	meta := StreamMeta{Samples: haplos, NumSNPs: len(positions), Length: length, Positions: positions}
+	if err := validateMeta(meta); err != nil {
+		return nil, err
+	}
+
+	r2, close2, err := OpenMaybeGzip(path)
+	if err != nil {
+		return nil, err
+	}
+	return &VCFSource{path: path, meta: meta, dec: newVCFDecoder(r2), closeFn: close2}, nil
+}
+
+// Meta returns the dimensions and positions collected by the metadata
+// pass.
+func (s *VCFSource) Meta() StreamMeta { return s.meta }
+
+// ReadChunk serves rows [lo, hi), reusing overlap rows packed for the
+// previous chunk and decoding forward through the file for the rest.
+// CompressedSNPs counts the freshly packed records; Bytes is the input
+// text consumed since the previous chunk.
+func (s *VCFSource) ReadChunk(lo, hi int) (*Alignment, ChunkStats, error) {
+	if s.closed {
+		return nil, ChunkStats{}, fmt.Errorf("seqio: ReadChunk on closed VCF source")
+	}
+	if err := checkChunkBounds(lo, hi, s.meta.NumSNPs, s.prevLo); err != nil {
+		return nil, ChunkStats{}, err
+	}
+	s.prevLo = lo
+	rows := make([]*bitvec.Vector, 0, hi-lo)
+	masks := make([]*bitvec.Vector, 0, hi-lo)
+	var st ChunkStats
+	for i := lo; i < hi; i++ {
+		if i >= s.tailLo && i < s.tailLo+len(s.tailRows) {
+			rows = append(rows, s.tailRows[i-s.tailLo])
+			masks = append(masks, s.tailMasks[i-s.tailLo])
+			continue
+		}
+		rec, err := s.decodeTo(i)
+		if err != nil {
+			return nil, ChunkStats{}, err
+		}
+		row, mask := vcfAlleleRow(rec.alleles, s.meta.Samples)
+		rows = append(rows, row)
+		masks = append(masks, mask)
+		st.CompressedSNPs++
+	}
+	st.Bytes = s.dec.bytesRead - s.prevBytes
+	s.prevBytes = s.dec.bytesRead
+	s.tailLo, s.tailRows, s.tailMasks = lo, rows, masks
+	m := bitvec.NewMatrix(s.meta.Samples)
+	for i, r := range rows {
+		m.AppendRow(r, masks[i])
+	}
+	return &Alignment{
+		Positions: s.meta.Positions[lo:hi],
+		Length:    s.meta.Length,
+		Matrix:    m,
+	}, st, nil
+}
+
+// decodeTo advances the record decoder to record index i (discarding
+// any records the chunk plan skipped) and returns it. The metadata pass
+// already validated the whole file, so a short or failing second read
+// means the file changed underneath us.
+func (s *VCFSource) decodeTo(i int) (vcfRec, error) {
+	for {
+		rec, ok, err := s.dec.next()
+		if err != nil {
+			return vcfRec{}, err
+		}
+		if !ok {
+			return vcfRec{}, fmt.Errorf("seqio: VCF %s ended at record %d, expected %d (file changed during scan?)",
+				s.path, s.nextIdx, s.meta.NumSNPs)
+		}
+		idx := s.nextIdx
+		s.nextIdx++
+		if idx == i {
+			return rec, nil
+		}
+		if idx > i {
+			return vcfRec{}, fmt.Errorf("seqio: VCF record %d already consumed (chunk moved backwards)", i)
+		}
+	}
+}
+
+// Close releases the underlying file handle.
+func (s *VCFSource) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.closeFn()
+}

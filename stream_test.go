@@ -1,0 +1,219 @@
+package omegago_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"omegago"
+)
+
+func streamDataset(t *testing.T, seed int64) *omegago.Dataset {
+	t.Helper()
+	ds, err := omegago.Simulate(omegago.SimConfig{
+		SampleSize: 24, Replicates: 1, SegSites: 300, Rho: 30, Seed: seed,
+	}, 150000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestScanStreamMatchesScan is the public-API golden contract: a
+// streamed scan reports the same Results as the resident scan, for both
+// LD engines and several chunk sizes including a ragged one.
+func TestScanStreamMatchesScan(t *testing.T) {
+	ds := streamDataset(t, 501)
+	for _, gemm := range []bool{false, true} {
+		cfg := omegago.Config{GridSize: 24, MaxWindow: 12000, UseGEMMLD: gemm}
+		ref, err := omegago.Scan(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, chunkSNPs := range []int{0, 64, 89, 1 << 20} {
+			cfg.ChunkSNPs = chunkSNPs
+			src, err := omegago.NewDatasetSource(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := omegago.ScanStream(src, cfg)
+			if err != nil {
+				t.Fatalf("gemm=%v chunk=%d: %v", gemm, chunkSNPs, err)
+			}
+			if len(rep.Results) != len(ref.Results) {
+				t.Fatalf("gemm=%v chunk=%d: %d results, want %d",
+					gemm, chunkSNPs, len(rep.Results), len(ref.Results))
+			}
+			for i := range rep.Results {
+				if rep.Results[i] != ref.Results[i] {
+					t.Fatalf("gemm=%v chunk=%d: result[%d] = %+v, want %+v",
+						gemm, chunkSNPs, i, rep.Results[i], ref.Results[i])
+				}
+			}
+			if rep.StreamChunks < 1 {
+				t.Errorf("gemm=%v chunk=%d: StreamChunks = %d", gemm, chunkSNPs, rep.StreamChunks)
+			}
+			if rep.OmegaScores != ref.OmegaScores {
+				t.Errorf("gemm=%v chunk=%d: OmegaScores %d, want %d",
+					gemm, chunkSNPs, rep.OmegaScores, ref.OmegaScores)
+			}
+			if err := src.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestScanStreamBitmatSkipsCompression is the acceptance check for the
+// mmap path: scanning a bitmat file must report zero allele-compressed
+// SNPs — on the Report and on the Prometheus counter — because the rows
+// are stored pre-packed.
+func TestScanStreamBitmatSkipsCompression(t *testing.T) {
+	ds := streamDataset(t, 502)
+	path := filepath.Join(t.TempDir(), "ds.bitmat")
+	if err := omegago.SaveBitmat(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	src, err := omegago.OpenBitmatSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	reg := omegago.NewRegistry()
+	cfg := omegago.Config{
+		GridSize: 16, MaxWindow: 12000, ChunkSNPs: 64,
+		Metrics: omegago.NewMetrics(reg),
+	}
+	rep, err := omegago.ScanStream(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StreamCompressedSNPs != 0 {
+		t.Errorf("bitmat scan compressed %d SNPs, want 0", rep.StreamCompressedSNPs)
+	}
+	if rep.StreamBytesRead == 0 {
+		t.Error("StreamBytesRead = 0; chunk reads went unaccounted")
+	}
+	if r := rep.StreamOverlapRatio(); r < 0 || r > 1 {
+		t.Errorf("StreamOverlapRatio = %g outside [0,1]", r)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for counter, want := range map[string]func(v int) bool{
+		"omegago_stream_compressed_snps_total": func(v int) bool { return v == 0 },
+		"omegago_stream_chunks_total":          func(v int) bool { return v == rep.StreamChunks },
+		"omegago_stream_bytes_total":           func(v int) bool { return int64(v) == rep.StreamBytesRead },
+	} {
+		m := regexp.MustCompile(`(?m)^` + counter + ` (\d+)$`).FindStringSubmatch(text)
+		if m == nil {
+			t.Errorf("exposition missing %s:\n%s", counter, text)
+			continue
+		}
+		if v, _ := strconv.Atoi(m[1]); !want(v) {
+			t.Errorf("%s = %d disagrees with the Report", counter, v)
+		}
+	}
+
+	// The same file loaded resident must equal the original dataset.
+	resident, err := omegago.Scan(ds, omegago.Config{GridSize: 16, MaxWindow: 12000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Results {
+		if rep.Results[i] != resident.Results[i] {
+			t.Fatalf("bitmat result[%d] = %+v, want %+v", i, rep.Results[i], resident.Results[i])
+		}
+	}
+}
+
+func TestScanStreamRejectsAccelerators(t *testing.T) {
+	ds := streamDataset(t, 503)
+	for _, backend := range []omegago.Backend{omegago.BackendGPU, omegago.BackendFPGA} {
+		src, err := omegago.NewDatasetSource(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = omegago.ScanStream(src, omegago.Config{GridSize: 8, MaxWindow: 10000, Backend: backend})
+		if !errors.Is(err, omegago.ErrStreamUnsupported) {
+			t.Errorf("backend %v: err = %v, want ErrStreamUnsupported", backend, err)
+		}
+		src.Close()
+	}
+}
+
+func TestScanStreamValidation(t *testing.T) {
+	ds := streamDataset(t, 504)
+	src, err := omegago.NewDatasetSource(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, err := omegago.ScanStream(nil, omegago.Config{}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := omegago.ScanStream(src, omegago.Config{ChunkSNPs: -1}); !errors.Is(err, omegago.ErrBadGrid) {
+		t.Errorf("ChunkSNPs -1: err = %v, want ErrBadGrid", err)
+	}
+}
+
+func TestScanStreamContextCancelled(t *testing.T) {
+	ds := streamDataset(t, 505)
+	src, err := omegago.NewDatasetSource(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = omegago.ScanStreamContext(ctx, src, omegago.Config{GridSize: 16, MaxWindow: 12000})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBitmatSaveLoadRoundTrip: Dataset → bitmat → Dataset preserves
+// every scan-relevant byte, proven by scanning both.
+func TestBitmatSaveLoadRoundTrip(t *testing.T) {
+	ds := streamDataset(t, 506)
+	path := filepath.Join(t.TempDir(), "rt.bitmat")
+	if err := omegago.SaveBitmat(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	src, err := omegago.OpenBitmatSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+
+	var buf bytes.Buffer
+	if err := omegago.WriteBitmat(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := omegago.LoadBitmat(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := omegago.Config{GridSize: 12, MaxWindow: 10000}
+	a, err := omegago.Scan(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := omegago.Scan(loaded, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Fatalf("round-tripped result[%d] = %+v, want %+v", i, b.Results[i], a.Results[i])
+		}
+	}
+}

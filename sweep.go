@@ -237,6 +237,11 @@ type Config struct {
 	// BatchWorkers bounds the concurrent replicate scans of ScanBatch
 	// (default GOMAXPROCS, capped at the batch size). Ignored by Scan.
 	BatchWorkers int
+	// ChunkSNPs bounds the SNP rows per chunk of a ScanStream scan
+	// (default: four times the widest grid region, so the double buffer
+	// holds a handful of regions per chunk). Ignored by Scan, which
+	// keeps the whole alignment resident.
+	ChunkSNPs int
 }
 
 func (c Config) params() omega.Params {
@@ -282,6 +287,32 @@ type Report struct {
 	// Nthr-style dispatch landed. Zero on accelerator backends.
 	OmegaKernelScalar  int64
 	OmegaKernelBlocked int64
+	// Streaming accounting, populated only by ScanStream: chunks read,
+	// input bytes read or mapped, SNPs allele-compressed while streaming
+	// (zero on the bitmat path), the loader's cumulative read/parse
+	// time, and how long the scan stalled waiting for chunks.
+	StreamChunks         int
+	StreamBytesRead      int64
+	StreamCompressedSNPs int64
+	StreamLoadSeconds    float64
+	StreamStallSeconds   float64
+}
+
+// StreamOverlapRatio returns the fraction of chunk load time a
+// ScanStream scan hid behind compute, in [0, 1] — the double-buffer
+// effectiveness measure (0 for non-streamed scans).
+func (r *Report) StreamOverlapRatio() float64 {
+	if r.StreamLoadSeconds <= 0 {
+		return 0
+	}
+	o := (r.StreamLoadSeconds - r.StreamStallSeconds) / r.StreamLoadSeconds
+	if o < 0 {
+		return 0
+	}
+	if o > 1 {
+		return 1
+	}
+	return o
 }
 
 // Best returns the grid position with the highest ω.
@@ -299,6 +330,7 @@ func (c Config) execOptions(mt *obs.Meter) exec.Options {
 		GPUDevice:   c.GPUDevice,
 		GPUKernel:   c.GPUKernel,
 		FPGADevice:  c.FPGADevice,
+		ChunkSNPs:   c.ChunkSNPs,
 	}
 }
 
@@ -380,6 +412,9 @@ func scanResolved(ctx context.Context, ds *Dataset, cfg Config, p omega.Params, 
 		SnapshotSeconds:   st.SnapshotSeconds,
 		WallSeconds:       time.Since(t0).Seconds(),
 		OmegaKernelScalar: st.OmegaKernelScalar, OmegaKernelBlocked: st.OmegaKernelBlocked,
+		StreamChunks: st.StreamChunks, StreamBytesRead: st.StreamBytesRead,
+		StreamCompressedSNPs: st.StreamCompressedSNPs,
+		StreamLoadSeconds:    st.StreamLoadSeconds, StreamStallSeconds: st.StreamStallSeconds,
 	}, nil
 }
 
