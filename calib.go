@@ -1,0 +1,26 @@
+package omegago
+
+import "omegago/internal/devmodel"
+
+// Calibration is a schema-versioned table of device cost-model factors
+// (see docs/FORMATS.md, "Calibration table"). Scans price modeled
+// accelerator seconds through it; the embedded default reproduces the
+// simulators' historical constants bit-for-bit. Produce measured tables
+// with `omegabench calibrate` and select them with Config.Calibration
+// (or the CLI's -calib flag).
+type Calibration = devmodel.Calibration
+
+// CalibrationSchemaVersion is the table schema this build reads and
+// writes.
+const CalibrationSchemaVersion = devmodel.SchemaVersion
+
+// DefaultCalibration returns the embedded default table.
+func DefaultCalibration() Calibration { return devmodel.Default() }
+
+// LoadCalibration reads and validates a calibration table file. Any
+// failure — missing file, malformed JSON, unsupported schema version,
+// out-of-range factors — matches ErrBadCalibration via errors.Is (the
+// CLI maps it to the configuration exit class).
+func LoadCalibration(path string) (Calibration, error) {
+	return devmodel.Load(path)
+}

@@ -1,0 +1,76 @@
+package omegago_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"omegago"
+)
+
+// TestCalibrationRoundTrip pins the public -calib contract: a written
+// table loads back identical, and scanning with an explicitly loaded
+// copy of the embedded default produces a Report bit-identical to the
+// implicit default — only the provenance stamp distinguishes them.
+func TestCalibrationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cal.json")
+
+	c := omegago.DefaultCalibration()
+	c.ID = "round-trip"
+	c.Host = "testhost"
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := omegago.LoadCalibration(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, c)
+	}
+
+	// Re-encoding the file is byte-identical: the canonical-form rule
+	// the CI table gate (omegabench calibrate -check) enforces.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(canon) {
+		t.Error("written table is not in canonical encoding")
+	}
+
+	ds := batchDatasets(t, 1, 907)[0]
+	for _, backend := range []omegago.Backend{omegago.BackendGPU, omegago.BackendFPGA} {
+		implicit, err := omegago.Scan(ds, omegago.Config{Backend: backend, GridSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		explicit, err := omegago.Scan(ds, omegago.Config{Backend: backend, GridSize: 4, Calibration: &got})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if explicit.LDSeconds != implicit.LDSeconds || explicit.OmegaSeconds != implicit.OmegaSeconds {
+			t.Errorf("%v: explicit default table changed modeled seconds: LD %v vs %v, ω %v vs %v",
+				backend, explicit.LDSeconds, implicit.LDSeconds, explicit.OmegaSeconds, implicit.OmegaSeconds)
+		}
+		if implicit.CalibrationID != "embedded-default" || explicit.CalibrationID != "round-trip" {
+			t.Errorf("%v: provenance = %q / %q, want embedded-default / round-trip",
+				backend, implicit.CalibrationID, explicit.CalibrationID)
+		}
+		if implicit.ModelVersion != omegago.CalibrationSchemaVersion ||
+			explicit.ModelVersion != omegago.CalibrationSchemaVersion {
+			t.Errorf("%v: ModelVersion = %d / %d, want %d",
+				backend, implicit.ModelVersion, explicit.ModelVersion, omegago.CalibrationSchemaVersion)
+		}
+	}
+
+	if _, err := omegago.LoadCalibration(filepath.Join(dir, "absent.json")); !errors.Is(err, omegago.ErrBadCalibration) {
+		t.Errorf("LoadCalibration(absent) = %v, want ErrBadCalibration", err)
+	}
+}

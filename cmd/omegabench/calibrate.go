@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"omegago/internal/devmodel"
+	"omegago/internal/harness"
+)
+
+// calibrateCmd measures this host's CPU kernel rates with the harness's
+// pinned-seed scan and writes a schema-versioned devmodel calibration
+// table that `omegago -calib` (and `omegago plan -calib`) loads. With
+// -check it instead validates existing tables — schema version, strict
+// parse, canonical encoding — which is what the CI step runs against
+// the committed tables.
+func calibrateCmd(args []string) {
+	fs := flag.NewFlagSet("calibrate", flag.ExitOnError)
+	out := fs.String("out", "calibration.json", "output path for the measured table")
+	id := fs.String("id", "", "calibration ID recorded in the table (default host-<hostname>)")
+	check := fs.Bool("check", false, "validate the table files given as arguments instead of measuring")
+	fs.Parse(args)
+
+	if *check {
+		if fs.NArg() == 0 {
+			fatalf("calibrate -check needs at least one table file")
+		}
+		bad := 0
+		for _, path := range fs.Args() {
+			if err := checkTable(path); err != nil {
+				fmt.Fprintf(os.Stderr, "omegabench: %s: %v\n", path, err)
+				bad++
+				continue
+			}
+			fmt.Printf("ok: %s\n", path)
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	host, _ := os.Hostname()
+	c := harness.MeasuredCalibration()
+	c.Host = host
+	c.Created = time.Now().UTC().Format(time.RFC3339)
+	c.ID = *id
+	if c.ID == "" {
+		c.ID = "host-" + host
+	}
+	if err := c.WriteFile(*out); err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "omegabench: measured cpu ω cost %.3g s/score, LD %.3g ns/word\n",
+		c.CPU.SecondsPerOmega, c.CPU.LDNsPerWord)
+	fmt.Fprintf(os.Stderr, "omegabench: wrote %s (calibration %q, schema v%d)\n", *out, c.ID, c.Schema)
+}
+
+// checkTable validates one calibration table the way CI does: it must
+// load under the strict decoder (schema version, unknown fields, value
+// ranges) AND already be in canonical encoding, so a hand-edited table
+// can't drift from what `omegabench calibrate` writes.
+func checkTable(path string) error {
+	c, err := devmodel.Load(path)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	canon, err := c.Encode()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(raw, canon) {
+		return fmt.Errorf("not in canonical encoding (re-encode with `omegabench calibrate` or devmodel.WriteFile)")
+	}
+	return nil
+}

@@ -5,8 +5,9 @@
 // the same binary measure identical work and a BENCH_<rev>.json file is
 // comparable across revisions on the same machine. Two subcommands:
 //
-//	omegabench run  [-preset short|full] [-rev NAME] [-out PATH]
-//	omegabench diff [-threshold 0.15] OLD.json NEW.json
+//	omegabench run       [-preset short|full] [-rev NAME] [-out PATH]
+//	omegabench diff      [-threshold 0.15] OLD.json NEW.json
+//	omegabench calibrate [-out PATH] [-id NAME] | -check FILE...
 //
 // run executes the preset's fixed table — the flat and blocked
 // triangular LD popcount kernels at several sizes, full sweep scans
@@ -14,6 +15,11 @@
 // CPU ω kernel (omega/{scalar,blocked,auto}/g24) — and writes a
 // machine-readable JSON report (ns/op, Mpairs/s or Momega/s throughput,
 // allocs/op).
+//
+// calibrate measures this host's CPU kernel rates on the harness's
+// pinned-seed dataset and writes a devmodel calibration table for
+// `omegago -calib`; with -check it validates committed tables instead
+// (schema, strict parse, canonical bytes — the CI table gate).
 //
 // diff compares two reports by benchmark name and exits 1 when any
 // throughput dropped by more than the threshold, allocs/op grew by more
@@ -36,8 +42,9 @@ func fatalf(format string, args ...any) {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  omegabench run  [-preset short|full] [-rev NAME] [-out PATH]
-  omegabench diff [-threshold FRAC] OLD.json NEW.json
+  omegabench run       [-preset short|full] [-rev NAME] [-out PATH]
+  omegabench diff      [-threshold FRAC] OLD.json NEW.json
+  omegabench calibrate [-out PATH] [-id NAME] | -check FILE...
 `)
 	os.Exit(2)
 }
@@ -51,6 +58,8 @@ func main() {
 		runCmd(os.Args[2:])
 	case "diff":
 		diffCmd(os.Args[2:])
+	case "calibrate":
+		calibrateCmd(os.Args[2:])
 	default:
 		usage()
 	}

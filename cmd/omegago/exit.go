@@ -28,6 +28,11 @@ func classify(err error) int {
 		return exitOK
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		return exitTimeout
+	// ErrBadCalibration must dispatch before the fs.ErrNotExist input
+	// case: a missing table file wraps both, and a table named in
+	// configuration that cannot be used is a configuration error.
+	case errors.Is(err, omegago.ErrBadCalibration):
+		return exitConfig
 	case errors.Is(err, omegago.ErrBadGrid) || errors.Is(err, omegago.ErrUnknownBackend):
 		return exitConfig
 	case errors.Is(err, omegago.ErrNoSNPs) || errors.Is(err, fs.ErrNotExist):

@@ -23,6 +23,12 @@ func TestObsClassifyExitCodes(t *testing.T) {
 		{"bad grid", omegago.ErrBadGrid, exitConfig},
 		{"wrapped bad grid", fmt.Errorf("omegago: invalid GridSize -4: %w", omegago.ErrBadGrid), exitConfig},
 		{"unknown backend", omegago.ErrUnknownBackend, exitConfig},
+		{"bad calibration", omegago.ErrBadCalibration, exitConfig},
+		{"wrapped bad calibration", fmt.Errorf("omegago: calib.json: %w", omegago.ErrBadCalibration), exitConfig},
+		// A missing calibration table wraps BOTH ErrBadCalibration and
+		// fs.ErrNotExist (Load wraps the os.ReadFile error); the
+		// calibration class must win over the generic input class.
+		{"missing calibration table", fmt.Errorf("%w: %w", omegago.ErrBadCalibration, fs.ErrNotExist), exitConfig},
 		{"no snps", omegago.ErrNoSNPs, exitInput},
 		{"missing file", fmt.Errorf("open x.ms: %w", fs.ErrNotExist), exitInput},
 		{"generic", errors.New("boom"), exitFailure},
@@ -31,5 +37,23 @@ func TestObsClassifyExitCodes(t *testing.T) {
 		if got := classify(c.err); got != c.want {
 			t.Errorf("%s: classify(%v) = %d, want %d", c.name, c.err, got, c.want)
 		}
+	}
+}
+
+// A real LoadCalibration miss carries both error classes; the CLI must
+// report it as a configuration error, not a missing input file.
+func TestClassifyMissingCalibrationFile(t *testing.T) {
+	_, err := omegago.LoadCalibration(t.TempDir() + "/nope.json")
+	if err == nil {
+		t.Fatal("LoadCalibration on a missing path succeeded")
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("error %v does not wrap fs.ErrNotExist", err)
+	}
+	if !errors.Is(err, omegago.ErrBadCalibration) {
+		t.Errorf("error %v does not wrap ErrBadCalibration", err)
+	}
+	if got := classify(err); got != exitConfig {
+		t.Errorf("classify = %d, want %d (config)", got, exitConfig)
 	}
 }

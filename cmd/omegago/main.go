@@ -55,6 +55,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("omegago: ")
 
+	// Subcommands dispatch before flag.Parse: `omegago plan` owns its
+	// own flag set (see plan.go).
+	if len(os.Args) > 1 && os.Args[1] == "plan" {
+		os.Exit(runPlan(os.Args[2:]))
+	}
+
 	var (
 		input       = flag.String("input", "", "input file (required)")
 		format      = flag.String("format", "ms", "input format: ms, fasta, vcf, bitmat")
@@ -68,6 +74,7 @@ func main() {
 		sched       = flag.String("sched", "auto", "CPU multithreading scheduler: snapshot, sharded, auto")
 		omegaKernel = flag.String("omega-kernel", "auto", "CPU ω kernel: scalar, blocked, auto (per-region dispatch)")
 		backend     = flag.String("backend", "cpu", "backend: cpu, gpu, fpga")
+		calib       = flag.String("calib", "", "device cost-model calibration table (JSON, written by `omegabench calibrate`; default embedded table)")
 		device      = flag.String("device", "", "accelerator device: k80, hd8750m, alveo, zcu102")
 		deviceFile  = flag.String("device-file", "", "JSON GPU device profile (overrides -device for the gpu backend)")
 		kernel      = flag.String("kernel", "dynamic", "GPU kernel: 1, 2, dynamic")
@@ -225,6 +232,16 @@ func main() {
 	cfg.Backend, err = omegago.ParseBackend(strings.ToLower(*backend))
 	if err != nil {
 		fatalf(exitUsage, "%v", err)
+	}
+	if *calib != "" {
+		table, cerr := omegago.LoadCalibration(*calib)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		cfg.Calibration = &table
+		if cfg.Backend == omegago.BackendCPU {
+			log.Printf("warning: -calib prices modeled accelerator seconds; the cpu backend measures its times")
+		}
 	}
 	switch cfg.Backend {
 	case omegago.BackendGPU:
@@ -501,6 +518,7 @@ func main() {
 		fmt.Printf("# modeled device time: LD %.4fs, ω %.4fs (%s ω/s); host simulation wall %.3fs\n",
 			rep.LDSeconds, rep.OmegaSeconds,
 			stats.FormatSI(float64(rep.OmegaScores)/rep.OmegaSeconds), rep.WallSeconds)
+		fmt.Printf("# cost model: calibration %q, schema v%d\n", rep.CalibrationID, rep.ModelVersion)
 	}
 	if rep.StreamChunks > 0 {
 		zc := ""

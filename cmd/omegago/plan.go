@@ -1,0 +1,224 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+
+	"omegago"
+	"omegago/internal/fpga"
+	"omegago/internal/gpu"
+	"omegago/internal/stats"
+)
+
+// runPlan implements `omegago plan`: a what-if capacity estimate over
+// the devmodel cost layer. It scans ONE representative replicate on the
+// selected simulator backend — so the per-replicate cost is exactly the
+// simulator's modeled seconds, not a reimplementation — and then
+// extrapolates a batch of identical replicates over a device fleet with
+// the ScanBatch worker-pool model (each device scans whole replicates;
+// the makespan is the slowest device's queue).
+func runPlan(args []string) int {
+	fs := flag.NewFlagSet("omegago plan", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `Usage: omegago plan [flags]
+
+Estimate wall-clock capacity for a batch of sweep scans on a simulated
+accelerator topology: N replicates of a grid-G scan on Z devices.
+
+Example:
+  omegago plan -backend fpga -device alveo -replicates 1000 -devices 4 \
+      -snps 2000 -samples 100 -grid 100
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
+	var (
+		backend    = fs.String("backend", "gpu", "accelerator backend to plan for: gpu, fpga")
+		device     = fs.String("device", "", "device: k80, hd8750m (gpu); alveo, zcu102 (fpga)")
+		calib      = fs.String("calib", "", "device cost-model calibration table (JSON; default embedded table)")
+		replicates = fs.Int("replicates", 100, "number of identical replicates to plan for")
+		devices    = fs.Int("devices", 1, "number of devices in the topology")
+		target     = fs.Float64("target", 0, "solve for the device count that meets this makespan in seconds (0 = off)")
+		snps       = fs.Int("snps", 2000, "SNPs per replicate")
+		samples    = fs.Int("samples", 100, "samples (sequences) per replicate")
+		grid       = fs.Int("grid", 100, "ω grid positions per replicate")
+		maxwin     = fs.Float64("maxwin", 0, "maximum border distance from the ω position in bp (0 = unbounded)")
+		seed       = fs.Int64("seed", 42, "coalescent-simulation seed of the representative replicate")
+		asJSON     = fs.Bool("json", false, "print the plan as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *replicates < 1 || *devices < 1 {
+		log.Printf("plan: -replicates and -devices must be ≥ 1")
+		return exitUsage
+	}
+
+	cfg := omegago.Config{GridSize: *grid, MaxWindow: *maxwin}
+	var err error
+	cfg.Backend, err = omegago.ParseBackend(strings.ToLower(*backend))
+	if err != nil || cfg.Backend == omegago.BackendCPU {
+		log.Printf("plan: -backend must be gpu or fpga (the devmodel prices accelerator phases)")
+		return exitUsage
+	}
+	switch cfg.Backend {
+	case omegago.BackendGPU:
+		switch strings.ToLower(*device) {
+		case "", "k80":
+			d := gpu.TeslaK80
+			cfg.GPUDevice = &d
+		case "hd8750m", "radeon":
+			d := gpu.RadeonHD8750M
+			cfg.GPUDevice = &d
+		default:
+			log.Printf("plan: unknown GPU device %q (want k80 or hd8750m)", *device)
+			return exitUsage
+		}
+	case omegago.BackendFPGA:
+		switch strings.ToLower(*device) {
+		case "", "alveo", "u200":
+			d := fpga.AlveoU200
+			cfg.FPGADevice = &d
+		case "zcu102", "zcu":
+			d := fpga.ZCU102
+			cfg.FPGADevice = &d
+		default:
+			log.Printf("plan: unknown FPGA device %q (want alveo or zcu102)", *device)
+			return exitUsage
+		}
+	}
+	if *calib != "" {
+		table, cerr := omegago.LoadCalibration(*calib)
+		if cerr != nil {
+			log.Print(cerr)
+			return classify(cerr)
+		}
+		cfg.Calibration = &table
+	}
+
+	ds, err := omegago.Simulate(omegago.SimConfig{
+		SampleSize: *samples, Replicates: 1, SegSites: *snps, Seed: *seed,
+	}, 1e6)
+	if err != nil {
+		log.Print(err)
+		return classify(err)
+	}
+	rep, err := omegago.Scan(ds, cfg)
+	if err != nil {
+		log.Print(err)
+		return classify(err)
+	}
+
+	p := buildPlan(rep, *replicates, *devices)
+	if *target > 0 {
+		p.TargetSeconds = *target
+		p.DevicesForTarget = devicesForTarget(*replicates, p.ReplicateSeconds, *target)
+	}
+	p.SNPs, p.Samples, p.Grid = *snps, *samples, *grid
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(p); err != nil {
+			log.Print(err)
+			return exitFailure
+		}
+		return exitOK
+	}
+
+	dev := cfg.GPUDevice
+	devName := ""
+	if dev != nil {
+		devName = dev.Name
+	} else if cfg.FPGADevice != nil {
+		devName = cfg.FPGADevice.Name
+	}
+	fmt.Printf("# omegago plan: %d replicates of %d SNPs × %d samples, grid %d\n",
+		p.Replicates, p.SNPs, p.Samples, p.Grid)
+	fmt.Printf("# topology: %d × %s (%s), calibration %q (schema v%d)\n",
+		p.Devices, devName, p.Backend, p.CalibrationID, p.ModelVersion)
+	fmt.Printf("per-replicate modeled seconds   %.6f  (LD %.6f + ω %.6f)\n",
+		p.ReplicateSeconds, p.LDSeconds, p.OmegaSeconds)
+	fmt.Printf("makespan on %d device(s)         %.6f s  (%d replicate(s) per device)\n",
+		p.Devices, p.MakespanSeconds, p.ReplicatesPerDevice)
+	fmt.Printf("aggregate throughput            %s ω/s\n",
+		stats.FormatSI(p.AggregateOmegaPerSec))
+	if p.TargetSeconds > 0 {
+		fmt.Printf("devices to finish in %.3gs        %d\n", p.TargetSeconds, p.DevicesForTarget)
+	}
+	return exitOK
+}
+
+// Plan is the capacity estimate `omegago plan` prints (and emits as
+// JSON with -json).
+type Plan struct {
+	Backend       string `json:"backend"`
+	ModelVersion  int    `json:"model_version"`
+	CalibrationID string `json:"calibration_id"`
+
+	SNPs, Samples, Grid int `json:"-"`
+
+	Replicates int `json:"replicates"`
+	Devices    int `json:"devices"`
+
+	// ReplicateSeconds is the simulator's modeled accelerator seconds
+	// of one replicate (LDSeconds + OmegaSeconds); on one device the
+	// makespan of one replicate reproduces it exactly.
+	ReplicateSeconds float64 `json:"replicate_seconds"`
+	LDSeconds        float64 `json:"ld_seconds"`
+	OmegaSeconds     float64 `json:"omega_seconds"`
+
+	// ReplicatesPerDevice is the deepest per-device queue of the
+	// worker-pool schedule; MakespanSeconds is that queue's run time.
+	ReplicatesPerDevice  int     `json:"replicates_per_device"`
+	MakespanSeconds      float64 `json:"makespan_seconds"`
+	AggregateOmegaPerSec float64 `json:"aggregate_omega_per_sec"`
+
+	TargetSeconds    float64 `json:"target_seconds,omitempty"`
+	DevicesForTarget int     `json:"devices_for_target,omitempty"`
+}
+
+// buildPlan extrapolates one scanned replicate to a fleet. Identical
+// replicates on a worker pool of Z devices schedule as ceil(N/Z) whole
+// replicates on the deepest queue — the ScanBatch model with scan cost
+// replaced by modeled device seconds.
+func buildPlan(rep *omegago.Report, replicates, devices int) Plan {
+	perRep := rep.LDSeconds + rep.OmegaSeconds
+	depth := (replicates + devices - 1) / devices
+	p := Plan{
+		Backend:             rep.Backend.String(),
+		ModelVersion:        rep.ModelVersion,
+		CalibrationID:       rep.CalibrationID,
+		Replicates:          replicates,
+		Devices:             devices,
+		ReplicateSeconds:    perRep,
+		LDSeconds:           rep.LDSeconds,
+		OmegaSeconds:        rep.OmegaSeconds,
+		ReplicatesPerDevice: depth,
+		MakespanSeconds:     float64(depth) * perRep,
+	}
+	if p.MakespanSeconds > 0 {
+		p.AggregateOmegaPerSec = float64(rep.OmegaScores) * float64(replicates) / p.MakespanSeconds
+	}
+	return p
+}
+
+// devicesForTarget returns the smallest device count whose makespan
+// meets the target: each device runs whole replicates, so the deepest
+// queue may hold at most floor(target/perRep) of them.
+func devicesForTarget(replicates int, perRep, target float64) int {
+	if perRep <= 0 {
+		return 1
+	}
+	depth := int(math.Floor(target / perRep))
+	if depth < 1 {
+		return replicates // even one replicate misses the target; one device per replicate is the best possible
+	}
+	return (replicates + depth - 1) / depth
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"omegago/internal/devmodel"
 	"omegago/internal/exec"
 )
 
@@ -24,6 +25,10 @@ var (
 	// than BackendCPU: the simulated accelerators' transfer models
 	// assume a resident alignment.
 	ErrStreamUnsupported = errors.New("omegago: streaming requires BackendCPU")
+	// ErrBadCalibration marks a calibration table that cannot be used: a
+	// missing or unreadable file, malformed JSON, an unsupported schema
+	// version, or out-of-range factors (configuration exit class).
+	ErrBadCalibration = devmodel.ErrBadCalibration
 )
 
 // Validate reports the first configuration error, annotated with the
@@ -53,6 +58,11 @@ func (c Config) Validate() error {
 	}
 	if _, err := exec.Lookup(c.Backend.String()); err != nil {
 		return fmt.Errorf("%w: %v", ErrUnknownBackend, c.Backend)
+	}
+	if c.Calibration != nil {
+		if err := c.Calibration.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

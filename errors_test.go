@@ -57,6 +57,22 @@ func TestObsParseSchedulerSymmetry(t *testing.T) {
 	}
 }
 
+// Calibration tables exercised by TestObsConfigValidate: a pristine
+// default, a schema from the future, and an out-of-range GPU factor.
+var (
+	defaultCal   = omegago.DefaultCalibration()
+	badSchemaCal = func() omegago.Calibration {
+		c := omegago.DefaultCalibration()
+		c.Schema = 99
+		return c
+	}()
+	badFactorCal = func() omegago.Calibration {
+		c := omegago.DefaultCalibration()
+		c.GPU.LDPeakEfficiency = 1.5
+		return c
+	}()
+)
+
 func TestObsConfigValidate(t *testing.T) {
 	cases := []struct {
 		name string
@@ -70,6 +86,9 @@ func TestObsConfigValidate(t *testing.T) {
 		{"inverted windows", omegago.Config{MinWindow: 100, MaxWindow: 50}, omegago.ErrBadGrid},
 		{"negative snps per side", omegago.Config{MaxSNPsPerSide: -1}, omegago.ErrBadGrid},
 		{"unknown backend", omegago.Config{Backend: omegago.Backend(99)}, omegago.ErrUnknownBackend},
+		{"default calibration", omegago.Config{Calibration: &defaultCal}, nil},
+		{"corrupt calibration schema", omegago.Config{Calibration: &badSchemaCal}, omegago.ErrBadCalibration},
+		{"corrupt calibration factor", omegago.Config{Calibration: &badFactorCal}, omegago.ErrBadCalibration},
 	}
 	for _, c := range cases {
 		err := c.cfg.Validate()

@@ -1,0 +1,216 @@
+package devmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// SchemaVersion is the calibration-table schema this build reads and
+// writes. Bumped on any incompatible layout change; Load refuses other
+// versions (see docs/FORMATS.md, "Calibration table (JSON)").
+const SchemaVersion = 1
+
+// DefaultCPUSecondsPerOmega is the embedded default cost of one
+// software ω score on a host core — the historical constant of the FPGA
+// software-remainder model (≈70 Mω/s, a mid-range single core).
+const DefaultCPUSecondsPerOmega = 1.0 / 70e6
+
+// ErrBadCalibration marks a calibration table that cannot be used: a
+// missing or unreadable file, malformed JSON, an unsupported schema
+// version, or out-of-range factors. The CLI maps it to the
+// configuration exit class.
+var ErrBadCalibration = errors.New("devmodel: bad calibration table")
+
+// CPUFactors are the measured host-CPU kernel rates of a calibration.
+type CPUFactors struct {
+	// SecondsPerOmega is the single-core cost of one ω score (the FPGA
+	// software-remainder rate and the planner's CPU column).
+	SecondsPerOmega float64 `json:"seconds_per_omega"`
+	// LDNsPerWord is the single-core popcount-LD cost in nanoseconds
+	// per 64-bit word pair.
+	LDNsPerWord float64 `json:"ld_ns_per_word"`
+}
+
+// GPUFactors are the efficiency factors and per-ω cycle counts of the
+// GPU analytic model (§IV of the paper). The embedded defaults are
+// calibrated once against the paper's asymptotic rates; a table
+// written by `omegabench calibrate` carries them forward unchanged
+// unless a deliberate recalibration edits them.
+type GPUFactors struct {
+	// LDPeakEfficiency is the fraction of peak FMA throughput the
+	// SNP-comparison GEMM sustains at a large inner dimension.
+	LDPeakEfficiency float64 `json:"ld_peak_efficiency"`
+	// LDHalfEfficiencySamples is the inner dimension (sample count) at
+	// which GEMM efficiency reaches half its peak.
+	LDHalfEfficiencySamples float64 `json:"ld_half_efficiency_samples"`
+	// LDHostNsPerPair is the host-side cost of unpacking one pair
+	// count into the DP update.
+	LDHostNsPerPair float64 `json:"ld_host_ns_per_pair"`
+	// CyclesPerItemKernelI is the per-work-item cost of Kernel I (one
+	// ω score including index arithmetic and un-amortized loads).
+	CyclesPerItemKernelI float64 `json:"cycles_per_item_kernel_i"`
+	// SetupCyclesKernelII is Kernel II's per-work-item loop setup,
+	// amortized over WILD iterations.
+	SetupCyclesKernelII float64 `json:"setup_cycles_kernel_ii"`
+	// CyclesPerIterKernelII is one ω score inside Kernel II's unrolled
+	// loop.
+	CyclesPerIterKernelII float64 `json:"cycles_per_iter_kernel_ii"`
+	// MemTransactionBytes is the device coalescing granularity.
+	MemTransactionBytes float64 `json:"mem_transaction_bytes"`
+}
+
+// Calibration is one schema-versioned table of model factors. The zero
+// value is not usable; start from Default or Load.
+type Calibration struct {
+	// Schema is the table layout version (must equal SchemaVersion).
+	Schema int `json:"schema"`
+	// ID names the table; reports stamp it so modeled seconds are
+	// attributable ("embedded-default" for the built-in constants).
+	ID string `json:"id"`
+	// Source documents how the factors were obtained.
+	Source string `json:"source,omitempty"`
+	// Host optionally records the machine a measured table came from.
+	Host string `json:"host,omitempty"`
+	// Created optionally records the measurement time (RFC 3339).
+	Created string `json:"created,omitempty"`
+
+	CPU CPUFactors `json:"cpu"`
+	GPU GPUFactors `json:"gpu"`
+}
+
+// Default returns the embedded default table. Its factors are exactly
+// the constants the simulators shipped with before the devmodel split,
+// so scans under Default() reproduce pre-devmodel modeled seconds
+// bit-for-bit (pinned by the root golden tests).
+func Default() Calibration {
+	return Calibration{
+		Schema: SchemaVersion,
+		ID:     "embedded-default",
+		Source: "built-in constants calibrated against the paper's asymptotic rates",
+		CPU: CPUFactors{
+			SecondsPerOmega: DefaultCPUSecondsPerOmega,
+			LDNsPerWord:     1.0,
+		},
+		GPU: GPUFactors{
+			LDPeakEfficiency:        0.55,
+			LDHalfEfficiencySamples: 4000.0,
+			LDHostNsPerPair:         1.0,
+			CyclesPerItemKernelI:    312.0,
+			SetupCyclesKernelII:     225.0,
+			CyclesPerIterKernelII:   118.0,
+			MemTransactionBytes:     128,
+		},
+	}
+}
+
+// Resolve returns *c, or the embedded default when c is nil — the one
+// rule every consumer applies to an optional table.
+func Resolve(c *Calibration) Calibration {
+	if c == nil {
+		return Default()
+	}
+	return *c
+}
+
+// Validate reports the first defect of a table, wrapping
+// ErrBadCalibration for errors.Is dispatch.
+func (c Calibration) Validate() error {
+	if c.Schema != SchemaVersion {
+		return fmt.Errorf("%w: schema %d (this build reads %d)", ErrBadCalibration, c.Schema, SchemaVersion)
+	}
+	if c.ID == "" {
+		return fmt.Errorf("%w: empty id", ErrBadCalibration)
+	}
+	pos := func(field string, v float64) error {
+		if v <= 0 {
+			return fmt.Errorf("%w: %s = %g, want > 0", ErrBadCalibration, field, v)
+		}
+		return nil
+	}
+	checks := []struct {
+		field string
+		v     float64
+	}{
+		{"cpu.seconds_per_omega", c.CPU.SecondsPerOmega},
+		{"cpu.ld_ns_per_word", c.CPU.LDNsPerWord},
+		{"gpu.ld_peak_efficiency", c.GPU.LDPeakEfficiency},
+		{"gpu.ld_half_efficiency_samples", c.GPU.LDHalfEfficiencySamples},
+		{"gpu.ld_host_ns_per_pair", c.GPU.LDHostNsPerPair},
+		{"gpu.cycles_per_item_kernel_i", c.GPU.CyclesPerItemKernelI},
+		{"gpu.setup_cycles_kernel_ii", c.GPU.SetupCyclesKernelII},
+		{"gpu.cycles_per_iter_kernel_ii", c.GPU.CyclesPerIterKernelII},
+		{"gpu.mem_transaction_bytes", c.GPU.MemTransactionBytes},
+	}
+	for _, ch := range checks {
+		if err := pos(ch.field, ch.v); err != nil {
+			return err
+		}
+	}
+	if c.GPU.LDPeakEfficiency > 1 {
+		return fmt.Errorf("%w: gpu.ld_peak_efficiency = %g, want ≤ 1", ErrBadCalibration, c.GPU.LDPeakEfficiency)
+	}
+	return nil
+}
+
+// Encode renders the table in the canonical byte form: two-space
+// indented JSON in struct field order with a trailing newline.
+// Decode(Encode(c)) followed by Encode is byte-identical (the same
+// canonical-encoding rule the bitmat container follows), so committed
+// tables diff cleanly and `omegabench calibrate -check` can verify
+// them bytewise.
+func (c Calibration) Encode() ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCalibration, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses and validates a table from its JSON bytes. Unknown
+// fields are rejected: a field a future schema adds must arrive with a
+// bumped schema version, not silently ignored.
+func Decode(data []byte) (Calibration, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Calibration
+	if err := dec.Decode(&c); err != nil {
+		return Calibration{}, fmt.Errorf("%w: %v", ErrBadCalibration, err)
+	}
+	if dec.More() {
+		return Calibration{}, fmt.Errorf("%w: trailing data after table", ErrBadCalibration)
+	}
+	if err := c.Validate(); err != nil {
+		return Calibration{}, err
+	}
+	return c, nil
+}
+
+// Load reads and validates a calibration table file. Every failure —
+// missing file included — wraps ErrBadCalibration: a table named in
+// configuration that cannot be used is a configuration error.
+func Load(path string) (Calibration, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Calibration{}, fmt.Errorf("%w: %w", ErrBadCalibration, err)
+	}
+	c, err := Decode(data)
+	if err != nil {
+		return Calibration{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// WriteFile writes the table to path in canonical encoding.
+func (c Calibration) WriteFile(path string) error {
+	b, err := c.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

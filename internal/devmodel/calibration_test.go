@@ -1,0 +1,157 @@
+package devmodel
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Default().Validate() = %v", err)
+	}
+	if c.Schema != SchemaVersion {
+		t.Fatalf("Default schema = %d, want %d", c.Schema, SchemaVersion)
+	}
+	if c.ID != "embedded-default" {
+		t.Fatalf("Default ID = %q", c.ID)
+	}
+	// The default table must embed the simulators' historical constants
+	// exactly — these literals are the contract behind the bit-identity
+	// golden tests.
+	if c.CPU.SecondsPerOmega != 1.0/70e6 {
+		t.Errorf("CPU.SecondsPerOmega = %v", c.CPU.SecondsPerOmega)
+	}
+	if c.GPU.LDPeakEfficiency != 0.55 || c.GPU.LDHalfEfficiencySamples != 4000.0 || c.GPU.LDHostNsPerPair != 1.0 {
+		t.Errorf("GPU LD factors = %+v", c.GPU)
+	}
+	if c.GPU.CyclesPerItemKernelI != 312.0 || c.GPU.SetupCyclesKernelII != 225.0 || c.GPU.CyclesPerIterKernelII != 118.0 {
+		t.Errorf("GPU cycle factors = %+v", c.GPU)
+	}
+	if c.GPU.MemTransactionBytes != 128 {
+		t.Errorf("GPU.MemTransactionBytes = %v", c.GPU.MemTransactionBytes)
+	}
+}
+
+// TestEncodeCanonical pins the canonical-encoding rule the bitmat
+// container established: decode(encode(c)) re-encodes byte-identical.
+func TestEncodeCanonical(t *testing.T) {
+	c := Default()
+	b1, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) == 0 || b1[len(b1)-1] != '\n' {
+		t.Fatalf("canonical encoding must end in newline")
+	}
+	got, err := Decode(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("re-encode not byte-identical:\n%s\nvs\n%s", b1, b2)
+	}
+	if got != c {
+		t.Fatalf("round trip changed value: %+v vs %+v", got, c)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mut := func(f func(*Calibration)) Calibration {
+		c := Default()
+		f(&c)
+		return c
+	}
+	cases := []struct {
+		name string
+		c    Calibration
+		want string
+	}{
+		{"zero value", Calibration{}, "schema"},
+		{"future schema", mut(func(c *Calibration) { c.Schema = SchemaVersion + 1 }), "schema"},
+		{"empty id", mut(func(c *Calibration) { c.ID = "" }), "empty id"},
+		{"zero cpu rate", mut(func(c *Calibration) { c.CPU.SecondsPerOmega = 0 }), "seconds_per_omega"},
+		{"negative cycles", mut(func(c *Calibration) { c.GPU.CyclesPerItemKernelI = -1 }), "kernel_i"},
+		{"efficiency above one", mut(func(c *Calibration) { c.GPU.LDPeakEfficiency = 1.5 }), "ld_peak_efficiency"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.c.Validate()
+			if !errors.Is(err, ErrBadCalibration) {
+				t.Fatalf("Validate() = %v, want ErrBadCalibration", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	good, err := Default().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"not json", []byte("not json\n")},
+		{"unknown field", []byte(`{"schema":1,"id":"x","bogus":1,"cpu":{"seconds_per_omega":1,"ld_ns_per_word":1},"gpu":{}}`)},
+		{"trailing data", append(append([]byte{}, good...), []byte("{}")...)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.data); !errors.Is(err, ErrBadCalibration) {
+				t.Fatalf("Decode = %v, want ErrBadCalibration", err)
+			}
+		})
+	}
+}
+
+func TestLoadAndWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cal.json")
+	c := Default()
+	c.ID = "test-table"
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("Load round trip: %+v vs %+v", got, c)
+	}
+
+	if _, err := Load(filepath.Join(dir, "missing.json")); !errors.Is(err, ErrBadCalibration) {
+		t.Fatalf("Load(missing) = %v, want ErrBadCalibration", err)
+	}
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(corrupt); !errors.Is(err, ErrBadCalibration) {
+		t.Fatalf("Load(corrupt) = %v, want ErrBadCalibration", err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(nil); got != Default() {
+		t.Fatalf("Resolve(nil) = %+v", got)
+	}
+	c := Default()
+	c.ID = "custom"
+	if got := Resolve(&c); got.ID != "custom" {
+		t.Fatalf("Resolve(&c).ID = %q", got.ID)
+	}
+}

@@ -1,0 +1,27 @@
+// Package devmodel is the unified device cost-model layer of omegago:
+// every piece of device-timing math the GPU and FPGA simulators used to
+// hard-code lives here, split into three kinds of data —
+//
+//   - device *specs* (GPUSpec, FPGASpec): datasheet geometry such as
+//     lanes, clock, bandwidths, pipeline depth and unroll factor;
+//   - *calibration tables* (Calibration): the efficiency factors and
+//     per-ω cycle counts that tune the analytic models, loaded from
+//     schema-versioned JSON files with embedded defaults that reproduce
+//     the simulators' historical constants bit-for-bit;
+//   - *cost models* (GPUModel, FPGAModel, both CostModel): roofline
+//     estimators combining a spec with a table, answering
+//     EstimatePhase(phase, work, bytes) in seconds.
+//
+// The split follows the InferSim MFU pattern the ROADMAP names:
+// benchmark once (omegabench calibrate), persist a versioned lookup
+// table, then time = max(work/(peak·eff), bytes/bw) at simulation time.
+// internal/gpu and internal/fpga construct their models per scan and
+// keep only functional simulation; internal/exec threads a table
+// through both backends and stamps its schema version and ID on every
+// report, which is what makes `omegago plan` capacity estimates
+// attributable to a specific calibration.
+//
+// devmodel imports nothing above the standard library, so both
+// simulator packages (and the public API) can depend on it without
+// cycles.
+package devmodel

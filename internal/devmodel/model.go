@@ -1,0 +1,231 @@
+package devmodel
+
+import "math"
+
+// Phase names one stage of an accelerated scan for EstimatePhase.
+type Phase string
+
+// The phases the two accelerator models price. Not every model knows
+// every phase: asking a model for a phase it does not implement
+// returns 0 seconds (free), so callers sum only the phases their
+// workflow executes.
+const (
+	// PhaseLD is the LD computation of fresh r² pairs (GEMM kernel +
+	// transfers on the GPU; the companion streaming system on the FPGA).
+	PhaseLD Phase = "ld"
+	// PhaseKernel is ω-kernel device execution (GPU Kernel I/II, or the
+	// FPGA pipeline's cycle count).
+	PhaseKernel Phase = "kernel"
+	// PhasePrep is host-side buffer packing ahead of a GPU launch.
+	PhasePrep Phase = "prep"
+	// PhaseTransfer is PCIe data movement plus launch latency.
+	PhaseTransfer Phase = "transfer"
+	// PhaseRemainder is the FPGA software remainder: ω scores the
+	// unroll factor does not cover, executed on a host core.
+	PhaseRemainder Phase = "remainder"
+)
+
+// Work quantifies one phase's workload. Fields irrelevant to a phase
+// are ignored by it; zero values price as zero work.
+type Work struct {
+	// Pairs is the fresh r² count of an LD phase.
+	Pairs int64
+	// Samples is the alignment's sequence count (LD inner dimension).
+	Samples int
+	// NewRows / WindowRows size the packed SNP rows crossing PCIe for a
+	// GPU LD phase.
+	NewRows, WindowRows int
+	// Items is the padded work-item count of a GPU kernel phase, or
+	// the remainder ω count of an FPGA remainder phase.
+	Items int64
+	// WILD is the ω slots per work-item (GPU Kernel II; 1 for Kernel I).
+	WILD int
+	// KernelII selects the Kernel II cycle formula.
+	KernelII bool
+	// Warps is the resident-warp count (GPU occupancy ramp).
+	Warps int
+	// InnerLen is the device inner-axis length (GPU coalescing).
+	InnerLen int
+	// Outer / Inner are the FPGA two-level loop trip counts.
+	Outer, Inner int
+	// UnrollFactor is the deployed FPGA instance count (0 = spec value).
+	UnrollFactor int
+	// WorkingSetBytes is the host gather working set of a prep phase.
+	WorkingSetBytes int64
+}
+
+// CostModel prices the phases of an accelerated scan in roofline form:
+// seconds = max(work / (peak · efficiency), bytes / bandwidth), with
+// the efficiency factors supplied by a Calibration table.
+type CostModel interface {
+	// EstimatePhase returns the modeled seconds of one phase given its
+	// work quantities and the bytes it moves.
+	EstimatePhase(ph Phase, w Work, bytes int64) float64
+}
+
+// GPUModel prices the paper's OpenCL workflow (§IV) on a GPUSpec. The
+// arithmetic reproduces the historical internal/gpu formulas operation
+// for operation, so under the default calibration the modeled times
+// are bit-identical to the pre-devmodel simulator.
+type GPUModel struct {
+	Spec GPUSpec
+	Cal  GPUFactors
+}
+
+// NewGPUModel binds a device spec to a calibration table (nil = the
+// embedded default).
+func NewGPUModel(spec GPUSpec, cal *Calibration) GPUModel {
+	return GPUModel{Spec: spec, Cal: Resolve(cal).GPU}
+}
+
+// Occupancy returns the latency-hiding fraction at a resident-warp
+// count, in (0, 1].
+func (m GPUModel) Occupancy(warps int) float64 {
+	occ := float64(warps) / float64(m.Spec.FullOccupancyWarps())
+	if occ > 1 {
+		occ = 1
+	}
+	return occ
+}
+
+// EstimatePhase implements CostModel.
+func (m GPUModel) EstimatePhase(ph Phase, w Work, bytes int64) float64 {
+	switch ph {
+	case PhaseLD:
+		return m.ldSeconds(w)
+	case PhaseKernel:
+		return m.kernelSeconds(w)
+	case PhasePrep:
+		return m.prepSeconds(bytes, w.WorkingSetBytes)
+	case PhaseTransfer:
+		return float64(bytes)/(m.Spec.PCIeBandwidthGBs*1e9) + m.Spec.LaunchLatencySecs
+	default:
+		return 0
+	}
+}
+
+// ldSeconds prices the LD GEMM (BLIS kernel on the device): 2·samples
+// FLOPs per pair at a saturating efficiency, the packed SNP rows and
+// the count matrix crossing PCIe, plus one launch latency and the
+// host-side pair unpacking.
+func (m GPUModel) ldSeconds(w Work) float64 {
+	if w.Pairs == 0 {
+		return 0
+	}
+	clockHz := m.Spec.ClockMHz * 1e6
+	peakFlops := float64(m.Spec.Lanes()) * clockHz * 2 // FMA
+	eff := m.Cal.LDPeakEfficiency * float64(w.Samples) / (float64(w.Samples) + m.Cal.LDHalfEfficiencySamples)
+	compute := float64(w.Pairs) * 2 * float64(w.Samples) / (peakFlops * eff)
+	rowBytes := float64((w.NewRows+w.WindowRows)*(w.Samples+7)/8 + 63)
+	readback := float64(w.Pairs) * 4
+	transfer := (rowBytes+readback)/(m.Spec.PCIeBandwidthGBs*1e9) + m.Spec.LaunchLatencySecs
+	host := float64(w.Pairs) * m.Cal.LDHostNsPerPair * 1e-9
+	return compute + transfer + host
+}
+
+// kernelSeconds prices one ω-kernel launch: calibrated cycles over
+// occupancy-scaled lane throughput, rooflined against the TS memory
+// stream (coalescing degrades when a warp spans several outer rows,
+// which the order switch minimizes).
+func (m GPUModel) kernelSeconds(w Work) float64 {
+	clockHz := m.Spec.ClockMHz * 1e6
+	laneCyclesPerSec := float64(m.Spec.Lanes()) * clockHz
+
+	var cycles float64
+	if w.KernelII {
+		cycles = float64(w.Items) * (m.Cal.SetupCyclesKernelII + float64(w.WILD)*m.Cal.CyclesPerIterKernelII)
+	} else {
+		cycles = float64(w.Items) * m.Cal.CyclesPerItemKernelI
+	}
+	computeSec := cycles / (laneCyclesPerSec * m.Occupancy(w.Warps))
+
+	idealTrans := float64(w.Items*8) / m.Cal.MemTransactionBytes
+	rowsSpanned := 1.0
+	if w.InnerLen < m.Spec.WarpSize {
+		inner := w.InnerLen
+		if inner < 1 {
+			inner = 1
+		}
+		rowsSpanned = math.Ceil(float64(m.Spec.WarpSize) / float64(inner))
+	}
+	memSec := idealTrans * rowsSpanned * m.Cal.MemTransactionBytes / (m.Spec.MemBandwidthGBs * 1e9)
+
+	return math.Max(computeSec, memSec)
+}
+
+// prepSeconds prices host-side packing: a flat per-byte cost while the
+// gather working set is cache-resident, ramping with the square root
+// of the overflow factor up to the cold rate.
+func (m GPUModel) prepSeconds(bytes, workingSet int64) float64 {
+	ns := m.Spec.HostNsPerByte
+	if workingSet > m.Spec.HostCacheBytes && m.Spec.HostCacheBytes > 0 {
+		penalty := math.Sqrt(float64(workingSet) / float64(m.Spec.HostCacheBytes))
+		if maxPen := m.Spec.HostNsPerByteCold / m.Spec.HostNsPerByte; penalty > maxPen {
+			penalty = maxPen
+		}
+		ns *= penalty
+	}
+	return float64(bytes) * ns * 1e-9
+}
+
+// FPGAModel prices the paper's HLS pipeline (§V) on an FPGASpec plus
+// the calibrated host rate for remainder iterations. Like GPUModel,
+// the arithmetic reproduces the historical internal/fpga formulas
+// exactly.
+type FPGAModel struct {
+	Spec FPGASpec
+	CPU  CPUFactors
+}
+
+// NewFPGAModel binds a device spec to a calibration table (nil = the
+// embedded default).
+func NewFPGAModel(spec FPGASpec, cal *Calibration) FPGAModel {
+	return FPGAModel{Spec: spec, CPU: Resolve(cal).CPU}
+}
+
+// KernelCycles is the pipeline cycle count of one grid position: an RS
+// prefetch of `inner` cycles, then per outer iteration a pipeline fill
+// plus floor(inner/uf) streaming cycles. Exposed as integer cycles so
+// reports keep exact counts.
+func (m FPGAModel) KernelCycles(outer, inner, uf int) int64 {
+	if uf <= 0 {
+		uf = m.Spec.UnrollFactor
+	}
+	hwInner := inner - inner%uf
+	perInstance := int64(hwInner / uf)
+	return int64(inner) + int64(outer)*(int64(m.Spec.PipelineDepth)+perInstance)
+}
+
+// EstimatePhase implements CostModel.
+func (m FPGAModel) EstimatePhase(ph Phase, w Work, bytes int64) float64 {
+	switch ph {
+	case PhaseLD:
+		if w.Pairs == 0 {
+			return 0
+		}
+		wordsPerPair := float64((w.Samples + 63) / 64)
+		return float64(w.Pairs) * wordsPerPair / m.Spec.LDWordsPerSec
+	case PhaseKernel:
+		return float64(m.KernelCycles(w.Outer, w.Inner, w.UnrollFactor)) / (m.Spec.ClockMHz * 1e6)
+	case PhaseRemainder:
+		return float64(w.Items) * m.CPU.SecondsPerOmega
+	default:
+		return 0
+	}
+}
+
+// Throughput is the modeled steady-state hardware throughput (ω/s) for
+// a run whose right-side loop executes `inner` iterations, assuming a
+// long outer loop so the per-position RS prefetch amortizes away (the
+// quantity of Figures 10 and 11). uf ≤ 0 uses the spec's unroll factor.
+func (m FPGAModel) Throughput(uf, inner int) float64 {
+	if uf <= 0 {
+		uf = m.Spec.UnrollFactor
+	}
+	if inner <= 0 {
+		return 0
+	}
+	hwInner := inner - inner%uf
+	cyclesPerOuter := float64(m.Spec.PipelineDepth) + float64(hwInner/uf)
+	return float64(hwInner) / cyclesPerOuter * m.Spec.ClockMHz * 1e6
+}

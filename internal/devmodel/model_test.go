@@ -1,0 +1,204 @@
+package devmodel
+
+import "testing"
+
+// testGPU mirrors the Tesla K80 datasheet numbers (per GK210 die) so
+// model properties are checked on a realistic spec.
+var testGPU = GPUSpec{
+	Name:              "test-k80",
+	ComputeUnits:      13,
+	WarpSize:          32,
+	SPsPerCU:          192,
+	ClockMHz:          875,
+	MemBandwidthGBs:   240,
+	PCIeBandwidthGBs:  10,
+	LaunchLatencySecs: 20e-6,
+	HostNsPerByte:     0.3,
+	HostNsPerByteCold: 1.1,
+	HostCacheBytes:    256 << 10,
+}
+
+// testFPGA mirrors the Alveo U200 deployment.
+var testFPGA = FPGASpec{
+	Name:          "test-u200",
+	ClockMHz:      250,
+	UnrollFactor:  32,
+	PipelineDepth: 115,
+	LDWordsPerSec: 4.2e9,
+}
+
+func TestGPUSpecHelpers(t *testing.T) {
+	if got := testGPU.Lanes(); got != 13*192 {
+		t.Fatalf("Lanes = %d", got)
+	}
+	if got := testGPU.FullOccupancyWarps(); got != 13*32 {
+		t.Fatalf("FullOccupancyWarps = %d", got)
+	}
+	if got := testFPGA.PeakOmegaPerSec(); got != 32*250e6 {
+		t.Fatalf("PeakOmegaPerSec = %g", got)
+	}
+}
+
+func TestGPUOccupancyCapped(t *testing.T) {
+	m := NewGPUModel(testGPU, nil)
+	if occ := m.Occupancy(10 * testGPU.FullOccupancyWarps()); occ != 1 {
+		t.Fatalf("Occupancy(oversubscribed) = %v, want 1", occ)
+	}
+	lo, hi := m.Occupancy(13), m.Occupancy(26)
+	if !(lo > 0 && lo < hi && hi < 1) {
+		t.Fatalf("occupancy ramp broken: %v, %v", lo, hi)
+	}
+}
+
+// TestGPUKernelMonotonicInWork: modeled kernel seconds never decrease
+// as work items grow, for both kernels and both roofline regimes.
+func TestGPUKernelMonotonicInWork(t *testing.T) {
+	m := NewGPUModel(testGPU, nil)
+	for _, kii := range []bool{false, true} {
+		prev := 0.0
+		for items := int64(256); items <= 1<<22; items *= 2 {
+			w := Work{Items: items, WILD: 8, KernelII: kii, Warps: int(items / 32), InnerLen: 512}
+			sec := m.EstimatePhase(PhaseKernel, w, 0)
+			if sec < prev {
+				t.Fatalf("kernelII=%v: seconds decreased at items=%d: %g < %g", kii, items, sec, prev)
+			}
+			if sec <= 0 {
+				t.Fatalf("kernelII=%v: non-positive seconds at items=%d", kii, items)
+			}
+			prev = sec
+		}
+	}
+}
+
+// TestGPUKernelNeverExceedsPeak: implied throughput (ω/s) stays below
+// the device's theoretical lane rate divided by the cheapest per-ω
+// cycle cost in the calibration.
+func TestGPUKernelNeverExceedsPeak(t *testing.T) {
+	cal := Default()
+	m := NewGPUModel(testGPU, &cal)
+	// Cheapest possible cost of one ω: the Kernel II amortized iter
+	// cycles on all lanes at full occupancy.
+	peak := float64(testGPU.Lanes()) * testGPU.ClockMHz * 1e6 / cal.GPU.CyclesPerIterKernelII
+	for items := int64(1 << 10); items <= 1<<22; items *= 4 {
+		for _, wild := range []int{1, 8, 64} {
+			w := Work{Items: items, WILD: wild, KernelII: true, Warps: int(items / 32), InnerLen: 512}
+			sec := m.EstimatePhase(PhaseKernel, w, 0)
+			if thr := float64(items*int64(wild)) / sec; thr > peak {
+				t.Fatalf("items=%d wild=%d: throughput %g exceeds peak %g", items, wild, thr, peak)
+			}
+		}
+	}
+}
+
+func TestGPULDMonotonicInPairs(t *testing.T) {
+	m := NewGPUModel(testGPU, nil)
+	prev := 0.0
+	for pairs := int64(1); pairs <= 1<<30; pairs *= 4 {
+		w := Work{Pairs: pairs, Samples: 1000, NewRows: 100, WindowRows: 400}
+		sec := m.EstimatePhase(PhaseLD, w, 0)
+		if sec <= prev {
+			t.Fatalf("LD seconds not increasing at pairs=%d: %g <= %g", pairs, sec, prev)
+		}
+		prev = sec
+	}
+	if got := m.EstimatePhase(PhaseLD, Work{}, 0); got != 0 {
+		t.Fatalf("zero pairs should be free, got %g", got)
+	}
+}
+
+func TestGPUPrepTiers(t *testing.T) {
+	m := NewGPUModel(testGPU, nil)
+	const bytes = 1 << 20
+	warm := m.EstimatePhase(PhasePrep, Work{WorkingSetBytes: testGPU.HostCacheBytes}, bytes)
+	cold := m.EstimatePhase(PhasePrep, Work{WorkingSetBytes: 1 << 30}, bytes)
+	if want := float64(bytes) * testGPU.HostNsPerByte * 1e-9; warm != want {
+		t.Fatalf("warm prep = %g, want %g", warm, want)
+	}
+	if want := float64(bytes) * testGPU.HostNsPerByteCold * 1e-9; cold != want {
+		t.Fatalf("cold prep should cap at cold rate: %g, want %g", cold, want)
+	}
+	mid := m.EstimatePhase(PhasePrep, Work{WorkingSetBytes: 2 * testGPU.HostCacheBytes}, bytes)
+	if !(mid > warm && mid < cold) {
+		t.Fatalf("sqrt ramp broken: warm %g, mid %g, cold %g", warm, mid, cold)
+	}
+}
+
+// TestFPGAThroughputMonotonicAndBounded: the satellite property — FPGA
+// modeled throughput is monotonic non-decreasing in inner-loop work and
+// never exceeds the device peak.
+func TestFPGAThroughputMonotonicAndBounded(t *testing.T) {
+	m := NewFPGAModel(testFPGA, nil)
+	peak := testFPGA.PeakOmegaPerSec()
+	prev := 0.0
+	for inner := 1; inner <= 1<<20; inner = inner*2 + 1 {
+		thr := m.Throughput(0, inner)
+		if thr < prev {
+			t.Fatalf("throughput decreased at inner=%d: %g < %g", inner, thr, prev)
+		}
+		if thr > peak {
+			t.Fatalf("throughput %g exceeds peak %g at inner=%d", thr, peak, inner)
+		}
+		prev = thr
+	}
+	if m.Throughput(0, 0) != 0 {
+		t.Fatal("inner=0 must model zero throughput")
+	}
+	// Saturation: a long inner loop approaches (but never reaches) peak.
+	if thr := m.Throughput(0, 1<<20); thr < 0.99*peak {
+		t.Fatalf("saturated throughput %g too far below peak %g", thr, peak)
+	}
+}
+
+func TestFPGAKernelCycles(t *testing.T) {
+	m := NewFPGAModel(testFPGA, nil)
+	outer, inner, uf := 7, 100, 32
+	hwInner := inner - inner%uf // 96
+	want := int64(inner) + int64(outer)*(int64(testFPGA.PipelineDepth)+int64(hwInner/uf))
+	if got := m.KernelCycles(outer, inner, uf); got != want {
+		t.Fatalf("KernelCycles = %d, want %d", got, want)
+	}
+	// uf <= 0 falls back to the spec's deployed unroll factor.
+	if got := m.KernelCycles(outer, inner, 0); got != want {
+		t.Fatalf("KernelCycles(uf=0) = %d, want %d", got, want)
+	}
+	sec := m.EstimatePhase(PhaseKernel, Work{Outer: outer, Inner: inner}, 0)
+	if want := float64(want) / (testFPGA.ClockMHz * 1e6); sec != want {
+		t.Fatalf("kernel seconds = %g, want %g", sec, want)
+	}
+}
+
+func TestFPGARemainderAndLD(t *testing.T) {
+	m := NewFPGAModel(testFPGA, nil)
+	if got := m.EstimatePhase(PhaseRemainder, Work{Items: 70e6}, 0); got != 70e6*DefaultCPUSecondsPerOmega {
+		t.Fatalf("remainder seconds = %g", got)
+	}
+	// 100 samples → 2 words per pair.
+	if got := m.EstimatePhase(PhaseLD, Work{Pairs: 21, Samples: 100}, 0); got != 21*2/4.2e9 {
+		t.Fatalf("LD seconds = %g", got)
+	}
+	if got := m.EstimatePhase(PhaseLD, Work{}, 0); got != 0 {
+		t.Fatalf("zero pairs should be free, got %g", got)
+	}
+}
+
+// Phases a model does not implement are free, so callers can sum any
+// phase set.
+func TestUnknownPhasesFree(t *testing.T) {
+	g := NewGPUModel(testGPU, nil)
+	f := NewFPGAModel(testFPGA, nil)
+	if got := g.EstimatePhase(PhaseRemainder, Work{Items: 100}, 0); got != 0 {
+		t.Fatalf("GPU remainder = %g, want 0", got)
+	}
+	if got := f.EstimatePhase(PhasePrep, Work{}, 1<<20); got != 0 {
+		t.Fatalf("FPGA prep = %g, want 0", got)
+	}
+	if got := f.EstimatePhase(PhaseTransfer, Work{}, 1<<20); got != 0 {
+		t.Fatalf("FPGA transfer = %g, want 0", got)
+	}
+}
+
+// Both concrete models satisfy the interface.
+var (
+	_ CostModel = GPUModel{}
+	_ CostModel = FPGAModel{}
+)

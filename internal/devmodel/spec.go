@@ -1,0 +1,46 @@
+package devmodel
+
+// GPUSpec is the datasheet geometry of an OpenCL-capable GPU as the
+// cost model consumes it — pure data, convertible from gpu.Device via
+// its Spec method. Time.Duration launch latency arrives pre-converted
+// to seconds so the model stays stdlib-only and the float64 value is
+// bit-identical to Duration.Seconds().
+type GPUSpec struct {
+	Name              string
+	ComputeUnits      int
+	WarpSize          int
+	SPsPerCU          int
+	ClockMHz          float64
+	MemBandwidthGBs   float64
+	PCIeBandwidthGBs  float64
+	LaunchLatencySecs float64
+	// Host-side packing cost tiers (see gpu.Device).
+	HostNsPerByte     float64
+	HostNsPerByteCold float64
+	HostCacheBytes    int64
+}
+
+// Lanes returns the total number of stream processors.
+func (s GPUSpec) Lanes() int { return s.ComputeUnits * s.SPsPerCU }
+
+// FullOccupancyWarps is the resident-warp count that saturates the
+// device's latency hiding (32 warps per CU, both vendors' guides).
+func (s GPUSpec) FullOccupancyWarps() int { return s.ComputeUnits * 32 }
+
+// FPGASpec is the datasheet geometry of the FPGA ω accelerator:
+// achieved clock, deployed unroll factor, pipeline fill depth, and the
+// companion LD system's streaming rate. Pipeline depth is spec data
+// here — the per-stage latency breakdown stays with the simulator.
+type FPGASpec struct {
+	Name          string
+	ClockMHz      float64
+	UnrollFactor  int
+	PipelineDepth int
+	LDWordsPerSec float64
+}
+
+// PeakOmegaPerSec is the theoretical maximum hardware throughput: one
+// score per cycle per pipeline instance.
+func (s FPGASpec) PeakOmegaPerSec() float64 {
+	return float64(s.UnrollFactor) * s.ClockMHz * 1e6
+}

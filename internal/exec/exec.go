@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync"
 
+	"omegago/internal/devmodel"
 	"omegago/internal/fpga"
 	"omegago/internal/gpu"
 	"omegago/internal/obs"
@@ -85,6 +86,10 @@ type Options struct {
 	// (the old Tracer hook) subscribe through the Meter's Observer; see
 	// internal/obs.
 	Meter *obs.Meter
+	// Calibration selects the devmodel table the accelerator backends
+	// price their modeled seconds with (nil = embedded default). It
+	// takes precedence over any table set in GPUOpts/FPGAOpts.
+	Calibration *devmodel.Calibration
 	// GPUDevice / GPUKernel configure the gpu-sim backend (defaults:
 	// Tesla K80, dynamic kernel selection).
 	GPUDevice *gpu.Device
@@ -145,6 +150,17 @@ type Stats struct {
 	StreamCompressedSNPs int64
 	StreamLoadSeconds    float64
 	StreamStallSeconds   float64
+
+	// Cost-model provenance (accelerator backends; zero/empty on cpu).
+	// ModelVersion is the devmodel calibration schema version and
+	// CalibrationID names the table that priced the modeled seconds, so
+	// capacity numbers stay attributable after tables evolve.
+	ModelVersion  int
+	CalibrationID string
+	// ModeledBackend is the simulator that produced the modeled seconds
+	// ("gpu-sim" or "fpga-sim"); it routes Publish to the right
+	// modeled-seconds gauge.
+	ModeledBackend string
 }
 
 // StreamOverlapRatio returns the fraction of streamed-chunk load time
@@ -188,6 +204,17 @@ func (s *Stats) Add(other Stats) {
 	s.StreamCompressedSNPs += other.StreamCompressedSNPs
 	s.StreamLoadSeconds += other.StreamLoadSeconds
 	s.StreamStallSeconds += other.StreamStallSeconds
+	// Provenance: a batch aggregates scans of one backend under one
+	// table, so adopting the first non-empty stamp is lossless.
+	if s.ModelVersion == 0 {
+		s.ModelVersion = other.ModelVersion
+	}
+	if s.CalibrationID == "" {
+		s.CalibrationID = other.CalibrationID
+	}
+	if s.ModeledBackend == "" {
+		s.ModeledBackend = other.ModeledBackend
+	}
 }
 
 // Publish snapshots the per-scan totals into the metrics bundle (no-op
@@ -216,6 +243,12 @@ func (s Stats) Publish(met *obs.Metrics) {
 	met.StreamStallSeconds.Add(s.StreamStallSeconds)
 	if s.StreamChunks > 0 {
 		met.StreamOverlap.Set(s.StreamOverlapRatio())
+	}
+	switch s.ModeledBackend {
+	case "gpu-sim":
+		met.ModeledSecondsGPU.Add(s.LDSeconds + s.OmegaSeconds)
+	case "fpga-sim":
+		met.ModeledSecondsFPGA.Add(s.LDSeconds + s.OmegaSeconds)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"omegago/internal/devmodel"
 	"omegago/internal/fpga"
 	"omegago/internal/omega"
 	"omegago/internal/seqio"
@@ -27,6 +28,10 @@ func (fpgaBackend) Scan(ctx context.Context, a *seqio.Alignment, p omega.Params,
 	}
 	fopts := opts.FPGAOpts
 	fopts.Meter = opts.Meter
+	if opts.Calibration != nil {
+		fopts.Calibration = opts.Calibration
+	}
+	cal := devmodel.Resolve(fopts.Calibration)
 	rep, err := fpga.ScanCtx(ctx, dev, a, p, fopts)
 	if err != nil {
 		return nil, err
@@ -44,6 +49,9 @@ func (fpgaBackend) Scan(ctx context.Context, a *seqio.Alignment, p omega.Params,
 			HardwareOmegas: rep.HardwareOmegas,
 			SoftwareOmegas: rep.SoftwareOmegas,
 			Cycles:         rep.Cycles,
+			ModelVersion:   cal.Schema,
+			CalibrationID:  cal.ID,
+			ModeledBackend: "fpga-sim",
 		},
 	}, nil
 }

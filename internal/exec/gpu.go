@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"omegago/internal/devmodel"
 	"omegago/internal/gpu"
 	"omegago/internal/omega"
 	"omegago/internal/seqio"
@@ -28,6 +29,10 @@ func (gpuBackend) Scan(ctx context.Context, a *seqio.Alignment, p omega.Params, 
 	gopts := opts.GPUOpts
 	gopts.Workers = opts.Threads
 	gopts.Meter = opts.Meter
+	if opts.Calibration != nil {
+		gopts.Calibration = opts.Calibration
+	}
+	cal := devmodel.Resolve(gopts.Calibration)
 	rep, err := gpu.ScanCtx(ctx, dev, opts.GPUKernel, a, p, gopts)
 	if err != nil {
 		return nil, err
@@ -46,6 +51,9 @@ func (gpuBackend) Scan(ctx context.Context, a *seqio.Alignment, p omega.Params, 
 			KernelIILaunches: rep.KernelIILaunches,
 			OrderSwitches:    rep.OrderSwitches,
 			BytesTransferred: rep.BytesTransferred,
+			ModelVersion:     cal.Schema,
+			CalibrationID:    cal.ID,
+			ModeledBackend:   "gpu-sim",
 		},
 	}, nil
 }

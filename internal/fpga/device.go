@@ -14,7 +14,11 @@
 // throughput-vs-iteration saturation curves of Figures 10 and 11.
 package fpga
 
-import "fmt"
+import (
+	"fmt"
+
+	"omegago/internal/devmodel"
+)
 
 // Resources is a synthesis resource estimate.
 type Resources struct {
@@ -84,7 +88,22 @@ func (d Device) MaxUnrollFactor() int {
 // PeakOmegaPerSec is the theoretical maximum throughput: one score per
 // cycle per instance.
 func (d Device) PeakOmegaPerSec() float64 {
-	return float64(d.UnrollFactor) * d.ClockMHz * 1e6
+	return d.Spec().PeakOmegaPerSec()
+}
+
+// Spec converts the device to the pure-data form the devmodel cost
+// layer consumes: achieved clock, deployed unroll factor, pipeline fill
+// depth, and the companion LD system's streaming rate. The per-stage
+// latency breakdown (PipelineStages) stays with the simulator; only its
+// sum crosses.
+func (d Device) Spec() devmodel.FPGASpec {
+	return devmodel.FPGASpec{
+		Name:          d.Name,
+		ClockMHz:      d.ClockMHz,
+		UnrollFactor:  d.UnrollFactor,
+		PipelineDepth: Depth(),
+		LDWordsPerSec: d.LDWordsPerSec,
+	}
 }
 
 // Utilization returns the estimated resources of the deployed design.

@@ -3,24 +3,29 @@ package fpga
 import (
 	"math"
 
+	"omegago/internal/devmodel"
 	"omegago/internal/obs"
 	"omegago/internal/omega"
 	"omegago/internal/seqio"
 )
 
 // DefaultCPUSecondsPerOmega is the default cost of one software ω score
-// on the host core that handles remainder iterations. Callers with a
-// calibrated host (see harness.CalibrateCPUOmega) should override it in
-// Options.
-const DefaultCPUSecondsPerOmega = 1.0 / 70e6
+// on the host core that handles remainder iterations — the embedded
+// default calibration's CPU rate. Callers with a calibrated host should
+// pass a table (or an explicit override) in Options.
+const DefaultCPUSecondsPerOmega = devmodel.DefaultCPUSecondsPerOmega
 
 // Options configure a simulated accelerator run.
 type Options struct {
 	// UnrollFactor overrides the device's deployed UF (0 = device value).
 	UnrollFactor int
-	// CPUSecondsPerOmega is the host cost of one remainder ω score
-	// (0 = DefaultCPUSecondsPerOmega).
+	// CPUSecondsPerOmega is the host cost of one remainder ω score. It
+	// overrides the calibration table; 0 defers to Calibration (and
+	// then to the embedded default).
 	CPUSecondsPerOmega float64
+	// Calibration selects the devmodel table pricing the run (nil =
+	// embedded default).
+	Calibration *devmodel.Calibration
 	// Meter (nil = disabled) receives one progress tick and modeled
 	// LD/ω phase spans per grid position from ScanCtx.
 	Meter *obs.Meter
@@ -33,7 +38,7 @@ func (o Options) withDefaults(d Device) (int, float64) {
 	}
 	cpu := o.CPUSecondsPerOmega
 	if cpu <= 0 {
-		cpu = DefaultCPUSecondsPerOmega
+		cpu = devmodel.Resolve(o.Calibration).CPU.SecondsPerOmega
 	}
 	return uf, cpu
 }
@@ -102,12 +107,15 @@ func LaunchOmega(d Device, in *omega.KernelInput, a *seqio.Alignment, opts Optio
 		}
 	}
 
-	// Cycle model: RS prefetch once per grid position, then per outer
-	// iteration a pipeline fill plus floor(inner/UF) streaming cycles.
-	perInstance := int64(hwInner / uf)
-	rep.Cycles = int64(inner) + int64(outer)*(int64(Depth())+perInstance)
-	rep.HardwareSeconds = float64(rep.Cycles) / (d.ClockMHz * 1e6)
-	rep.SoftwareSeconds = float64(rep.SoftwareOmegas) * cpuCost
+	// Cycle model (devmodel): RS prefetch once per grid position, then
+	// per outer iteration a pipeline fill plus floor(inner/UF) streaming
+	// cycles. The resolved CPU cost rides in via the model's factors.
+	model := devmodel.FPGAModel{Spec: d.Spec(), CPU: devmodel.CPUFactors{SecondsPerOmega: cpuCost}}
+	rep.Cycles = model.KernelCycles(outer, inner, uf)
+	rep.HardwareSeconds = model.EstimatePhase(devmodel.PhaseKernel,
+		devmodel.Work{Outer: outer, Inner: inner, UnrollFactor: uf}, 0)
+	rep.SoftwareSeconds = model.EstimatePhase(devmodel.PhaseRemainder,
+		devmodel.Work{Items: rep.SoftwareOmegas}, 0)
 
 	return in.ResultFromInput(a, bestSlot, best, scores), rep
 }
@@ -118,24 +126,13 @@ func LaunchOmega(d Device, in *omega.KernelInput, a *seqio.Alignment, opts Optio
 // and 11. It assumes a long outer loop so the per-position RS prefetch
 // amortizes away.
 func ModelThroughput(d Device, uf, inner int) float64 {
-	if uf <= 0 {
-		uf = d.UnrollFactor
-	}
-	if inner <= 0 {
-		return 0
-	}
-	hwInner := inner - inner%uf
-	cyclesPerOuter := float64(Depth()) + float64(hwInner/uf)
-	return float64(hwInner) / cyclesPerOuter * d.ClockMHz * 1e6
+	return devmodel.NewFPGAModel(d.Spec(), nil).Throughput(uf, inner)
 }
 
 // ModelLDSeconds estimates the LD phase on the companion FPGA LD system
 // (Bozikas et al.): pair counts stream sample words at the device's
 // aggregate memory rate, one 64-bit word per cycle per controller.
 func ModelLDSeconds(d Device, pairs int64, samples int) float64 {
-	if pairs == 0 {
-		return 0
-	}
-	wordsPerPair := float64((samples + 63) / 64)
-	return float64(pairs) * wordsPerPair / d.LDWordsPerSec
+	m := devmodel.NewFPGAModel(d.Spec(), nil)
+	return m.EstimatePhase(devmodel.PhaseLD, devmodel.Work{Pairs: pairs, Samples: samples}, 0)
 }

@@ -15,6 +15,8 @@ package gpu
 import (
 	"fmt"
 	"time"
+
+	"omegago/internal/devmodel"
 )
 
 // Device describes an OpenCL-capable GPU.
@@ -64,6 +66,26 @@ func (d Device) FullOccupancyWarps() int { return d.ComputeUnits * 32 }
 func (d Device) String() string {
 	return fmt.Sprintf("%s (%d CU × %d SP @ %.0f MHz)",
 		d.Name, d.ComputeUnits, d.SPsPerCU, d.ClockMHz)
+}
+
+// Spec converts the device to the pure-data form the devmodel cost
+// layer consumes. LaunchLatency crosses as Duration.Seconds() so the
+// float64 the model sees is bit-identical to what this package used
+// before the devmodel split.
+func (d Device) Spec() devmodel.GPUSpec {
+	return devmodel.GPUSpec{
+		Name:              d.Name,
+		ComputeUnits:      d.ComputeUnits,
+		WarpSize:          d.WarpSize,
+		SPsPerCU:          d.SPsPerCU,
+		ClockMHz:          d.ClockMHz,
+		MemBandwidthGBs:   d.MemBandwidthGBs,
+		PCIeBandwidthGBs:  d.PCIeBandwidthGBs,
+		LaunchLatencySecs: d.LaunchLatency.Seconds(),
+		HostNsPerByte:     d.HostNsPerByte,
+		HostNsPerByteCold: d.HostNsPerByteCold,
+		HostCacheBytes:    d.HostCacheBytes,
+	}
 }
 
 // The two systems of Table II. Datasheet-derived numbers; host-side

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"omegago/internal/devmodel"
 	"omegago/internal/ld"
 	"omegago/internal/mssim"
 	"omegago/internal/omega"
@@ -222,14 +223,15 @@ func TestKernelIIWildAndPadding(t *testing.T) {
 func TestModelAsymptoticRates(t *testing.T) {
 	// At full occupancy the modeled per-ω rate of Kernel II must exceed
 	// Kernel I by ~2.6×, and Kernel I must win when WILD would be 1.
-	rI := 1.0 / cyclesPerItemKernelI
-	rII := 1.0 / cyclesPerIterKernelII
+	cal := devmodel.Default().GPU
+	rI := 1.0 / cal.CyclesPerItemKernelI
+	rII := 1.0 / cal.CyclesPerIterKernelII
 	if ratio := rII / rI; ratio < 2.3 || ratio > 3.0 {
 		t.Errorf("asymptotic kernel ratio %.2f outside the paper's ≈2.5–2.6 band", ratio)
 	}
 	// WILD = 1: Kernel II pays setup on every ω → ~10% slower.
-	perOmegaII1 := setupCyclesKernelII + cyclesPerIterKernelII
-	if adv := perOmegaII1 / cyclesPerItemKernelI; adv < 1.05 || adv > 1.2 {
+	perOmegaII1 := cal.SetupCyclesKernelII + cal.CyclesPerIterKernelII
+	if adv := perOmegaII1 / cal.CyclesPerItemKernelI; adv < 1.05 || adv > 1.2 {
 		t.Errorf("kernel I advantage at WILD=1 is %.2f, want ≈1.1", adv)
 	}
 }

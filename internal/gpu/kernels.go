@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"omegago/internal/devmodel"
 	"omegago/internal/obs"
 	"omegago/internal/omega"
 	"omegago/internal/seqio"
@@ -36,30 +37,20 @@ func (k Kind) String() string {
 	}
 }
 
-// Work-group geometry and micro-architecture cost constants of the cycle
-// model. The per-ω cycle counts are calibrated once against the paper's
-// asymptotic rates (Kernel I plateau vs Kernel II peak ≈ 1 : 2.6) and
-// produce Kernel II's ~10% disadvantage at WILD = 1; everything else —
-// occupancy ramps, kernel crossover, padding overhead — emerges from the
-// mechanics.
+// Work-group geometry of both kernels. The micro-architecture cost
+// factors (per-ω cycle counts, coalescing granularity, GEMM efficiency)
+// live in devmodel calibration tables; the embedded default reproduces
+// this package's historical constants — Kernel I plateau vs Kernel II
+// peak ≈ 1 : 2.6, Kernel II's ~10% disadvantage at WILD = 1 — while
+// occupancy ramps, kernel crossover and padding overhead emerge from
+// the mechanics.
 const (
 	// WorkGroupSize is the OpenCL local size used for both kernels.
 	WorkGroupSize = 256
 	// UnrollFactor is Kernel II's inner-loop unroll (empirically
-	// determined as 4 in the paper); it is already folded into
-	// cyclesPerIterKernelII.
+	// determined as 4 in the paper); it is already folded into the
+	// calibration's cycles_per_iter_kernel_ii factor.
 	UnrollFactor = 4
-
-	// cyclesPerItemKernelI: one ω score including per-work-item index
-	// arithmetic and un-amortized global loads.
-	cyclesPerItemKernelI = 312.0
-	// setupCyclesKernelII: per-work-item loop setup and address
-	// computation (amortized over WILD iterations).
-	setupCyclesKernelII = 225.0
-	// cyclesPerIterKernelII: one ω score inside the unrolled loop.
-	cyclesPerIterKernelII = 118.0
-	// memTransactionBytes is the coalescing granularity.
-	memTransactionBytes = 128
 )
 
 // Options tweak the launch for ablation studies.
@@ -83,6 +74,10 @@ type Options struct {
 	// Workers caps the goroutines simulating compute units (0 = one per
 	// CU).
 	Workers int
+	// Calibration selects the devmodel table pricing the launch
+	// (nil = embedded default, which reproduces the historical
+	// constants bit-for-bit).
+	Calibration *devmodel.Calibration
 	// Meter (nil = disabled) receives one progress tick and modeled
 	// LD/ω phase spans per grid position from ScanCtx.
 	Meter *obs.Meter
@@ -237,12 +232,13 @@ func LaunchOmega(d Device, kind Kind, in *omega.KernelInput, a *seqio.Alignment,
 
 	// ----- cost model -----
 	rep.Bytes = paddedBytes(in, items, wild)
-	d.model(&rep, inner)
-	if opts.PrepWorkingSetBytes > 0 {
-		rep.PrepSeconds = d.prepSeconds(rep.Bytes, opts.PrepWorkingSetBytes)
-	} else {
-		rep.PrepSeconds = d.prepSeconds(rep.Bytes, rep.Bytes)
+	m := devmodel.NewGPUModel(d.Spec(), opts.Calibration)
+	modelLaunch(m, &rep, inner)
+	workingSet := opts.PrepWorkingSetBytes
+	if workingSet <= 0 {
+		workingSet = rep.Bytes
 	}
+	rep.PrepSeconds = m.EstimatePhase(devmodel.PhasePrep, devmodel.Work{WorkingSetBytes: workingSet}, rep.Bytes)
 
 	return in.ResultFromInput(a, bestSlot, best, scores), rep
 }
@@ -260,53 +256,36 @@ func paddedBytes(in *omega.KernelInput, items, wild int) int64 {
 	return b
 }
 
-// model fills the device-time fields of the report.
-func (d Device) model(rep *LaunchReport, innerLen int) {
-	clockHz := d.ClockMHz * 1e6
-	laneCyclesPerSec := float64(d.Lanes()) * clockHz
-
-	var cycles float64
-	switch rep.Kind {
-	case KernelI:
-		cycles = float64(rep.PaddedItems) * cyclesPerItemKernelI
-	default:
-		cycles = float64(rep.PaddedItems) * (setupCyclesKernelII + float64(rep.WILD)*cyclesPerIterKernelII)
+// modelLaunch fills the device-time fields of the report from the cost
+// model: kernel seconds (cycles over occupancy-scaled lane throughput,
+// rooflined against the TS memory stream) and PCIe transfer time.
+func modelLaunch(m devmodel.GPUModel, rep *LaunchReport, innerLen int) {
+	rep.Occupancy = m.Occupancy(rep.Warps)
+	w := devmodel.Work{
+		Items:    int64(rep.PaddedItems),
+		WILD:     rep.WILD,
+		KernelII: rep.Kind != KernelI,
+		Warps:    rep.Warps,
+		InnerLen: innerLen,
 	}
-	occ := float64(rep.Warps) / float64(d.FullOccupancyWarps())
-	if occ > 1 {
-		occ = 1
-	}
-	rep.Occupancy = occ
-	computeSec := cycles / (laneCyclesPerSec * occ)
-
-	// Memory: each ω slot streams one 8-byte TS value; coalescing
-	// degrades when a warp's lanes span several outer rows (short inner
-	// axis), which is what the order switch minimizes.
-	idealTrans := float64(rep.PaddedItems*8) / memTransactionBytes
-	rowsSpanned := 1.0
-	if innerLen < d.WarpSize {
-		rowsSpanned = math.Ceil(float64(d.WarpSize) / float64(maxInt(innerLen, 1)))
-	}
-	memSec := idealTrans * rowsSpanned * memTransactionBytes / (d.MemBandwidthGBs * 1e9)
-
-	rep.KernelSeconds = math.Max(computeSec, memSec)
-	rep.TransferSeconds = float64(rep.Bytes)/(d.PCIeBandwidthGBs*1e9) + d.LaunchLatency.Seconds()
+	rep.KernelSeconds = m.EstimatePhase(devmodel.PhaseKernel, w, 0)
+	rep.TransferSeconds = m.EstimatePhase(devmodel.PhaseTransfer, devmodel.Work{}, rep.Bytes)
 }
 
-// prepSeconds models host-side packing: a flat per-byte cost while the
-// gather working set is cache-resident, ramping with the square root of
-// the overflow factor (more of the strided TS gather misses as M
-// outgrows the cache) up to the cold rate.
+// model prices a report under the embedded default calibration (test
+// seam; launches go through modelLaunch with the caller's table).
+func (d Device) model(rep *LaunchReport, innerLen int) {
+	modelLaunch(devmodel.NewGPUModel(d.Spec(), nil), rep, innerLen)
+}
+
+// prepSeconds prices host-side packing under the default calibration:
+// a flat per-byte cost while the gather working set is cache-resident,
+// ramping with the square root of the overflow factor (more of the
+// strided TS gather misses as M outgrows the cache) up to the cold
+// rate.
 func (d Device) prepSeconds(bytes, workingSet int64) float64 {
-	ns := d.HostNsPerByte
-	if workingSet > d.HostCacheBytes && d.HostCacheBytes > 0 {
-		penalty := math.Sqrt(float64(workingSet) / float64(d.HostCacheBytes))
-		if maxPen := d.HostNsPerByteCold / d.HostNsPerByte; penalty > maxPen {
-			penalty = maxPen
-		}
-		ns *= penalty
-	}
-	return float64(bytes) * ns * 1e-9
+	m := devmodel.NewGPUModel(d.Spec(), nil)
+	return m.EstimatePhase(devmodel.PhasePrep, devmodel.Work{WorkingSetBytes: workingSet}, bytes)
 }
 
 func roundUp(v, multiple int) int {

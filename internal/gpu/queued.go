@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"omegago/internal/devmodel"
 	"omegago/internal/omega"
 	"omegago/internal/seqio"
 )
@@ -39,13 +40,14 @@ func LaunchOmegaQueued(q *Queue, kind Kind, in *omega.KernelInput, a *seqio.Alig
 	q.CreateFloatBuffer("TS", in.TS)
 
 	total := in.Total()
+	cal := devmodel.Default().GPU
 	var items, wild int
 	var perItemCycles float64
 	switch actual {
 	case KernelI:
 		wild = 1
 		items = total
-		perItemCycles = cyclesPerItemKernelI
+		perItemCycles = cal.CyclesPerItemKernelI
 	default:
 		gs := int(d.Threshold())
 		if gs > total {
@@ -53,7 +55,7 @@ func LaunchOmegaQueued(q *Queue, kind Kind, in *omega.KernelInput, a *seqio.Alig
 		}
 		items = roundUp(gs, WorkGroupSize)
 		wild = (total + items - 1) / items
-		perItemCycles = setupCyclesKernelII + float64(wild)*cyclesPerIterKernelII
+		perItemCycles = cal.SetupCyclesKernelII + float64(wild)*cal.CyclesPerIterKernelII
 	}
 
 	groups := roundUp(items, WorkGroupSize) / WorkGroupSize

@@ -4,43 +4,28 @@ import (
 	"context"
 	"time"
 
+	"omegago/internal/devmodel"
 	"omegago/internal/ld"
 	"omegago/internal/obs"
 	"omegago/internal/omega"
 	"omegago/internal/seqio"
 )
 
-// LD GEMM model constants (BLIS kernel on the device, Binder et al.).
-const (
-	// ldPeakEfficiency is the fraction of peak FMA throughput the
-	// SNP-comparison GEMM sustains at a large inner dimension.
-	ldPeakEfficiency = 0.55
-	// ldHalfEfficiencySamples is the inner-dimension (sample count) at
-	// which GEMM efficiency reaches half its peak — small-k GEMMs are
-	// launch- and bandwidth-bound.
-	ldHalfEfficiencySamples = 4000.0
-	// ldHostNsPerPair is the host-side cost of unpacking one pair count
-	// into the DP update.
-	ldHostNsPerPair = 1.0
-)
-
 // ModelLDSeconds estimates the device + transfer time of computing
-// `pairs` LD values over `samples` sequences with the GEMM kernel:
-// 2·samples FLOPs per pair at a saturating efficiency, the packed SNP
-// rows and the count matrix crossing PCIe, plus one launch latency.
+// `pairs` LD values over `samples` sequences with the GEMM kernel
+// (BLIS kernel on the device, Binder et al.): 2·samples FLOPs per pair
+// at a saturating efficiency, the packed SNP rows and the count matrix
+// crossing PCIe, plus one launch latency. Efficiency factors come from
+// the embedded default calibration; calibrated scans price the phase
+// through their scan-level model instead.
 func ModelLDSeconds(d Device, pairs int64, newRows, windowRows, samples int) float64 {
-	if pairs == 0 {
-		return 0
-	}
-	clockHz := d.ClockMHz * 1e6
-	peakFlops := float64(d.Lanes()) * clockHz * 2 // FMA
-	eff := ldPeakEfficiency * float64(samples) / (float64(samples) + ldHalfEfficiencySamples)
-	compute := float64(pairs) * 2 * float64(samples) / (peakFlops * eff)
-	rowBytes := float64((newRows+windowRows)*(samples+7)/8 + 63)
-	readback := float64(pairs) * 4
-	transfer := (rowBytes+readback)/(d.PCIeBandwidthGBs*1e9) + d.LaunchLatency.Seconds()
-	host := float64(pairs) * ldHostNsPerPair * 1e-9
-	return compute + transfer + host
+	m := devmodel.NewGPUModel(d.Spec(), nil)
+	return m.EstimatePhase(devmodel.PhaseLD, devmodel.Work{
+		Pairs:      pairs,
+		Samples:    samples,
+		NewRows:    newRows,
+		WindowRows: windowRows,
+	}, 0)
 }
 
 // ScanReport is the outcome of a full GPU-accelerated sweep scan
@@ -96,6 +81,7 @@ func ScanCtx(ctx context.Context, d Device, kind Kind, a *seqio.Alignment, p ome
 		return nil, err
 	}
 	t0 := time.Now()
+	model := devmodel.NewGPUModel(d.Spec(), opts.Calibration)
 	comp := ld.NewComputer(a, ld.GEMM, maxInt(1, opts.Workers))
 	// One scratch per scan: the packed kernel-input buffers and the DP
 	// row arena are reused across grid positions instead of rebuilding
@@ -125,7 +111,12 @@ func ScanCtx(ctx context.Context, d Device, kind Kind, a *seqio.Alignment, p ome
 		}
 		m.Advance(reg.Lo, reg.Hi)
 		pairs := m.R2Computed() - before
-		ldSec := ModelLDSeconds(d, pairs, newRows, reg.Hi-reg.Lo+1, a.Samples())
+		ldSec := model.EstimatePhase(devmodel.PhaseLD, devmodel.Work{
+			Pairs:      pairs,
+			Samples:    a.Samples(),
+			NewRows:    newRows,
+			WindowRows: reg.Hi - reg.Lo + 1,
+		}, 0)
 		rep.LDSeconds += ldSec
 		mt.Span(obs.PhaseLD, 0, regStart, time.Duration(ldSec*float64(time.Second)), true, nil)
 

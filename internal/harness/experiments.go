@@ -410,7 +410,11 @@ func runWorkloadUncached(w Workload) (cpu, gpuRun, fpgaRun platformRun, err erro
 		LDSeconds: grep.LDSeconds, OmSeconds: grep.OmegaSeconds(),
 		LDScores: grep.R2Computed, OmScores: grep.OmegaScores,
 	}
-	frep, err := fpga.Scan(fpga.AlveoU200, a, p, fpga.Options{CPUSecondsPerOmega: CalibrateCPUOmega()})
+	// Pinned default calibration table: the FPGA software-remainder rate
+	// is static data, so workload comparisons are reproducible across
+	// hosts (and under the race detector) instead of depending on a rate
+	// measured at run time.
+	frep, err := fpga.Scan(fpga.AlveoU200, a, p, fpga.Options{})
 	if err != nil {
 		return
 	}

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"omegago/internal/devmodel"
 	"omegago/internal/ld"
 	"omegago/internal/mssim"
 	"omegago/internal/omega"
@@ -223,6 +224,21 @@ func calibrate() {
 			calLDns = 1.0
 		}
 	})
+}
+
+// MeasuredCalibration builds a devmodel calibration table whose CPU
+// factors are this host's measured kernel rates (pinned-seed dataset,
+// scalar reference kernel — the same harness run the throughput tables
+// calibrate from). The GPU factors stay at the embedded defaults: they
+// parameterize an analytic device model, not a host measurement, and a
+// deliberate recalibration edits the written table instead. The caller
+// stamps ID/Host/Created; Source documents the split.
+func MeasuredCalibration() devmodel.Calibration {
+	c := devmodel.Default()
+	c.Source = "cpu factors measured by the harness pinned-seed scan; gpu factors carried from the embedded defaults"
+	c.CPU.SecondsPerOmega = CalibrateCPUOmega()
+	c.CPU.LDNsPerWord = CalibrateCPULDNsPerWord()
+	return c
 }
 
 // measureCPU runs a serial CPU scan and returns throughputs.

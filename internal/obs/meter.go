@@ -41,6 +41,10 @@ type Metrics struct {
 	// implementation under the base omegago_kernel_dispatch_total.
 	KernelDispatchScalar  *Counter // omegago_kernel_dispatch_total{kernel="scalar"}
 	KernelDispatchBlocked *Counter // omegago_kernel_dispatch_total{kernel="blocked"}
+	// Modeled accelerator seconds, one labeled series per simulator
+	// backend (devmodel cost-model output; measured CPU time is excluded).
+	ModeledSecondsGPU  *Gauge // omegago_modeled_seconds_total{backend="gpu-sim"}
+	ModeledSecondsFPGA *Gauge // omegago_modeled_seconds_total{backend="fpga-sim"}
 	// Out-of-core streaming counters (CPU backend with a chunk source).
 	StreamChunks         *Counter // omegago_stream_chunks_total
 	StreamBytes          *Counter // omegago_stream_bytes_total
@@ -79,6 +83,10 @@ func NewMetrics(reg *Registry) *Metrics {
 			"Grid regions evaluated per CPU omega kernel implementation."),
 		KernelDispatchBlocked: reg.Counter(`omegago_kernel_dispatch_total{kernel="blocked"}`,
 			"Grid regions evaluated per CPU omega kernel implementation."),
+		ModeledSecondsGPU: reg.Gauge(`omegago_modeled_seconds_total{backend="gpu-sim"}`,
+			"Cumulative devmodel-modeled accelerator seconds per simulator backend."),
+		ModeledSecondsFPGA: reg.Gauge(`omegago_modeled_seconds_total{backend="fpga-sim"}`,
+			"Cumulative devmodel-modeled accelerator seconds per simulator backend."),
 		StreamChunks: reg.Counter("omegago_stream_chunks_total",
 			"Chunks read by the out-of-core streaming scanner."),
 		StreamBytes: reg.Counter("omegago_stream_bytes_total",

@@ -76,3 +76,80 @@ func TestGoldenAcceleratorModels(t *testing.T) {
 		t.Errorf("Eq. 4 threshold %d, want 13312", thr)
 	}
 }
+
+// TestGoldenModeledScanSeconds pins full-scan modeled seconds, per
+// phase, for every simulated device under the embedded default
+// calibration. The values were captured immediately BEFORE the
+// device-timing math moved into internal/devmodel, so this test is the
+// bit-for-bit proof that the refactor (and any future calibration-table
+// plumbing) did not change a single float64 operation. Re-pin only
+// alongside a deliberate recalibration.
+func TestGoldenModeledScanSeconds(t *testing.T) {
+	a, err := harness.Dataset(800, 50, 31415)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := omega.Params{GridSize: 3, MaxWindow: 0}
+
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s = %v, want %v (pre-refactor)", name, got, want)
+		}
+	}
+
+	grep, err := gpu.Scan(gpu.RadeonHD8750M, gpu.Dynamic, a, p, gpu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("HD8750M LDSeconds", grep.LDSeconds, 0.010449566169599217)
+	check("HD8750M OmegaKernelSeconds", grep.OmegaKernelSeconds, 9.078709677419355e-05)
+	check("HD8750M OmegaPrepSeconds", grep.OmegaPrepSeconds, 0.0015886359530100532)
+	check("HD8750M OmegaTransferSeconds", grep.OmegaTransferSeconds, 0.000247088)
+	check("HD8750M OmegaSeconds", grep.OmegaSeconds(), 0.0019265110497842467)
+	check("HD8750M TotalSeconds", grep.TotalSeconds(), 0.012376077219383464)
+
+	grep, err = gpu.Scan(gpu.TeslaK80, gpu.Dynamic, a, p, gpu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("K80 LDSeconds", grep.LDSeconds, 0.0015461587275724274)
+	check("K80 OmegaKernelSeconds", grep.OmegaKernelSeconds, 1.0002285714285715e-05)
+	check("K80 OmegaPrepSeconds", grep.OmegaPrepSeconds, 0.0014327808)
+	check("K80 OmegaTransferSeconds", grep.OmegaTransferSeconds, 0.0001502528)
+	check("K80 OmegaSeconds", grep.OmegaSeconds(), 0.0015930358857142858)
+	check("K80 TotalSeconds", grep.TotalSeconds(), 0.003139194613286713)
+
+	grep, err = gpu.Scan(gpu.TeslaK80, gpu.Dynamic, a, p, gpu.Options{OverlapTransfers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("K80 overlap OmegaTransferSeconds", grep.OmegaTransferSeconds, 0.0001402505142857143)
+	check("K80 overlap TotalSeconds", grep.TotalSeconds(), 0.0031291923275724273)
+
+	frep, err := fpga.Scan(fpga.ZCU102, a, p, fpga.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("ZCU102 LDSeconds", frep.LDSeconds, 0.000799)
+	check("ZCU102 HardwareSeconds", frep.HardwareSeconds, 0.00087318)
+	check("ZCU102 SoftwareSeconds", frep.SoftwareSeconds, 1.1771428571428572e-05)
+	if frep.Cycles != 87318 {
+		t.Errorf("ZCU102 Cycles = %d, want 87318 (pre-refactor)", frep.Cycles)
+	}
+	check("ZCU102 OmegaSeconds", frep.OmegaSeconds(), 0.0008849514285714286)
+	check("ZCU102 TotalSeconds", frep.TotalSeconds(), 0.0016839514285714287)
+
+	frep, err = fpga.Scan(fpga.AlveoU200, a, p, fpga.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("AlveoU200 LDSeconds", frep.LDSeconds, 7.60952380952381e-05)
+	check("AlveoU200 HardwareSeconds", frep.HardwareSeconds, 0.00021084)
+	check("AlveoU200 SoftwareSeconds", frep.SoftwareSeconds, 1.1771428571428572e-05)
+	if frep.Cycles != 52710 {
+		t.Errorf("AlveoU200 Cycles = %d, want 52710 (pre-refactor)", frep.Cycles)
+	}
+	check("AlveoU200 OmegaSeconds", frep.OmegaSeconds(), 0.0002226114285714286)
+	check("AlveoU200 TotalSeconds", frep.TotalSeconds(), 0.0002987066666666667)
+}

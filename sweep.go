@@ -227,6 +227,12 @@ type Config struct {
 	GPUKernel gpu.Kind    // default Dynamic
 	// FPGA options (BackendFPGA).
 	FPGADevice *fpga.Device // default Alveo U200
+	// Calibration selects the device cost-model table the accelerator
+	// backends price modeled seconds with (nil = embedded default,
+	// which reproduces the historical constants bit-for-bit). Load one
+	// with LoadCalibration; Validate rejects corrupt tables with
+	// ErrBadCalibration.
+	Calibration *Calibration
 	// UseGEMMLD batches CPU-backend LD through the BLIS-style
 	// cache-blocked triangular bit-matrix multiply instead of per-pair
 	// popcounts: SNP bit-rows are packed into word-aligned panels and
@@ -296,6 +302,12 @@ type Report struct {
 	StreamCompressedSNPs int64
 	StreamLoadSeconds    float64
 	StreamStallSeconds   float64
+	// ModelVersion / CalibrationID stamp the devmodel table that priced
+	// the modeled seconds of an accelerator scan (schema version and
+	// table ID; zero/empty on BackendCPU), so capacity numbers stay
+	// attributable after calibration tables evolve.
+	ModelVersion  int
+	CalibrationID string
 }
 
 // StreamOverlapRatio returns the fraction of chunk load time a
@@ -331,6 +343,7 @@ func (c Config) execOptions(mt *obs.Meter) exec.Options {
 		GPUKernel:   c.GPUKernel,
 		FPGADevice:  c.FPGADevice,
 		ChunkSNPs:   c.ChunkSNPs,
+		Calibration: c.Calibration,
 	}
 }
 
@@ -415,6 +428,7 @@ func scanResolved(ctx context.Context, ds *Dataset, cfg Config, p omega.Params, 
 		StreamChunks: st.StreamChunks, StreamBytesRead: st.StreamBytesRead,
 		StreamCompressedSNPs: st.StreamCompressedSNPs,
 		StreamLoadSeconds:    st.StreamLoadSeconds, StreamStallSeconds: st.StreamStallSeconds,
+		ModelVersion: st.ModelVersion, CalibrationID: st.CalibrationID,
 	}, nil
 }
 
