@@ -1,0 +1,71 @@
+// Package api defines the versioned wire types of omegago: the
+// canonical machine-readable JSON encodings of a scan request, a scan
+// report, a job status, a capacity plan, and the error envelope. They
+// are the request/response surface of the omegad service (cmd/omegad,
+// internal/service) and the exact bytes `omegago -json` and
+// `omegago plan -json` print — one marshaller for every boundary.
+//
+// The package follows the same format rules as the bitmat container
+// and the calibration tables (docs/FORMATS.md):
+//
+//   - Every top-level value carries a `schema` field equal to
+//     SchemaVersion; decoders refuse other versions.
+//   - Decoding is strict: unknown fields and trailing data are
+//     rejected (DecodeScanRequest, DecodeScanReport, …). A field a
+//     future schema adds must arrive with a bumped version, never be
+//     silently ignored.
+//   - Encoding is canonical: two-space-indented JSON in struct field
+//     order with a trailing newline. Decode∘Encode∘Decode is the
+//     identity, and Encode∘Decode∘Encode is byte-identical.
+//
+// api deliberately imports nothing from the rest of the module, so the
+// wire contract cannot drift with internals; conversions live next to
+// the types they convert (omegago.Report.APIReport, omegago.APIError,
+// omegago.ConfigFromParams). docs/API.md is the normative endpoint and
+// schema reference.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaVersion is the wire-schema version this build reads and
+// writes. Bumped on any incompatible change to the types in this
+// package; strict decoders refuse other versions.
+const SchemaVersion = 1
+
+// encodeCanonical renders v in the canonical byte form shared by every
+// type in this package: two-space-indented JSON, struct field order,
+// trailing newline.
+func encodeCanonical(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("api: encoding %T: %w", v, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// decodeStrict parses exactly one JSON value from data into v,
+// rejecting unknown fields and trailing content.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("api: decoding %T: %w", v, err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("api: trailing data after %T value", v)
+	}
+	return nil
+}
+
+// checkSchema validates a decoded value's schema stamp.
+func checkSchema(kind string, schema int) error {
+	if schema != SchemaVersion {
+		return fmt.Errorf("api: %s schema %d (this build reads %d)", kind, schema, SchemaVersion)
+	}
+	return nil
+}

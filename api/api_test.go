@@ -1,0 +1,205 @@
+package api
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func validRequest() ScanRequest {
+	return ScanRequest{
+		Schema:  SchemaVersion,
+		Dataset: DatasetRef{Path: "testdata/rep.ms", Format: "ms"},
+		Params:  ScanParams{GridSize: 12, Backend: "cpu", Scheduler: "auto"},
+		Label:   "smoke",
+	}
+}
+
+func validReport() ScanReport {
+	return ScanReport{
+		Schema:  SchemaVersion,
+		Backend: "cpu",
+		Results: []ResultRow{
+			{Position: 10.5, Valid: true, Omega: 3.25, WinLeft: 1, WinRight: 20, Scores: 42},
+			{Position: 99, Valid: false},
+		},
+		OmegaScores: 42, R2Computed: 7, R2Reused: 3,
+		Timing: &Timing{LDSeconds: 0.1, OmegaSeconds: 0.2, WallSeconds: 0.5},
+	}
+}
+
+// Encode∘Decode∘Encode must be byte-identical for every wire type.
+func TestCanonicalRoundTrip(t *testing.T) {
+	check := func(name string, enc []byte, err error, reenc func() ([]byte, error)) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		if !bytes.HasSuffix(enc, []byte("\n")) {
+			t.Errorf("%s: canonical form missing trailing newline", name)
+		}
+		enc2, err := reenc()
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", name, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Errorf("%s: Encode∘Decode∘Encode not byte-identical:\n%s\nvs\n%s", name, enc, enc2)
+		}
+	}
+
+	req := validRequest()
+	b, err := req.Encode()
+	check("request", b, err, func() ([]byte, error) {
+		d, err := DecodeScanRequest(b)
+		if err != nil {
+			return nil, err
+		}
+		return d.Encode()
+	})
+
+	rep := validReport()
+	b, err = rep.Encode()
+	check("report", b, err, func() ([]byte, error) {
+		d, err := DecodeScanReport(b)
+		if err != nil {
+			return nil, err
+		}
+		return d.Encode()
+	})
+
+	st := JobStatus{Schema: SchemaVersion, ID: "job-000001", State: StateRunning,
+		Priority: PriorityNormal, Tenant: "anonymous", SubmittedAt: "2026-08-08T00:00:00Z",
+		Progress: &ProgressInfo{GridDone: 3, GridTotal: 12, ElapsedSeconds: 0.01}}
+	b, err = st.Encode()
+	check("job status", b, err, func() ([]byte, error) {
+		d, err := DecodeJobStatus(b)
+		if err != nil {
+			return nil, err
+		}
+		return d.Encode()
+	})
+
+	pl := Plan{Schema: SchemaVersion, Backend: "gpu-sim", ModelVersion: 1, CalibrationID: "default-gpu",
+		SNPs: 1000, Samples: 20, Grid: 100, Replicates: 10, Devices: 2,
+		ReplicateSeconds: 1.5, LDSeconds: 1, OmegaSeconds: 0.5,
+		ReplicatesPerDevice: 5, MakespanSeconds: 7.5, AggregateOmegaPerSec: 123}
+	b, err = pl.Encode()
+	check("plan", b, err, func() ([]byte, error) {
+		d, err := DecodePlan(b)
+		if err != nil {
+			return nil, err
+		}
+		return d.Encode()
+	})
+}
+
+// Canonical strips the nondeterministic timing block and nothing else.
+func TestCanonicalStripsTiming(t *testing.T) {
+	rep := validReport()
+	canon, err := rep.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(canon, []byte("timing")) {
+		t.Errorf("canonical form still mentions timing:\n%s", canon)
+	}
+	if rep.Timing == nil {
+		t.Error("Canonical mutated its receiver's Timing")
+	}
+	rep2 := validReport()
+	rep2.Timing = &Timing{LDSeconds: 9, OmegaSeconds: 9, WallSeconds: 99}
+	canon2, err := rep2.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canon, canon2) {
+		t.Error("reports differing only in timing have different canonical forms")
+	}
+}
+
+func TestDecodeStrictness(t *testing.T) {
+	good, err := validRequest().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, data string
+	}{
+		{"unknown field", strings.Replace(string(good), `"schema": 1`, `"schema": 1, "surprise": true`, 1)},
+		{"trailing data", string(good) + "{}"},
+		{"wrong schema", strings.Replace(string(good), `"schema": 1`, `"schema": 99`, 1)},
+		{"not json", "position\tomega\n"},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeScanRequest([]byte(tc.data)); err == nil {
+			t.Errorf("%s: DecodeScanRequest accepted bad input", tc.name)
+		}
+		if _, err := DecodeScanReport([]byte(tc.data)); err == nil && tc.name != "unknown field" {
+			t.Errorf("%s: DecodeScanReport accepted bad input", tc.name)
+		}
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*ScanRequest)
+	}{
+		{"no dataset", func(r *ScanRequest) { r.Dataset = DatasetRef{} }},
+		{"two dataset kinds", func(r *ScanRequest) { r.Dataset.BitmatBase64 = "AAAA" }},
+		{"short hash", func(r *ScanRequest) { r.Dataset = DatasetRef{ContentHash: "abcd"} }},
+		{"non-hex hash", func(r *ScanRequest) {
+			r.Dataset = DatasetRef{ContentHash: strings.Repeat("zz", 32)}
+		}},
+		{"bad priority", func(r *ScanRequest) { r.Priority = "urgent" }},
+		{"negative deadline", func(r *ScanRequest) { r.DeadlineSeconds = -1 }},
+		{"bad schema", func(r *ScanRequest) { r.Schema = 0 }},
+	}
+	for _, tc := range cases {
+		r := validRequest()
+		tc.mut(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted it", tc.name)
+		}
+	}
+	ok := validRequest()
+	ok.Dataset = DatasetRef{ContentHash: strings.Repeat("ab", 32)}
+	ok.Priority = PriorityHigh
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid hash request rejected: %v", err)
+	}
+}
+
+func TestErrorMappings(t *testing.T) {
+	exits := map[string]int{
+		"": 0, CodeFailure: 1, CodeUsage: 2, CodeInput: 3,
+		CodeConfig: 4, CodeTimeout: 5, CodeCapacity: 1, CodeNotFound: 1,
+		"martian": 1,
+	}
+	for code, want := range exits {
+		if got := ExitCode(code); got != want {
+			t.Errorf("ExitCode(%q) = %d, want %d", code, got, want)
+		}
+	}
+	statuses := map[string]int{
+		CodeFailure: 500, CodeUsage: 400, CodeInput: 400, CodeConfig: 400,
+		CodeTimeout: 504, CodeCapacity: 429, CodeNotFound: 404, "martian": 500,
+	}
+	for code, want := range statuses {
+		e := &Error{Code: code, Message: "m"}
+		if got := e.HTTPStatus(); got != want {
+			t.Errorf("HTTPStatus(%q) = %d, want %d", code, got, want)
+		}
+	}
+	e := &Error{Code: CodeInput, Message: "no SNPs"}
+	if e.Error() != "input: no SNPs" {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestJobStatusValidation(t *testing.T) {
+	s := JobStatus{Schema: SchemaVersion, ID: "j", State: "paused", Priority: PriorityLow, Tenant: "t", SubmittedAt: "x"}
+	if err := s.Validate(); err == nil {
+		t.Error("unknown state accepted")
+	}
+}

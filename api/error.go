@@ -1,0 +1,82 @@
+package api
+
+import "net/http"
+
+// Error code classes. Each class corresponds one-to-one to an exit
+// code of the omegago CLI (ExitCode) and to an HTTP status range of
+// the omegad service (HTTPStatus), so a failure classifies identically
+// whether it surfaces in a shell script or an HTTP client.
+const (
+	// CodeFailure is an internal scan or runtime failure (CLI exit 1).
+	CodeFailure = "failure"
+	// CodeUsage marks a malformed request: bad flag or field usage,
+	// undecodable JSON, unsupported schema version (CLI exit 2).
+	CodeUsage = "usage"
+	// CodeInput marks unusable input data: a missing or unparseable
+	// dataset, an empty alignment (CLI exit 3).
+	CodeInput = "input"
+	// CodeConfig marks configuration rejected by validation: bad grid
+	// geometry, unknown backend/scheduler/kernel names, an unusable
+	// calibration table (CLI exit 4).
+	CodeConfig = "config"
+	// CodeTimeout marks a deadline expiry or cancellation (CLI exit 5).
+	CodeTimeout = "timeout"
+	// CodeCapacity marks admission-control rejection: a full job queue
+	// or an exhausted tenant quota. It has no CLI analogue (the CLI
+	// queues nothing) and maps to exit 1 and HTTP 429.
+	CodeCapacity = "capacity"
+	// CodeNotFound marks a reference to an unknown job or dataset. No
+	// CLI analogue; maps to exit 1 and HTTP 404.
+	CodeNotFound = "not_found"
+)
+
+// Error is the wire error envelope: a machine-dispatchable code class
+// plus a human-readable message. It is the body of every non-2xx
+// omegad response and the Error field of a failed JobStatus.
+type Error struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is the underlying error text.
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Code + ": " + e.Message }
+
+// ExitCode maps an error code class to the omegago CLI exit code —
+// the inverse direction of omegago.APIError, so shell and HTTP
+// consumers dispatch on the same classes. Unknown codes map to the
+// generic failure exit.
+func ExitCode(code string) int {
+	switch code {
+	case "":
+		return 0
+	case CodeUsage:
+		return 2
+	case CodeInput:
+		return 3
+	case CodeConfig:
+		return 4
+	case CodeTimeout:
+		return 5
+	default: // CodeFailure, CodeCapacity, CodeNotFound, unknown
+		return 1
+	}
+}
+
+// HTTPStatus maps an error code class to the HTTP status the omegad
+// service responds with.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeUsage, CodeConfig, CodeInput:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeCapacity:
+		return http.StatusTooManyRequests
+	case CodeTimeout:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,104 @@
+package api
+
+import "fmt"
+
+// Job lifecycle states. A job moves queued → running → one of the three
+// terminal states (done, failed, canceled); a cache hit goes straight
+// to done.
+const (
+	// StateQueued means the job is admitted and waiting for a worker.
+	StateQueued = "queued"
+	// StateRunning means a worker is scanning.
+	StateRunning = "running"
+	// StateDone means the scan finished; the result is fetchable.
+	StateDone = "done"
+	// StateFailed means the scan errored; Error carries the class.
+	StateFailed = "failed"
+	// StateCanceled means the job was canceled before it finished.
+	StateCanceled = "canceled"
+)
+
+// ProgressInfo is a point-in-time progress snapshot of a running job,
+// filled from the scan's live observer stream.
+type ProgressInfo struct {
+	// GridDone / GridTotal count grid positions finished vs planned.
+	GridDone  int64 `json:"grid_done"`
+	GridTotal int64 `json:"grid_total"`
+	// OmegaScores / R2Computed are the cumulative work counters so far.
+	OmegaScores int64 `json:"omega_scores"`
+	R2Computed  int64 `json:"r2_computed"`
+	// ElapsedSeconds is the wall time since the scan started.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// OmegaPerSec is the running ω throughput.
+	OmegaPerSec float64 `json:"omega_per_sec,omitempty"`
+	// ETASeconds estimates the remaining time (0 until the first grid
+	// position completes).
+	ETASeconds float64 `json:"eta_seconds,omitempty"`
+}
+
+// JobStatus is the service's description of one job: the body of
+// GET /v1/jobs/{id}, the data of every SSE event on
+// GET /v1/jobs/{id}/events, and the 202 response of POST /v1/scan.
+type JobStatus struct {
+	// Schema must equal SchemaVersion.
+	Schema int `json:"schema"`
+	// ID is the server-assigned job identifier.
+	ID string `json:"id"`
+	// State is one of the State* constants.
+	State string `json:"state"`
+	// Priority is the admitted priority ("high", "normal", "low").
+	Priority string `json:"priority"`
+	// Tenant is the quota-accounting identity the job was submitted
+	// under (from the X-Omegad-Tenant header; "anonymous" by default).
+	Tenant string `json:"tenant"`
+	// Label echoes the request's label.
+	Label string `json:"label,omitempty"`
+	// Cached is true when the result was served from the
+	// content-addressed cache instead of a fresh scan.
+	Cached bool `json:"cached,omitempty"`
+	// DatasetHash is the resolved dataset's content hash (lowercase
+	// hex), known as soon as the dataset reference is resolved.
+	DatasetHash string `json:"dataset_hash,omitempty"`
+	// SubmittedAt / StartedAt / FinishedAt are RFC 3339 UTC timestamps;
+	// later ones are empty until the job reaches that point.
+	SubmittedAt string `json:"submitted_at"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	// Progress is the latest observer snapshot (running jobs only).
+	Progress *ProgressInfo `json:"progress,omitempty"`
+	// Error classifies a failed job (StateFailed only).
+	Error *Error `json:"error,omitempty"`
+}
+
+// Validate reports the first structural defect of the status.
+func (s JobStatus) Validate() error {
+	if err := checkSchema("job status", s.Schema); err != nil {
+		return err
+	}
+	switch s.State {
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+	default:
+		return fmt.Errorf("api: unknown job state %q", s.State)
+	}
+	return nil
+}
+
+// Encode renders the status in the canonical byte form.
+func (s JobStatus) Encode() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return encodeCanonical(s)
+}
+
+// DecodeJobStatus strictly parses and validates a job status.
+func DecodeJobStatus(data []byte) (JobStatus, error) {
+	var s JobStatus
+	if err := decodeStrict(data, &s); err != nil {
+		return JobStatus{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,70 @@
+package api
+
+// Plan is the machine-readable capacity plan `omegago plan -json`
+// prints: one scanned replicate extrapolated to a device fleet through
+// the calibrated device model. Identical replicates on Z devices
+// schedule as ceil(N/Z) whole replicates on the deepest per-device
+// queue; MakespanSeconds is that queue's run time.
+type Plan struct {
+	// Schema must equal SchemaVersion.
+	Schema int `json:"schema"`
+	// Backend is the canonical engine name the plan models.
+	Backend string `json:"backend"`
+	// ModelVersion / CalibrationID stamp the devmodel table that priced
+	// the replicate.
+	ModelVersion  int    `json:"model_version"`
+	CalibrationID string `json:"calibration_id"`
+
+	// SNPs / Samples / Grid describe the profiled replicate's shape.
+	SNPs    int `json:"snps"`
+	Samples int `json:"samples"`
+	Grid    int `json:"grid"`
+
+	// Replicates / Devices are the planned workload and fleet size.
+	Replicates int `json:"replicates"`
+	Devices    int `json:"devices"`
+
+	// ReplicateSeconds is the modeled accelerator seconds of one
+	// replicate (LDSeconds + OmegaSeconds).
+	ReplicateSeconds float64 `json:"replicate_seconds"`
+	LDSeconds        float64 `json:"ld_seconds"`
+	OmegaSeconds     float64 `json:"omega_seconds"`
+
+	// ReplicatesPerDevice is the deepest per-device queue depth;
+	// MakespanSeconds its run time; AggregateOmegaPerSec the fleet's
+	// modeled ω throughput.
+	ReplicatesPerDevice  int     `json:"replicates_per_device"`
+	MakespanSeconds      float64 `json:"makespan_seconds"`
+	AggregateOmegaPerSec float64 `json:"aggregate_omega_per_sec"`
+
+	// TargetSeconds / DevicesForTarget answer "how many devices finish
+	// the workload within the target?" (set only when a target was
+	// requested).
+	TargetSeconds    float64 `json:"target_seconds,omitempty"`
+	DevicesForTarget int     `json:"devices_for_target,omitempty"`
+}
+
+// Validate reports the first structural defect of the plan.
+func (p Plan) Validate() error {
+	return checkSchema("plan", p.Schema)
+}
+
+// Encode renders the plan in the canonical byte form.
+func (p Plan) Encode() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return encodeCanonical(p)
+}
+
+// DecodePlan strictly parses and validates a plan.
+func DecodePlan(data []byte) (Plan, error) {
+	var p Plan
+	if err := decodeStrict(data, &p); err != nil {
+		return Plan{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,151 @@
+package omegago
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+
+	"omegago/api"
+	"omegago/internal/seqio"
+)
+
+// APIReport converts the report to its wire form (api.ScanReport), the
+// single Report marshaller every machine-readable boundary shares: the
+// CLI's -json flag, WriteReport's row layout, and the omegad service
+// all render through it, so a scan serializes identically no matter
+// which surface produced it. label is echoed into the report;
+// datasetHash is the lowercase-hex bitmat content hash of the input
+// when the producer knows it ("" otherwise, e.g. streamed scans).
+func (r *Report) APIReport(label, datasetHash string) api.ScanReport {
+	rows := make([]api.ResultRow, len(r.Results))
+	for i, res := range r.Results {
+		rows[i] = api.ResultRow{Position: res.Center, Valid: res.Valid}
+		if res.Valid {
+			rows[i].Omega = res.MaxOmega
+			rows[i].WinLeft = res.LeftPos
+			rows[i].WinRight = res.RightPos
+			rows[i].Scores = res.Scores
+		}
+	}
+	return api.ScanReport{
+		Schema:               api.SchemaVersion,
+		Label:                label,
+		Backend:              r.Backend.String(),
+		DatasetHash:          datasetHash,
+		Results:              rows,
+		OmegaScores:          r.OmegaScores,
+		R2Computed:           r.R2Computed,
+		R2Reused:             r.R2Reused,
+		R2Duplicated:         r.R2Duplicated,
+		KernelScalarRegions:  r.OmegaKernelScalar,
+		KernelBlockedRegions: r.OmegaKernelBlocked,
+		StreamChunks:         r.StreamChunks,
+		StreamBytesRead:      r.StreamBytesRead,
+		StreamCompressedSNPs: r.StreamCompressedSNPs,
+		ModelVersion:         r.ModelVersion,
+		CalibrationID:        r.CalibrationID,
+		Timing: &api.Timing{
+			LDSeconds:          r.LDSeconds,
+			OmegaSeconds:       r.OmegaSeconds,
+			SnapshotSeconds:    r.SnapshotSeconds,
+			WallSeconds:        r.WallSeconds,
+			StreamLoadSeconds:  r.StreamLoadSeconds,
+			StreamStallSeconds: r.StreamStallSeconds,
+		},
+	}
+}
+
+// APIError classifies err into the wire error envelope, the one place
+// the sentinel-to-class mapping lives: the CLI exit code is
+// api.ExitCode(APIError(err).Code) and the omegad HTTP status is
+// APIError(err).HTTPStatus(), so both surfaces classify identically by
+// construction. A nil err returns nil.
+func APIError(err error) *api.Error {
+	if err == nil {
+		return nil
+	}
+	code := api.CodeFailure
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		code = api.CodeTimeout
+	// ErrBadCalibration must dispatch before the fs.ErrNotExist input
+	// case: a missing table file wraps both, and a table named in
+	// configuration that cannot be used is a configuration error.
+	case errors.Is(err, ErrBadCalibration):
+		code = api.CodeConfig
+	case errors.Is(err, ErrBadGrid) || errors.Is(err, ErrUnknownBackend) ||
+		errors.Is(err, ErrBadExecOption) || errors.Is(err, ErrStreamUnsupported):
+		code = api.CodeConfig
+	case errors.Is(err, ErrNoSNPs) || errors.Is(err, fs.ErrNotExist):
+		code = api.CodeInput
+	}
+	return &api.Error{Code: code, Message: err.Error()}
+}
+
+// ConfigFromParams resolves wire scan parameters into a Config,
+// parsing the enum names through the same registries the CLI flags
+// use. The zero ScanParams yields the zero Config (all defaults).
+// Errors wrap the usual sentinels (ErrUnknownBackend for a bad backend
+// name; scheduler/kernel spelling mistakes are usage errors).
+func ConfigFromParams(p api.ScanParams) (Config, error) {
+	cfg := Config{
+		GridSize:       p.GridSize,
+		MinWindow:      p.MinWindow,
+		MaxWindow:      p.MaxWindow,
+		MaxSNPsPerSide: p.MaxSNPsPerSide,
+		KernelNthr:     p.KernelNthr,
+		Threads:        p.Threads,
+		UseGEMMLD:      p.UseGEMMLD,
+		ChunkSNPs:      p.ChunkSNPs,
+	}
+	var err error
+	if p.Backend != "" {
+		if cfg.Backend, err = ParseBackend(p.Backend); err != nil {
+			return Config{}, err
+		}
+	}
+	if p.Scheduler != "" {
+		if cfg.Sched, err = ParseScheduler(p.Scheduler); err != nil {
+			return Config{}, err
+		}
+	}
+	if cfg.OmegaKernel, err = ParseOmegaKernel(p.OmegaKernel); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// ParamsFromConfig renders the scan-relevant fields of a Config back
+// into wire form — the inverse of ConfigFromParams over everything the
+// api carries (observers, metrics and device model handles have no
+// wire representation).
+func ParamsFromConfig(c Config) api.ScanParams {
+	p := api.ScanParams{
+		GridSize:       c.GridSize,
+		MinWindow:      c.MinWindow,
+		MaxWindow:      c.MaxWindow,
+		MaxSNPsPerSide: c.MaxSNPsPerSide,
+		KernelNthr:     c.KernelNthr,
+		Threads:        c.Threads,
+		UseGEMMLD:      c.UseGEMMLD,
+		ChunkSNPs:      c.ChunkSNPs,
+	}
+	if c.Backend != BackendCPU {
+		p.Backend = c.Backend.String()
+	}
+	if c.Sched != SchedAuto {
+		p.Scheduler = c.Sched.String()
+	}
+	if c.OmegaKernel != OmegaKernelAuto {
+		p.OmegaKernel = c.OmegaKernel.String()
+	}
+	return p
+}
+
+// DatasetContentHash computes the canonical bitmat content hash of the
+// dataset — the same SHA-256 SaveBitmat stamps into the file header
+// and the identity the omegad result cache keys on. Any input format
+// normalizes to the same hash once allele-compressed.
+func DatasetContentHash(ds *Dataset) ([32]byte, error) {
+	return seqio.ContentHash(ds)
+}

@@ -1,0 +1,107 @@
+// Command omegad is the long-lived omegago scan service: an HTTP
+// server that accepts scan jobs over the versioned JSON API of package
+// api, runs them on a bounded worker pool through the same ScanContext
+// path the CLI uses, and serves results from a content-addressed cache
+// when the same dataset bits are scanned with the same parameters
+// again.
+//
+// Usage:
+//
+//	omegad -addr :8080
+//	omegad -addr 127.0.0.1:8080 -workers 4 -queue-depth 128 -allow-paths
+//
+// Endpoints (docs/API.md is the normative reference):
+//
+//	POST   /v1/scan              submit a job (202 + JobStatus; 429 when full)
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         poll one job
+//	GET    /v1/jobs/{id}/result  fetch the canonical ScanReport
+//	GET    /v1/jobs/{id}/events  stream status/progress as SSE
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /healthz              liveness
+//	GET    /metrics              Prometheus exposition (plus /debug/pprof/)
+//
+// Datasets are referenced by inline bitmat upload (bitmat_base64), by
+// the content hash of a dataset the server has already seen
+// (content_hash), or — only with -allow-paths — by server-local path.
+// Tenancy is declared per request with the X-Omegad-Tenant header;
+// -tenant-jobs bounds each tenant's active jobs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"omegago/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("omegad: ")
+
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		workers      = flag.Int("workers", 0, "scan worker pool size (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue-depth", 64, "max jobs admitted but not yet running; a full queue answers 429")
+		cacheEntries = flag.Int("cache-entries", 128, "content-addressed result cache capacity (-1 disables)")
+		tenantJobs   = flag.Int("tenant-jobs", 0, "max active jobs per tenant (0 = unlimited)")
+		deadline     = flag.Duration("deadline", 0, "default per-job run deadline, e.g. 5m (0 = unlimited; requests may set a shorter one)")
+		maxBody      = flag.Int64("max-body-bytes", 64<<20, "max request body size in bytes (bounds uploads)")
+		allowPaths   = flag.Bool("allow-paths", false, "permit dataset references by server-local path")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheEntries,
+		TenantJobs:      *tenantJobs,
+		DefaultDeadline: *deadline,
+		MaxBodyBytes:    *maxBody,
+		AllowPaths:      *allowPaths,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	log.Printf("listening on http://%s (API at /v1, metrics at /metrics)", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case got := <-sig:
+		log.Printf("received %v, shutting down", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		cancel()
+	}
+	svc.Close()
+}

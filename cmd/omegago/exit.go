@@ -1,13 +1,11 @@
 package main
 
 import (
-	"context"
-	"errors"
-	"io/fs"
 	"log"
 	"os"
 
 	"omegago"
+	"omegago/api"
 )
 
 // Exit codes of the omegago CLI. Scripts driving long batch runs can
@@ -21,25 +19,14 @@ const (
 	exitTimeout = 5 // -timeout expired or the scan was cancelled
 )
 
-// classify maps an error to the CLI exit code by its errors.Is class.
+// classify maps an error to the CLI exit code through the shared wire
+// classification (omegago.APIError → api.ExitCode), so a mistake exits
+// the CLI with the class the omegad service would respond with.
 func classify(err error) int {
-	switch {
-	case err == nil:
+	if err == nil {
 		return exitOK
-	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		return exitTimeout
-	// ErrBadCalibration must dispatch before the fs.ErrNotExist input
-	// case: a missing table file wraps both, and a table named in
-	// configuration that cannot be used is a configuration error.
-	case errors.Is(err, omegago.ErrBadCalibration):
-		return exitConfig
-	case errors.Is(err, omegago.ErrBadGrid) || errors.Is(err, omegago.ErrUnknownBackend):
-		return exitConfig
-	case errors.Is(err, omegago.ErrNoSNPs) || errors.Is(err, fs.ErrNotExist):
-		return exitInput
-	default:
-		return exitFailure
 	}
+	return api.ExitCode(omegago.APIError(err).Code)
 }
 
 // fatal logs err and exits with its classified code.

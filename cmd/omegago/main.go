@@ -32,7 +32,7 @@ package main
 
 import (
 	"context"
-	"encoding/json"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
@@ -73,6 +73,7 @@ func main() {
 		threads     = flag.Int("threads", 1, "CPU threads (cpu backend)")
 		sched       = flag.String("sched", "auto", "CPU multithreading scheduler: snapshot, sharded, auto")
 		omegaKernel = flag.String("omega-kernel", "auto", "CPU ω kernel: scalar, blocked, auto (per-region dispatch)")
+		kernelNthr  = flag.Int("kernel-nthr", 0, "auto ω-kernel dispatch threshold in border combinations per region (0 = built-in default)")
 		backend     = flag.String("backend", "cpu", "backend: cpu, gpu, fpga")
 		calib       = flag.String("calib", "", "device cost-model calibration table (JSON, written by `omegabench calibrate`; default embedded table)")
 		device      = flag.String("device", "", "accelerator device: k80, hd8750m, alveo, zcu102")
@@ -214,12 +215,13 @@ func main() {
 	loadDone(loadArgs)
 
 	cfg := omegago.Config{
-		GridSize:  *grid,
-		MinWindow: *minwin,
-		MaxWindow: *maxwin,
-		Threads:   *threads,
-		UseGEMMLD: *gemmLD,
-		ChunkSNPs: *chunkSNPs,
+		GridSize:   *grid,
+		MinWindow:  *minwin,
+		MaxWindow:  *maxwin,
+		Threads:    *threads,
+		UseGEMMLD:  *gemmLD,
+		ChunkSNPs:  *chunkSNPs,
+		KernelNthr: *kernelNthr,
 	}
 	cfg.Sched, err = omegago.ParseScheduler(strings.ToLower(*sched))
 	if err != nil {
@@ -395,8 +397,10 @@ func main() {
 	if src != nil {
 		mode = "streamed scan"
 	}
-	fmt.Printf("# omegago %s: %d SNPs, %d samples, backend=%s\n",
-		mode, nSNPs, nSamples, cfg.Backend)
+	if !*asJSON {
+		fmt.Printf("# omegago %s: %d SNPs, %d samples, backend=%s\n",
+			mode, nSNPs, nSamples, cfg.Backend)
+	}
 	scanDone := tr.Begin("scan")
 	var rep *omegago.Report
 	if src != nil {
@@ -469,9 +473,26 @@ func main() {
 	}
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		// The canonical api wire form — the same marshaller omegad
+		// responds with, so `omegago -json` and an HTTP-submitted scan of
+		// the same input are byte-identical outside the timing block.
+		hash := ""
+		switch {
+		case ds != nil:
+			if h, herr := omegago.DatasetContentHash(ds); herr == nil {
+				hash = hex.EncodeToString(h[:])
+			}
+		case src != nil:
+			if bs, ok := src.(*omegago.BitmatSource); ok {
+				h := bs.ContentHash()
+				hash = hex.EncodeToString(h[:])
+			}
+		}
+		out, jerr := rep.APIReport("", hash).Encode()
+		if jerr != nil {
+			fatal(jerr)
+		}
+		if _, err := os.Stdout.Write(out); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -10,6 +9,7 @@ import (
 	"strings"
 
 	"omegago"
+	"omegago/api"
 	"omegago/internal/fpga"
 	"omegago/internal/gpu"
 	"omegago/internal/stats"
@@ -123,10 +123,13 @@ Flags:
 	p.SNPs, p.Samples, p.Grid = *snps, *samples, *grid
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(p); err != nil {
-			log.Print(err)
+		out, jerr := p.Encode()
+		if jerr != nil {
+			log.Print(jerr)
+			return exitFailure
+		}
+		if _, werr := os.Stdout.Write(out); werr != nil {
+			log.Print(werr)
 			return exitFailure
 		}
 		return exitOK
@@ -155,43 +158,16 @@ Flags:
 	return exitOK
 }
 
-// Plan is the capacity estimate `omegago plan` prints (and emits as
-// JSON with -json).
-type Plan struct {
-	Backend       string `json:"backend"`
-	ModelVersion  int    `json:"model_version"`
-	CalibrationID string `json:"calibration_id"`
-
-	SNPs, Samples, Grid int `json:"-"`
-
-	Replicates int `json:"replicates"`
-	Devices    int `json:"devices"`
-
-	// ReplicateSeconds is the simulator's modeled accelerator seconds
-	// of one replicate (LDSeconds + OmegaSeconds); on one device the
-	// makespan of one replicate reproduces it exactly.
-	ReplicateSeconds float64 `json:"replicate_seconds"`
-	LDSeconds        float64 `json:"ld_seconds"`
-	OmegaSeconds     float64 `json:"omega_seconds"`
-
-	// ReplicatesPerDevice is the deepest per-device queue of the
-	// worker-pool schedule; MakespanSeconds is that queue's run time.
-	ReplicatesPerDevice  int     `json:"replicates_per_device"`
-	MakespanSeconds      float64 `json:"makespan_seconds"`
-	AggregateOmegaPerSec float64 `json:"aggregate_omega_per_sec"`
-
-	TargetSeconds    float64 `json:"target_seconds,omitempty"`
-	DevicesForTarget int     `json:"devices_for_target,omitempty"`
-}
-
-// buildPlan extrapolates one scanned replicate to a fleet. Identical
+// buildPlan extrapolates one scanned replicate to a fleet, as an
+// api.Plan (the schema-versioned wire type `-json` prints). Identical
 // replicates on a worker pool of Z devices schedule as ceil(N/Z) whole
 // replicates on the deepest queue — the ScanBatch model with scan cost
 // replaced by modeled device seconds.
-func buildPlan(rep *omegago.Report, replicates, devices int) Plan {
+func buildPlan(rep *omegago.Report, replicates, devices int) api.Plan {
 	perRep := rep.LDSeconds + rep.OmegaSeconds
 	depth := (replicates + devices - 1) / devices
-	p := Plan{
+	p := api.Plan{
+		Schema:              api.SchemaVersion,
 		Backend:             rep.Backend.String(),
 		ModelVersion:        rep.ModelVersion,
 		CalibrationID:       rep.CalibrationID,

@@ -82,9 +82,9 @@ func TestDocsMarkdownLinksResolve(t *testing.T) {
 }
 
 // docCheckedPackages are the directories whose exported symbols must be
-// documented: the public API surface and the streaming/parsing layer
-// this repository documents most heavily.
-var docCheckedPackages = []string{".", "internal/seqio", "internal/omega"}
+// documented: the public API surface (library and wire types) and the
+// streaming/parsing layer this repository documents most heavily.
+var docCheckedPackages = []string{".", "api", "internal/seqio", "internal/omega"}
 
 // TestDocsExportedSymbolsDocumented parses each gated package and
 // reports exported declarations lacking a doc comment.

@@ -6,6 +6,7 @@ import (
 
 	"omegago/internal/devmodel"
 	"omegago/internal/exec"
+	"omegago/internal/omega"
 )
 
 // Sentinel errors of the public API. Scan, ScanContext and ScanBatch
@@ -25,6 +26,11 @@ var (
 	// than BackendCPU: the simulated accelerators' transfer models
 	// assume a resident alignment.
 	ErrStreamUnsupported = errors.New("omegago: streaming requires BackendCPU")
+	// ErrBadExecOption marks execution options a scan cannot run with:
+	// negative thread or worker counts, a Scheduler or OmegaKernel value
+	// outside the registered sets, a negative KernelNthr. Like
+	// ErrBadGrid it classifies as configuration (CLI exit 4, HTTP 400).
+	ErrBadExecOption = errors.New("omegago: invalid execution option")
 	// ErrBadCalibration marks a calibration table that cannot be used: a
 	// missing or unreadable file, malformed JSON, an unsupported schema
 	// version, or out-of-range factors (configuration exit class).
@@ -32,8 +38,14 @@ var (
 )
 
 // Validate reports the first configuration error, annotated with the
-// offending field and wrapping the matching sentinel (ErrBadGrid or
-// ErrUnknownBackend) for errors.Is dispatch. Scan, ScanContext and
+// offending field and wrapping the matching sentinel (ErrBadGrid,
+// ErrBadExecOption, ErrUnknownBackend or ErrBadCalibration) for
+// errors.Is dispatch. Every field of Config that can be invalid is
+// covered: grid geometry and chunking map to ErrBadGrid, execution
+// knobs (Threads, Sched, OmegaKernel, KernelNthr, BatchWorkers) to
+// ErrBadExecOption, the backend to ErrUnknownBackend, and calibration
+// tables to ErrBadCalibration — so the CLI and the omegad service
+// classify the same mistake identically. Scan, ScanContext and
 // ScanBatch each call it exactly once per invocation; callers
 // constructing a Config interactively can call it early for the same
 // diagnostics.
@@ -55,6 +67,21 @@ func (c Config) Validate() error {
 	}
 	if c.ChunkSNPs < 0 {
 		return fmt.Errorf("%w: ChunkSNPs %d < 0", ErrBadGrid, c.ChunkSNPs)
+	}
+	if c.Threads < 0 {
+		return fmt.Errorf("%w: Threads %d < 0", ErrBadExecOption, c.Threads)
+	}
+	if c.BatchWorkers < 0 {
+		return fmt.Errorf("%w: BatchWorkers %d < 0", ErrBadExecOption, c.BatchWorkers)
+	}
+	if c.KernelNthr < 0 {
+		return fmt.Errorf("%w: KernelNthr %d < 0", ErrBadExecOption, c.KernelNthr)
+	}
+	if !schedNames.Valid(c.Sched) {
+		return fmt.Errorf("%w: Sched %v", ErrBadExecOption, c.Sched)
+	}
+	if !omega.KindNames.Valid(c.OmegaKernel) {
+		return fmt.Errorf("%w: OmegaKernel %v", ErrBadExecOption, c.OmegaKernel)
 	}
 	if _, err := exec.Lookup(c.Backend.String()); err != nil {
 		return fmt.Errorf("%w: %v", ErrUnknownBackend, c.Backend)

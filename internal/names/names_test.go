@@ -1,0 +1,98 @@
+package names
+
+import (
+	"strings"
+	"testing"
+)
+
+type color int
+
+const (
+	red color = iota
+	green
+	blue
+)
+
+func newColors() *Registry[color] {
+	return New[color]("color", "Color", "red", "green", "blue").
+		Alias("", red).Alias("grn", green)
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := newColors()
+	for _, c := range []color{red, green, blue} {
+		got, err := r.Parse(r.String(c))
+		if err != nil || got != c {
+			t.Errorf("Parse(String(%d)) = %v, %v", int(c), got, err)
+		}
+		if !r.Valid(c) {
+			t.Errorf("Valid(%d) = false", int(c))
+		}
+	}
+}
+
+func TestAliasesParseButNeverPrint(t *testing.T) {
+	r := newColors()
+	for alias, want := range map[string]color{"": red, "grn": green} {
+		if got, err := r.Parse(alias); err != nil || got != want {
+			t.Errorf("Parse(%q) = %v, %v", alias, got, err)
+		}
+	}
+	for _, c := range []color{red, green, blue} {
+		switch r.String(c) {
+		case "", "grn":
+			t.Errorf("String(%d) printed an alias", int(c))
+		}
+	}
+}
+
+func TestParseErrorListsCanonicalNames(t *testing.T) {
+	r := newColors()
+	_, err := r.Parse("mauve")
+	if err == nil {
+		t.Fatal("Parse(mauve) succeeded")
+	}
+	for _, want := range []string{"color", `"mauve"`, "red, green, blue"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestStringFallbackAndValid(t *testing.T) {
+	r := newColors()
+	if got := r.String(color(9)); got != "Color(9)" {
+		t.Errorf("String(9) = %q, want Color(9)", got)
+	}
+	if r.Valid(color(9)) || r.Valid(color(-1)) {
+		t.Error("out-of-range values reported Valid")
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := newColors()
+	got := r.Names()
+	if strings.Join(got, ",") != "red,green,blue" {
+		t.Errorf("Names() = %v", got)
+	}
+	got[0] = "mutated"
+	if r.String(red) != "red" {
+		t.Error("Names() aliases internal state")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty registry", func() { New[color]("c", "C") })
+	mustPanic("duplicate canonical", func() { New[color]("c", "C", "x", "x") })
+	mustPanic("duplicate alias", func() { newColors().Alias("red", blue) })
+	mustPanic("alias to unregistered value", func() { newColors().Alias("hot", color(7)) })
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"omegago/internal/names"
 	"omegago/internal/seqio"
 )
 
@@ -41,30 +42,23 @@ const (
 	KernelBlocked
 )
 
-// String returns the registry name of the kind.
-func (k KernelKind) String() string {
-	switch k {
-	case KernelAuto:
-		return "auto"
-	case KernelScalar:
-		return "scalar"
-	case KernelBlocked:
-		return "blocked"
-	}
-	return fmt.Sprintf("KernelKind(%d)", int(k))
-}
+// KindNames is the name table of KernelKind: canonical spellings in
+// value order plus the "" alias for the auto default. String, Parse and
+// Valid all derive from it, and the API-symmetry tests iterate it.
+var KindNames = names.New[KernelKind]("kernel", "KernelKind",
+	"auto", "scalar", "blocked").Alias("", KernelAuto)
 
-// ParseKernelKind converts a registry name to its kind.
+// String returns the registry name of the kind.
+func (k KernelKind) String() string { return KindNames.String(k) }
+
+// ParseKernelKind converts a registry name to its kind ("" parses as
+// KernelAuto).
 func ParseKernelKind(name string) (KernelKind, error) {
-	switch name {
-	case "auto", "":
-		return KernelAuto, nil
-	case "scalar":
-		return KernelScalar, nil
-	case "blocked":
-		return KernelBlocked, nil
+	k, err := KindNames.Parse(name)
+	if err != nil {
+		return 0, fmt.Errorf("omega: %w", err)
 	}
-	return 0, fmt.Errorf("omega: unknown kernel %q (want %v)", name, KernelNames())
+	return k, nil
 }
 
 // DefaultNthr is the auto-dispatch workload threshold: regions with

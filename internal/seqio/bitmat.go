@@ -119,17 +119,18 @@ func bitmatLayout(snpCount, wordsPerRow int, hasMask bool) (rowsOff, maskOff, si
 	return rowsOff, maskOff, size
 }
 
-// WriteBitmat writes the alignment to w in bitmat format. The body is
-// generated twice — once through the SHA-256 content hash, once to w —
-// so no in-memory copy of the file is built.
-func WriteBitmat(w io.Writer, a *Alignment) error {
+// hashedBitmatHeader builds the encoded header block for a with the
+// content hash patched in — the shared front half of WriteBitmat and
+// ContentHash. The hash covers header[0:bitmatHashOffset] plus the
+// body bytes, generated through the hasher without buffering the file.
+func hashedBitmatHeader(a *Alignment) (hb []byte, hasMask bool, err error) {
 	if err := a.Validate(); err != nil {
-		return err
+		return nil, false, err
 	}
 	if a.NumSNPs() == 0 {
-		return fmt.Errorf("seqio: bitmat: alignment has no SNPs")
+		return nil, false, fmt.Errorf("seqio: bitmat: alignment has no SNPs")
 	}
-	hasMask := a.Matrix.HasMissing()
+	hasMask = a.Matrix.HasMissing()
 	hdr := bitmatHeader{
 		snpCount:    a.NumSNPs(),
 		sampleCount: a.Samples(),
@@ -141,14 +142,40 @@ func WriteBitmat(w io.Writer, a *Alignment) error {
 	}
 	hdr.rowsOffset, hdr.maskOffset, _ = bitmatLayout(hdr.snpCount, hdr.wordsPerRow, hasMask)
 
-	hb := hdr.encode()
+	hb = hdr.encode()
 	sum := sha256.New()
 	sum.Write(hb[:bitmatHashOffset])
 	if err := writeBitmatBody(sum, a, hasMask); err != nil {
-		return err
+		return nil, false, err
 	}
 	copy(hb[bitmatHashOffset:], sum.Sum(nil))
+	return hb, hasMask, nil
+}
 
+// ContentHash computes the bitmat content hash of the alignment — the
+// same SHA-256 WriteBitmat stamps into the header and BitmatSource
+// reads back — without writing anything. It is the canonical identity
+// of a dataset's bits: any input format (ms, FASTA, VCF, bitmat)
+// normalizes to the same hash once allele-compressed, which is what
+// the omegad result cache keys on.
+func ContentHash(a *Alignment) ([sha256.Size]byte, error) {
+	var out [sha256.Size]byte
+	hb, _, err := hashedBitmatHeader(a)
+	if err != nil {
+		return out, err
+	}
+	copy(out[:], hb[bitmatHashOffset:])
+	return out, nil
+}
+
+// WriteBitmat writes the alignment to w in bitmat format. The body is
+// generated twice — once through the SHA-256 content hash, once to w —
+// so no in-memory copy of the file is built.
+func WriteBitmat(w io.Writer, a *Alignment) error {
+	hb, hasMask, err := hashedBitmatHeader(a)
+	if err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(hb); err != nil {
 		return err

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"testing"
+
+	"omegago"
+	"omegago/api"
+)
+
+// TestCacheKeyParamsSensitivity: identical bits + identical params map
+// to the same key; every single-field parameter delta maps to a
+// different key.
+func TestCacheKeyParamsSensitivity(t *testing.T) {
+	ds := testDataset(t, 101)
+	hash, err := omegago.DatasetContentHash(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := api.ScanParams{GridSize: 32, MaxWindow: 20000}
+
+	if k1, k2 := cacheKey(hash, base), cacheKey(hash, base); k1 != k2 {
+		t.Fatalf("same bits + same params gave different keys: %s vs %s", k1, k2)
+	}
+
+	deltas := map[string]api.ScanParams{
+		"grid_size":         {GridSize: 33, MaxWindow: 20000},
+		"min_window":        {GridSize: 32, MaxWindow: 20000, MinWindow: 100},
+		"max_window":        {GridSize: 32, MaxWindow: 25000},
+		"max_snps_per_side": {GridSize: 32, MaxWindow: 20000, MaxSNPsPerSide: 5},
+		"backend":           {GridSize: 32, MaxWindow: 20000, Backend: "gpu-sim"},
+		"scheduler":         {GridSize: 32, MaxWindow: 20000, Scheduler: "sharded"},
+		"omega_kernel":      {GridSize: 32, MaxWindow: 20000, OmegaKernel: "blocked"},
+		"kernel_nthr":       {GridSize: 32, MaxWindow: 20000, KernelNthr: 9},
+		"threads":           {GridSize: 32, MaxWindow: 20000, Threads: 4},
+		"gemm_ld":           {GridSize: 32, MaxWindow: 20000, UseGEMMLD: true},
+		"chunk_snps":        {GridSize: 32, MaxWindow: 20000, ChunkSNPs: 64},
+	}
+	want := cacheKey(hash, base)
+	seen := map[string]string{want: "base"}
+	for field, p := range deltas {
+		got := cacheKey(hash, p)
+		if got == want {
+			t.Errorf("delta in %s did not change the cache key", field)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("deltas %s and %s collide", field, prev)
+		}
+		seen[got] = field
+	}
+}
+
+// TestCacheKeyNormalizedAliases: alias spellings of the same resolved
+// configuration ("gpu" vs "gpu-sim") coincide once normalized through
+// ConfigFromParams∘ParamsFromConfig — the form submit() keys on.
+func TestCacheKeyNormalizedAliases(t *testing.T) {
+	ds := testDataset(t, 103)
+	hash, err := omegago.DatasetContentHash(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalize := func(p api.ScanParams) api.ScanParams {
+		cfg, err := omegago.ConfigFromParams(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return omegago.ParamsFromConfig(cfg)
+	}
+	a := cacheKey(hash, normalize(api.ScanParams{Backend: "gpu"}))
+	b := cacheKey(hash, normalize(api.ScanParams{Backend: "gpu-sim"}))
+	if a != b {
+		t.Errorf("alias spellings produced different keys: %s vs %s", a, b)
+	}
+	c := cacheKey(hash, normalize(api.ScanParams{Backend: "fpga-sim"}))
+	if c == a {
+		t.Error("distinct backends produced the same key")
+	}
+}
+
+// TestCacheKeyFlippedBit: flipping a single allele bit changes the
+// dataset content hash and therefore the cache key.
+func TestCacheKeyFlippedBit(t *testing.T) {
+	ds1 := testDataset(t, 107)
+	ds2 := testDataset(t, 107) // same seed: identical bits
+	h1, err := omegago.DatasetContentHash(ds1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := omegago.DatasetContentHash(ds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("same-seed simulations hash differently; fixture is not deterministic")
+	}
+
+	row := ds2.Matrix.Row(0)
+	row.Set(0, !row.Get(0))
+	h2, err = omegago.DatasetContentHash(ds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatal("flipping one bit did not change the content hash")
+	}
+
+	p := api.ScanParams{GridSize: 16}
+	if cacheKey(h1, p) == cacheKey(h2, p) {
+		t.Error("flipped bit did not change the cache key")
+	}
+}
+
+// TestResultCacheLRUEviction: the cache holds at most max entries and
+// evicts least-recently-used first; max 0 disables storage entirely.
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	r := func(hash string) api.ScanReport {
+		return api.ScanReport{Schema: api.SchemaVersion, DatasetHash: hash}
+	}
+	c.put("a", r("a"))
+	c.put("b", r("b"))
+	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", r("c"))
+	if c.len() != 2 {
+		t.Fatalf("cache len %d, want 2", c.len())
+	}
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c should be present")
+	}
+
+	// Stored reports are label-free: the label is per-request echo.
+	c.put("d", api.ScanReport{Schema: api.SchemaVersion, Label: "mine"})
+	if got, _ := c.get("d"); got.Label != "" {
+		t.Errorf("cached report kept label %q", got.Label)
+	}
+
+	off := newResultCache(0)
+	off.put("x", r("x"))
+	if off.len() != 0 {
+		t.Error("disabled cache stored an entry")
+	}
+}

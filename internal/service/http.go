@@ -1,0 +1,331 @@
+package service
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"omegago"
+	"omegago/api"
+	"omegago/internal/seqio"
+)
+
+// TenantHeader names the request header carrying the quota-accounting
+// identity of a submission. Absent or empty means "anonymous".
+const TenantHeader = "X-Omegad-Tenant"
+
+// Handler returns the omegad HTTP API: the /v1 job endpoints plus
+// /healthz and /metrics. docs/API.md is the normative reference.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/scan", s.handleScan)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("GET /metrics", s.reg.Handler())
+	return mux
+}
+
+// writeError responds with the wire error envelope at its mapped
+// status.
+func writeError(w http.ResponseWriter, e *api.Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.HTTPStatus())
+	body, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return
+	}
+	w.Write(append(body, '\n'))
+}
+
+// writeCanonical responds with a canonical api encoding.
+func writeCanonical(w http.ResponseWriter, status int, body []byte, err error) {
+	if err != nil {
+		writeError(w, &api.Error{Code: api.CodeFailure, Message: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// tenantOf extracts and sanitizes the tenant identity so it is always
+// safe as a Prometheus label value (and bounded).
+func tenantOf(r *http.Request) string {
+	t := strings.TrimSpace(r.Header.Get(TenantHeader))
+	if t == "" {
+		return "anonymous"
+	}
+	var b strings.Builder
+	for _, c := range t {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.', c == ':', c == '/', c == '@':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+		if b.Len() >= 64 {
+			break
+		}
+	}
+	if b.Len() == 0 {
+		return "anonymous"
+	}
+	return b.String()
+}
+
+// handleScan is POST /v1/scan: decode, resolve, admit. Responds 202
+// with the job's initial status (a cache hit arrives already done).
+func (s *Service) handleScan(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, &api.Error{Code: api.CodeUsage, Message: fmt.Sprintf("reading request body: %v", err)})
+		return
+	}
+	req, err := api.DecodeScanRequest(body)
+	if err != nil {
+		writeError(w, &api.Error{Code: api.CodeUsage, Message: err.Error()})
+		return
+	}
+
+	cfg, err := omegago.ConfigFromParams(req.Params)
+	if err != nil {
+		writeError(w, omegago.APIError(err))
+		return
+	}
+	cfg.ChunkSNPs = 0 // resident scans only; chunking is a stream knob
+	if err := cfg.Validate(); err != nil {
+		writeError(w, omegago.APIError(err))
+		return
+	}
+
+	ds, hash, apiErr := s.resolveDataset(req.Dataset)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+
+	status, apiErr := s.submit(req, cfg, ds, hash, tenantOf(r))
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	b, err := status.Encode()
+	writeCanonical(w, http.StatusAccepted, b, err)
+}
+
+// resolveDataset loads the request's dataset reference and computes
+// its canonical content hash — every reference kind (upload, stored
+// hash, server path) normalizes to the same identity.
+func (s *Service) resolveDataset(ref api.DatasetRef) (*omegago.Dataset, [32]byte, *api.Error) {
+	var zero [32]byte
+	switch {
+	case ref.BitmatBase64 != "":
+		raw, err := base64.StdEncoding.DecodeString(ref.BitmatBase64)
+		if err != nil {
+			return nil, zero, &api.Error{Code: api.CodeUsage, Message: fmt.Sprintf("bitmat_base64: %v", err)}
+		}
+		ds, err := omegago.LoadBitmat(bytes.NewReader(raw))
+		if err != nil {
+			return nil, zero, &api.Error{Code: api.CodeInput, Message: err.Error()}
+		}
+		return s.storeDataset(ds)
+	case ref.ContentHash != "":
+		s.mu.Lock()
+		ds, ok := s.datasets[strings.ToLower(ref.ContentHash)]
+		s.mu.Unlock()
+		if !ok {
+			return nil, zero, &api.Error{Code: api.CodeNotFound, Message: fmt.Sprintf("no dataset with content hash %s", ref.ContentHash)}
+		}
+		var h [32]byte
+		raw, _ := hex.DecodeString(ref.ContentHash)
+		copy(h[:], raw)
+		return ds, h, nil
+	default:
+		if !s.cfg.AllowPaths {
+			return nil, zero, &api.Error{Code: api.CodeConfig, Message: "path dataset references are disabled (start omegad with -allow-paths)"}
+		}
+		ds, apiErr := loadPathDataset(ref)
+		if apiErr != nil {
+			return nil, zero, apiErr
+		}
+		return s.storeDataset(ds)
+	}
+}
+
+// storeDataset hashes and retains a resolved dataset so later requests
+// can name it by content hash alone.
+func (s *Service) storeDataset(ds *omegago.Dataset) (*omegago.Dataset, [32]byte, *api.Error) {
+	hash, err := omegago.DatasetContentHash(ds)
+	if err != nil {
+		return nil, hash, &api.Error{Code: api.CodeInput, Message: err.Error()}
+	}
+	s.mu.Lock()
+	s.datasets[hex.EncodeToString(hash[:])] = ds
+	s.mu.Unlock()
+	return ds, hash, nil
+}
+
+// loadPathDataset reads a server-local input file in the named format.
+func loadPathDataset(ref api.DatasetRef) (*omegago.Dataset, *api.Error) {
+	f, closer, err := seqio.OpenMaybeGzip(ref.Path)
+	if err != nil {
+		return nil, omegago.APIError(err)
+	}
+	defer closer()
+	length := ref.RegionLength
+	if length <= 0 {
+		length = 1e6
+	}
+	var ds *omegago.Dataset
+	switch strings.ToLower(ref.Format) {
+	case "ms":
+		ds, err = omegago.LoadMS(f, length)
+	case "fasta", "fa":
+		ds, err = omegago.LoadFASTA(f)
+	case "vcf":
+		ds, err = omegago.LoadVCF(f)
+	case "", "bitmat":
+		ds, err = omegago.LoadBitmat(f)
+	default:
+		return nil, &api.Error{Code: api.CodeUsage, Message: fmt.Sprintf("unknown dataset format %q (want ms, fasta, vcf, bitmat)", ref.Format)}
+	}
+	if err != nil {
+		e := omegago.APIError(err)
+		if e.Code == api.CodeFailure {
+			e.Code = api.CodeInput
+		}
+		return nil, e
+	}
+	return ds, nil
+}
+
+// handleJobs is GET /v1/jobs: every job's status, in submission order.
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	statuses := make([]api.JobStatus, len(jobs))
+	for i, j := range jobs {
+		statuses[i] = j.snapshot()
+	}
+	body, err := json.MarshalIndent(statuses, "", "  ")
+	if err != nil {
+		writeError(w, &api.Error{Code: api.CodeFailure, Message: err.Error()})
+		return
+	}
+	writeCanonical(w, http.StatusOK, append(body, '\n'), nil)
+}
+
+// handleJob is GET /v1/jobs/{id}.
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, jobNotFound(r.PathValue("id")))
+		return
+	}
+	b, err := j.snapshot().Encode()
+	writeCanonical(w, http.StatusOK, b, err)
+}
+
+// handleResult is GET /v1/jobs/{id}/result: the canonical ScanReport
+// of a done job. A failed job answers with its recorded error
+// envelope; a job still queued or running answers not_found with the
+// current state named, so pollers can retry on 404.
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, jobNotFound(r.PathValue("id")))
+		return
+	}
+	report, ok := j.report()
+	if !ok {
+		st := j.snapshot()
+		if st.Error != nil {
+			writeError(w, st.Error)
+			return
+		}
+		writeError(w, &api.Error{Code: api.CodeNotFound, Message: fmt.Sprintf("job %s has no result yet (state %s)", j.id, st.State)})
+		return
+	}
+	b, err := report.Encode()
+	writeCanonical(w, http.StatusOK, b, err)
+}
+
+// handleCancel is DELETE /v1/jobs/{id}; idempotent.
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, jobNotFound(r.PathValue("id")))
+		return
+	}
+	b, err := s.cancelJob(j).Encode()
+	writeCanonical(w, http.StatusOK, b, err)
+}
+
+// handleEvents is GET /v1/jobs/{id}/events: a server-sent-event stream
+// of JobStatus snapshots — one event per state or progress change,
+// coalesced — ending with the terminal status.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, jobNotFound(r.PathValue("id")))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &api.Error{Code: api.CodeFailure, Message: "response writer does not support streaming"})
+		return
+	}
+	ch := j.subscribe()
+	defer j.unsubscribe(ch)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		st := j.snapshot()
+		data, err := json.Marshal(st)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: status\ndata: %s\n\n", data)
+		fl.Flush()
+		if st.State != api.StateQueued && st.State != api.StateRunning {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		case <-ch:
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+func jobNotFound(id string) *api.Error {
+	return &api.Error{Code: api.CodeNotFound, Message: fmt.Sprintf("no job %q", id)}
+}

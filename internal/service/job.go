@@ -1,0 +1,220 @@
+package service
+
+import (
+	"context"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"omegago"
+	"omegago/api"
+	"omegago/internal/obs"
+)
+
+// job is one admitted scan: the request, its resolved execution state,
+// and the wire status served for it. All mutable fields are guarded by
+// mu; subscribers get a coalesced nudge per state or progress change.
+type job struct {
+	id       string
+	req      api.ScanRequest
+	cfg      omegago.Config
+	ds       *omegago.Dataset
+	hash     [32]byte
+	cacheKey string
+
+	mu       sync.Mutex
+	status   api.JobStatus
+	result   *api.ScanReport
+	progress *api.ProgressInfo
+	cancel   context.CancelFunc
+	canceled bool // explicit DELETE, as opposed to a deadline expiry
+	subs     map[chan struct{}]struct{}
+
+	done chan struct{} // closed when the job reaches a terminal state
+}
+
+func newJob(id string, req api.ScanRequest, cfg omegago.Config, ds *omegago.Dataset, hash [32]byte, key, tenant, priority string, now time.Time) *job {
+	return &job{
+		id:       id,
+		req:      req,
+		cfg:      cfg,
+		ds:       ds,
+		hash:     hash,
+		cacheKey: key,
+		subs:     map[chan struct{}]struct{}{},
+		done:     make(chan struct{}),
+		status: api.JobStatus{
+			Schema:      api.SchemaVersion,
+			ID:          id,
+			State:       api.StateQueued,
+			Priority:    priority,
+			Tenant:      tenant,
+			Label:       req.Label,
+			DatasetHash: hex.EncodeToString(hash[:]),
+			SubmittedAt: timestamp(now),
+		},
+	}
+}
+
+func (j *job) tenant() string  { return j.status.Tenant }
+func (j *job) hashHex() string { return j.status.DatasetHash }
+
+// snapshot returns a copy of the wire status with the latest progress.
+func (j *job) snapshot() api.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.status
+	if j.progress != nil && st.State == api.StateRunning {
+		p := *j.progress
+		st.Progress = &p
+	}
+	return st
+}
+
+// terminal reports whether the job has finished, failed or been
+// canceled.
+func (j *job) terminal() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// toRunning transitions queued → running; returns false if the job was
+// canceled while queued (the worker then skips it).
+func (j *job) toRunning(now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.State != api.StateQueued {
+		return false
+	}
+	j.status.State = api.StateRunning
+	j.status.StartedAt = timestamp(now)
+	j.notifyLocked()
+	return true
+}
+
+// setCancel installs the running scan's context cancel.
+func (j *job) setCancel(c context.CancelFunc) {
+	j.mu.Lock()
+	// A DELETE that raced ahead of the worker wins: cancel immediately.
+	if j.canceled {
+		j.mu.Unlock()
+		c()
+		return
+	}
+	j.cancel = c
+	j.mu.Unlock()
+}
+
+// cancelQueued handles DELETE: a queued job goes terminal right here
+// (return true: the caller releases its quota slot); a running job has
+// its context canceled and the worker finishes it; terminal jobs are
+// untouched.
+func (j *job) cancelQueued(now time.Time) bool {
+	j.mu.Lock()
+	switch j.status.State {
+	case api.StateQueued:
+		j.canceled = true
+		j.status.State = api.StateCanceled
+		j.status.FinishedAt = timestamp(now)
+		close(j.done)
+		j.notifyLocked()
+		j.mu.Unlock()
+		return true
+	case api.StateRunning:
+		j.canceled = true
+		c := j.cancel
+		j.mu.Unlock()
+		if c != nil {
+			c()
+		}
+		return false
+	default:
+		j.mu.Unlock()
+		return false
+	}
+}
+
+func (j *job) canceledExplicitly() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
+}
+
+// finish moves a running job to its terminal state.
+func (j *job) finish(state string, result *api.ScanReport, apiErr *api.Error, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.State != api.StateRunning {
+		return
+	}
+	j.status.State = state
+	j.status.FinishedAt = timestamp(now)
+	j.status.Error = apiErr
+	j.result = result
+	close(j.done)
+	j.notifyLocked()
+}
+
+// report returns the finished report, if the job is done.
+func (j *job) report() (api.ScanReport, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		return api.ScanReport{}, false
+	}
+	return *j.result, true
+}
+
+// subscribe registers a coalescing notification channel: at least one
+// nudge arrives after every state or progress change (multiple changes
+// may coalesce into one).
+func (j *job) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch
+}
+
+func (j *job) unsubscribe(ch chan struct{}) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// notifyLocked nudges every subscriber without blocking; j.mu held.
+func (j *job) notifyLocked() {
+	for ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// jobObserver adapts the scan's live obs stream onto the job: the
+// latest Progress snapshot becomes the wire ProgressInfo and every
+// update nudges the SSE subscribers.
+type jobObserver struct{ j *job }
+
+func (o *jobObserver) OnProgress(p obs.Progress) {
+	info := &api.ProgressInfo{
+		GridDone:       p.GridDone,
+		GridTotal:      p.GridTotal,
+		OmegaScores:    p.OmegaScores,
+		R2Computed:     p.R2Computed,
+		ElapsedSeconds: p.Elapsed.Seconds(),
+		OmegaPerSec:    p.OmegaPerSec,
+		ETASeconds:     p.ETA.Seconds(),
+	}
+	o.j.mu.Lock()
+	o.j.progress = info
+	o.j.notifyLocked()
+	o.j.mu.Unlock()
+}
+
+func (o *jobObserver) OnPhase(obs.Phase) {}

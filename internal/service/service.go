@@ -1,0 +1,356 @@
+// Package service implements omegad: the long-lived scan service the
+// cmd/omegad binary serves. It owns the job machinery behind the
+// versioned HTTP API of package api — a bounded admission queue, a
+// priority-aware worker pool over the same ScanContext path the CLI
+// uses, a content-addressed result cache keyed on (dataset content
+// hash, resolved parameters), per-tenant quota accounting, and live
+// job progress via the obs observer layer. docs/API.md is the
+// normative endpoint reference; ARCHITECTURE.md §2.7 the data flow.
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"omegago"
+	"omegago/api"
+	"omegago/internal/obs"
+)
+
+// Config configures a Service. The zero value serves with the
+// defaults noted per field.
+type Config struct {
+	// Workers is the scan worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the jobs admitted but not yet running; a full
+	// queue rejects submissions with HTTP 429 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the content-addressed result cache
+	// (default 128; < 0 disables caching).
+	CacheEntries int
+	// TenantJobs bounds one tenant's queued+running jobs
+	// (0 = unlimited).
+	TenantJobs int
+	// DefaultDeadline bounds a job's run time when the request names no
+	// deadline_seconds (0 = unlimited).
+	DefaultDeadline time.Duration
+	// MaxBodyBytes bounds a request body, uploads included
+	// (default 64 MiB).
+	MaxBodyBytes int64
+	// AllowPaths permits dataset references by server-local path.
+	// Off by default: a path reference reads the server's filesystem,
+	// so the operator must opt in (omegad -allow-paths).
+	AllowPaths bool
+	// Registry receives the service and scan metrics (nil = a fresh
+	// registry, exposed at /metrics either way).
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// queue indices, in drain-preference order.
+const (
+	qHigh = iota
+	qNormal
+	qLow
+	numQueues
+)
+
+func queueIndex(priority string) int {
+	switch priority {
+	case api.PriorityHigh:
+		return qHigh
+	case api.PriorityLow:
+		return qLow
+	default:
+		return qNormal
+	}
+}
+
+// Service is one omegad instance: jobs, queues, workers, cache, and
+// the HTTP handler over them. Create with New, serve Handler, stop
+// with Close.
+type Service struct {
+	cfg Config
+	reg *obs.Registry
+	met *obs.Metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // job IDs in submission order, for listing
+	nextID   int
+	queued   int // admitted, not yet picked by a worker
+	tenants  map[string]int
+	datasets map[string]*omegago.Dataset // keyed lowercase-hex content hash
+
+	queues [numQueues]chan *job
+	cache  *resultCache
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// scanFunc runs one scan; tests interpose deterministic stand-ins
+	// (slow scans for queue-full, failing scans for error mapping).
+	scanFunc func(ctx context.Context, ds *omegago.Dataset, cfg omegago.Config) (*omegago.Report, error)
+	now      func() time.Time
+
+	mSubmitted  *obs.Counter
+	mCacheHits  *obs.Counter
+	mCacheMiss  *obs.Counter
+	mQueueDepth *obs.Gauge
+	mRunning    *obs.Gauge
+}
+
+// New builds a Service and starts its worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		met:      obs.NewMetrics(cfg.Registry),
+		jobs:     map[string]*job{},
+		tenants:  map[string]int{},
+		datasets: map[string]*omegago.Dataset{},
+		cache:    newResultCache(cfg.CacheEntries),
+		ctx:      ctx,
+		cancel:   cancel,
+		scanFunc: omegago.ScanContext,
+		now:      time.Now,
+
+		mSubmitted:  cfg.Registry.Counter("omegad_jobs_submitted_total", "Jobs accepted for execution (cache hits included)."),
+		mCacheHits:  cfg.Registry.Counter("omegago_cache_hits_total", "Scan results served from the content-addressed cache."),
+		mCacheMiss:  cfg.Registry.Counter("omegago_cache_misses_total", "Scan submissions that required a fresh scan."),
+		mQueueDepth: cfg.Registry.Gauge("omegad_queue_depth", "Jobs admitted and waiting for a worker."),
+		mRunning:    cfg.Registry.Gauge("omegad_jobs_running", "Jobs currently scanning."),
+	}
+	for i := range s.queues {
+		// Buffered to QueueDepth so enqueue never blocks: admission
+		// control (queued < QueueDepth, under mu) is the real bound and
+		// counts across all three priorities.
+		s.queues[i] = make(chan *job, cfg.QueueDepth)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry returns the metrics registry the service reports into (the
+// one /metrics serves).
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// Close stops the worker pool. Queued jobs never start; running scans
+// are canceled through their contexts. Safe to call once.
+func (s *Service) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// worker drains the priority queues: high before normal before low,
+// re-checking the higher queues between jobs so a burst of low-priority
+// work cannot starve a later high-priority submission.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		var j *job
+		select {
+		case <-s.ctx.Done():
+			return
+		case j = <-s.queues[qHigh]:
+		default:
+			select {
+			case <-s.ctx.Done():
+				return
+			case j = <-s.queues[qHigh]:
+			case j = <-s.queues[qNormal]:
+			default:
+				select {
+				case <-s.ctx.Done():
+					return
+				case j = <-s.queues[qHigh]:
+				case j = <-s.queues[qNormal]:
+				case j = <-s.queues[qLow]:
+				}
+			}
+		}
+		s.mu.Lock()
+		s.queued--
+		s.mQueueDepth.Set(float64(s.queued))
+		s.mu.Unlock()
+		s.run(j)
+	}
+}
+
+// run executes one dequeued job to a terminal state.
+func (s *Service) run(j *job) {
+	if !j.toRunning(s.now()) {
+		return // canceled while queued
+	}
+	s.mRunning.Add(1)
+	defer s.mRunning.Add(-1)
+
+	ctx := s.ctx
+	deadline := s.cfg.DefaultDeadline
+	if j.req.DeadlineSeconds > 0 {
+		deadline = time.Duration(j.req.DeadlineSeconds * float64(time.Second))
+	}
+	var cancel context.CancelFunc
+	if deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.setCancel(cancel)
+	defer cancel()
+
+	cfg := j.cfg
+	cfg.Observer = &jobObserver{j: j}
+	cfg.Metrics = s.met
+	rep, err := s.scanFunc(ctx, j.ds, cfg)
+	now := s.now()
+	if err != nil {
+		apiErr := omegago.APIError(err)
+		if j.canceledExplicitly() {
+			j.finish(api.StateCanceled, nil, apiErr, now)
+		} else {
+			j.finish(api.StateFailed, nil, apiErr, now)
+		}
+		s.release(j)
+		return
+	}
+	report := rep.APIReport("", j.hashHex())
+	s.cache.put(j.cacheKey, report)
+	report.Label = j.req.Label
+	j.finish(api.StateDone, &report, nil, now)
+	s.release(j)
+}
+
+// release returns the job's tenant quota slot.
+func (s *Service) release(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.tenants[j.tenant()]; n > 1 {
+		s.tenants[j.tenant()] = n - 1
+	} else {
+		delete(s.tenants, j.tenant())
+	}
+}
+
+// submit admits a fully-resolved job: quota, cache, queue — in that
+// order, all under one lock so concurrent submissions cannot
+// over-admit. Returns the job's initial status, or an api error.
+func (s *Service) submit(req api.ScanRequest, cfg omegago.Config, ds *omegago.Dataset, hash [32]byte, tenant string) (api.JobStatus, *api.Error) {
+	key := cacheKey(hash, omegago.ParamsFromConfig(cfg))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if s.cfg.TenantJobs > 0 && s.tenants[tenant] >= s.cfg.TenantJobs {
+		return api.JobStatus{}, &api.Error{
+			Code:    api.CodeCapacity,
+			Message: fmt.Sprintf("tenant %q already has %d active jobs (limit %d)", tenant, s.tenants[tenant], s.cfg.TenantJobs),
+		}
+	}
+
+	now := s.now()
+	if report, ok := s.cache.get(key); ok {
+		// Cache hit: the job is born terminal, never touches the queue.
+		s.mCacheHits.Inc()
+		s.mSubmitted.Inc()
+		s.tenantCounter(tenant).Inc()
+		report.Label = req.Label
+		j := s.newJobLocked(req, cfg, ds, hash, key, tenant, now)
+		j.status.State = api.StateDone
+		j.status.Cached = true
+		j.status.FinishedAt = timestamp(now)
+		j.result = &report
+		close(j.done)
+		return j.snapshot(), nil
+	}
+
+	if s.queued >= s.cfg.QueueDepth {
+		return api.JobStatus{}, &api.Error{
+			Code:    api.CodeCapacity,
+			Message: fmt.Sprintf("job queue full (%d queued, depth %d)", s.queued, s.cfg.QueueDepth),
+		}
+	}
+
+	s.mCacheMiss.Inc()
+	s.mSubmitted.Inc()
+	s.tenantCounter(tenant).Inc()
+	s.tenants[tenant]++
+	j := s.newJobLocked(req, cfg, ds, hash, key, tenant, now)
+	s.queued++
+	s.mQueueDepth.Set(float64(s.queued))
+	s.queues[queueIndex(j.status.Priority)] <- j
+	return j.snapshot(), nil
+}
+
+// newJobLocked allocates and registers a job; s.mu must be held.
+func (s *Service) newJobLocked(req api.ScanRequest, cfg omegago.Config, ds *omegago.Dataset, hash [32]byte, key string, tenant string, now time.Time) *job {
+	s.nextID++
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	priority := req.Priority
+	if priority == "" {
+		priority = api.PriorityNormal
+	}
+	j := newJob(id, req, cfg, ds, hash, key, tenant, priority, now)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	return j
+}
+
+// lookup returns the job by ID.
+func (s *Service) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// tenantCounter returns the per-tenant submission counter, a labeled
+// series on the service registry.
+func (s *Service) tenantCounter(tenant string) *obs.Counter {
+	return s.reg.Counter(
+		fmt.Sprintf("omegad_tenant_jobs_total{tenant=%q}", tenant),
+		"Jobs submitted per tenant.")
+}
+
+// cancelJob cancels a job in any state; terminal jobs are left as-is
+// (idempotent). Returns the resulting status.
+func (s *Service) cancelJob(j *job) api.JobStatus {
+	if j.cancelQueued(s.now()) {
+		// Canceled before a worker picked it up: give back the quota
+		// slot now; the worker will skip it on dequeue.
+		s.release(j)
+	}
+	return j.snapshot()
+}
+
+// timestamp renders the wire timestamp form (RFC 3339, UTC).
+func timestamp(t time.Time) string {
+	return t.UTC().Format(time.RFC3339Nano)
+}

@@ -37,6 +37,7 @@ import (
 	"omegago/internal/fpga"
 	"omegago/internal/gpu"
 	"omegago/internal/mssim"
+	"omegago/internal/names"
 	"omegago/internal/obs"
 	"omegago/internal/omega"
 	"omegago/internal/seqio"
@@ -74,35 +75,25 @@ const (
 	SchedSharded
 )
 
+// schedNames is the Scheduler name table; String, ParseScheduler and
+// Validate all derive from it so the CLI, the api wire package and the
+// omegad service cannot drift on spellings.
+var schedNames = names.New[Scheduler]("scheduler", "Scheduler",
+	"auto", "snapshot", "sharded")
+
 // String implements fmt.Stringer.
-func (s Scheduler) String() string {
-	switch s {
-	case SchedAuto:
-		return "auto"
-	case SchedSnapshot:
-		return "snapshot"
-	case SchedSharded:
-		return "sharded"
-	default:
-		return fmt.Sprintf("Scheduler(%d)", int(s))
-	}
-}
+func (s Scheduler) String() string { return schedNames.String(s) }
 
 // ParseScheduler resolves a scheduler name as printed by
 // Scheduler.String ("auto", "snapshot", "sharded"). It is the inverse
 // of String over every defined scheduler; the CLI's -sched flag parses
 // through it.
 func ParseScheduler(name string) (Scheduler, error) {
-	switch name {
-	case "auto":
-		return SchedAuto, nil
-	case "snapshot":
-		return SchedSnapshot, nil
-	case "sharded":
-		return SchedSharded, nil
-	default:
-		return SchedAuto, fmt.Errorf("omegago: unknown scheduler %q (want auto, snapshot, or sharded)", name)
+	s, err := schedNames.Parse(name)
+	if err != nil {
+		return SchedAuto, fmt.Errorf("omegago: %w", err)
 	}
+	return s, nil
 }
 
 // OmegaKernel selects the CPU ω-kernel implementation of a scan. All
@@ -156,36 +147,28 @@ const (
 	BackendFPGA
 )
 
+// backendNames is the Backend name table: the canonical names the
+// execution registry is keyed on, plus the bare accelerator aliases
+// "gpu" and "fpga" for parsing convenience.
+var backendNames = names.New[Backend]("backend", "Backend",
+	"cpu", "gpu-sim", "fpga-sim").
+	Alias("gpu", BackendGPU).Alias("fpga", BackendFPGA)
+
 // String implements fmt.Stringer.
-func (b Backend) String() string {
-	switch b {
-	case BackendCPU:
-		return "cpu"
-	case BackendGPU:
-		return "gpu-sim"
-	case BackendFPGA:
-		return "fpga-sim"
-	default:
-		return fmt.Sprintf("Backend(%d)", int(b))
-	}
-}
+func (b Backend) String() string { return backendNames.String(b) }
 
 // ParseBackend resolves a backend name to the Backend enum. It accepts
 // exactly the registry names Backend.String prints ("cpu", "gpu-sim",
 // "fpga-sim") plus the bare accelerator aliases "gpu" and "fpga", so
 // the CLI and config files share one parser with the execution-layer
-// registry rather than each keeping a switch of its own.
+// registry rather than each keeping a switch of its own. Unknown names
+// wrap ErrUnknownBackend.
 func ParseBackend(name string) (Backend, error) {
-	switch name {
-	case "cpu":
-		return BackendCPU, nil
-	case "gpu", "gpu-sim":
-		return BackendGPU, nil
-	case "fpga", "fpga-sim":
-		return BackendFPGA, nil
-	default:
-		return BackendCPU, fmt.Errorf("%w: %q (want cpu, gpu-sim, or fpga-sim)", ErrUnknownBackend, name)
+	b, err := backendNames.Parse(name)
+	if err != nil {
+		return BackendCPU, fmt.Errorf("%w: %v", ErrUnknownBackend, err)
 	}
+	return b, nil
 }
 
 // Config configures a sweep scan.
@@ -210,6 +193,10 @@ type Config struct {
 	// per-region scalar/blocked dispatch on workload size). Ignored by
 	// the accelerator backends, which always run the packed-buffer path.
 	OmegaKernel OmegaKernel
+	// KernelNthr overrides the OmegaKernelAuto dispatch threshold in
+	// border combinations per region (default omega.DefaultNthr; the
+	// Equation 4 Nthr analogue). Ignored by the explicit kernels.
+	KernelNthr int
 	// Backend selects the engine (default BackendCPU).
 	Backend Backend
 	// Observer, when non-nil, receives live Progress snapshots (one per
@@ -338,6 +325,7 @@ func (c Config) execOptions(mt *obs.Meter) exec.Options {
 		Sched:       exec.Scheduler(c.Sched),
 		UseGEMMLD:   c.UseGEMMLD,
 		OmegaKernel: c.OmegaKernel,
+		OmegaNthr:   c.KernelNthr,
 		Meter:       mt,
 		GPUDevice:   c.GPUDevice,
 		GPUKernel:   c.GPUKernel,
@@ -505,14 +493,17 @@ func ScanSFS(ds *Dataset, gridSize int, maxWindowBP float64) ([]SFSWindow, error
 }
 
 // WriteReport emits scan results in the OmegaPlus-style tab-separated
-// report layout.
+// report layout. The rows are derived from the wire form (APIReport),
+// so the tab report and the JSON report are two renderings of one
+// marshalled result, never two marshalled results.
 func (r *Report) WriteReport(w io.Writer, label string) error {
-	rows := make([]seqio.ReportRow, len(r.Results))
-	for i, res := range r.Results {
+	rep := r.APIReport(label, "")
+	rows := make([]seqio.ReportRow, len(rep.Results))
+	for i, res := range rep.Results {
 		rows[i] = seqio.ReportRow{
-			Position: res.Center, Omega: res.MaxOmega,
-			LeftPos: res.LeftPos, RightPos: res.RightPos, Valid: res.Valid,
+			Position: res.Position, Omega: res.Omega,
+			LeftPos: res.WinLeft, RightPos: res.WinRight, Valid: res.Valid,
 		}
 	}
-	return seqio.WriteReport(w, label, rows)
+	return seqio.WriteReport(w, rep.Label, rows)
 }
