@@ -73,6 +73,10 @@ func APIError(err error) *api.Error {
 	// configuration that cannot be used is a configuration error.
 	case errors.Is(err, ErrBadCalibration):
 		code = api.CodeConfig
+	// Likewise a scenario spec: unusable-for-any-reason (including a
+	// missing file) is a configuration error, not an input error.
+	case errors.Is(err, ErrBadScenarioSpec):
+		code = api.CodeConfig
 	case errors.Is(err, ErrBadGrid) || errors.Is(err, ErrUnknownBackend) ||
 		errors.Is(err, ErrBadExecOption) || errors.Is(err, ErrStreamUnsupported):
 		code = api.CodeConfig

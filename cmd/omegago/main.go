@@ -55,10 +55,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("omegago: ")
 
-	// Subcommands dispatch before flag.Parse: `omegago plan` owns its
-	// own flag set (see plan.go).
-	if len(os.Args) > 1 && os.Args[1] == "plan" {
-		os.Exit(runPlan(os.Args[2:]))
+	// Subcommands dispatch before flag.Parse: `omegago plan` and
+	// `omegago scenario` own their flag sets (plan.go, scenario.go).
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "plan":
+			os.Exit(runPlan(os.Args[2:]))
+		case "scenario":
+			os.Exit(runScenario(os.Args[2:]))
+		}
 	}
 
 	var (

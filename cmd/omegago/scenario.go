@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"omegago"
+)
+
+// runScenario implements `omegago scenario`: expand a declarative
+// scenario spec into its deterministic cell grid, run every cell's
+// neutral/sweep replicates through the ScanBatch pipeline, and emit the
+// canonical result table and/or a rendered markdown report. The table
+// bytes are a pure function of the spec, which is what CI's
+// scenario-smoke job byte-diffs against a committed golden.
+func runScenario(args []string) int {
+	fs := flag.NewFlagSet("omegago scenario", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `Usage: omegago scenario -spec study.json [flags]
+
+Run a declarative scenario study: a pinned-seed neutral-vs-sweep power
+comparison of ω against SFS and haplotype statistics over a parameter
+grid (see docs/FORMATS.md for the spec schema, docs/TUTORIAL.md §11 for
+a walkthrough).
+
+Examples:
+  omegago scenario -spec study.json                      # report to stdout
+  omegago scenario -spec study.json -expand              # show the grid, don't run
+  omegago scenario -spec study.json -out table.json -report report.md
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
+	var (
+		specPath     = fs.String("spec", "", "scenario spec file (required; strict JSON, see docs/FORMATS.md)")
+		outPath      = fs.String("out", "", "write the canonical result table (JSON) here")
+		reportPath   = fs.String("report", "", "write the rendered markdown report here")
+		expand       = fs.Bool("expand", false, "print the expanded cell grid and exit without running")
+		cellWorkers  = fs.Int("cell-workers", 1, "concurrently-executing grid cells")
+		batchWorkers = fs.Int("batch-workers", 0, "ScanBatch workers per arm (0 = GOMAXPROCS)")
+		backend      = fs.String("backend", "cpu", "ω scan backend: cpu, gpu-sim, fpga-sim")
+		timeout      = fs.Duration("timeout", 0, "abort the whole study after this duration (0 = none)")
+		progress     = fs.Bool("progress", false, "render a live cells-done line on stderr")
+		metricsAddr  = fs.String("metrics-addr", "", "serve Prometheus /metrics, /debug/vars and /debug/pprof on this address")
+		quiet        = fs.Bool("quiet", false, "suppress the completion summary on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *specPath == "" {
+		log.Printf("scenario: -spec is required")
+		fs.Usage()
+		return exitUsage
+	}
+
+	spec, err := omegago.LoadScenarioSpec(*specPath)
+	if err != nil {
+		log.Print(err)
+		return classify(err)
+	}
+
+	if *expand {
+		cells, eerr := spec.Expand()
+		if eerr != nil {
+			log.Print(eerr)
+			return classify(eerr)
+		}
+		fmt.Printf("# %s: %d cells × %d replicates per arm (seed %d)\n",
+			spec.Name, len(cells), spec.Replicates, spec.Seed)
+		for _, c := range cells {
+			fmt.Printf("%s seed=%d\n", c.Label(), c.Seed)
+		}
+		return exitOK
+	}
+
+	opt := omegago.ScenarioOptions{
+		CellWorkers:  *cellWorkers,
+		BatchWorkers: *batchWorkers,
+	}
+	opt.Backend, err = omegago.ParseBackend(strings.ToLower(*backend))
+	if err != nil {
+		log.Print(err)
+		return exitUsage
+	}
+	if *metricsAddr != "" {
+		reg := omegago.NewRegistry()
+		opt.Metrics = omegago.NewMetrics(reg)
+		addr, merr := serveMetrics(*metricsAddr, reg)
+		if merr != nil {
+			log.Print(merr)
+			return exitFailure
+		}
+		log.Printf("scenario: serving metrics on http://%s/metrics", addr)
+	}
+	if *progress {
+		opt.OnCell = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\romegago scenario: cell %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	t0 := time.Now()
+	table, err := omegago.RunScenario(ctx, spec, opt)
+	if err != nil {
+		log.Print(err)
+		return classify(err)
+	}
+
+	if *outPath != "" {
+		if werr := table.WriteFile(*outPath); werr != nil {
+			log.Print(werr)
+			return exitFailure
+		}
+	}
+	md := omegago.RenderScenarioMarkdown(*table)
+	if *reportPath != "" {
+		if werr := os.WriteFile(*reportPath, []byte(md), 0o644); werr != nil {
+			log.Print(werr)
+			return exitFailure
+		}
+	}
+	if *outPath == "" && *reportPath == "" {
+		fmt.Print(md)
+	}
+	if !*quiet {
+		failed := 0
+		for _, c := range table.Cells {
+			if c.Error != "" {
+				failed++
+			}
+		}
+		log.Printf("scenario %q: %d cells (%d failed), %d replicates per arm, %.1fs",
+			table.Name, len(table.Cells), failed, table.Replicates, time.Since(t0).Seconds())
+	}
+	return exitOK
+}

@@ -16,11 +16,19 @@
 package ihs
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"omegago/internal/seqio"
 )
+
+// ErrMissingData reports an alignment with masked genotypes: EHH is an
+// exact haplotype-identity statistic, so iHS has no principled way to
+// score partially-observed haplotypes. Callers that sweep missing-data
+// axes (the scenario engine) detect this with errors.Is and record the
+// statistic as unavailable rather than failing the whole study.
+var ErrMissingData = errors.New("ihs: missing data is not supported (filter or impute first)")
 
 // Params configures an iHS scan.
 type Params struct {
@@ -143,7 +151,7 @@ func Compute(a *seqio.Alignment, p Params) ([]Score, error) {
 		return nil, fmt.Errorf("ihs: empty alignment")
 	}
 	if a.Matrix.HasMissing() {
-		return nil, fmt.Errorf("ihs: missing data is not supported (filter or impute first)")
+		return nil, ErrMissingData
 	}
 	p = p.WithDefaults()
 	n := a.Samples()

@@ -1,6 +1,7 @@
 package ihs
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -131,8 +132,8 @@ func TestComputeErrors(t *testing.T) {
 	m.AppendRow(bitvec.FromBools([]bool{true, false, true, false}),
 		bitvec.FromBools([]bool{true, true, true, false}))
 	masked := &seqio.Alignment{Positions: []float64{1}, Length: 2, Matrix: m}
-	if _, err := Compute(masked, Params{}); err == nil {
-		t.Error("missing data should error")
+	if _, err := Compute(masked, Params{}); !errors.Is(err, ErrMissingData) {
+		t.Errorf("missing data should wrap ErrMissingData, got %v", err)
 	}
 }
 

@@ -45,6 +45,11 @@ type Metrics struct {
 	// backend (devmodel cost-model output; measured CPU time is excluded).
 	ModeledSecondsGPU  *Gauge // omegago_modeled_seconds_total{backend="gpu-sim"}
 	ModeledSecondsFPGA *Gauge // omegago_modeled_seconds_total{backend="fpga-sim"}
+	// Scenario-engine counters, fed by the root RunScenario executor.
+	ScenarioCells        *Counter   // omegago_scenario_cells_total
+	ScenarioCellFailures *Counter   // omegago_scenario_cell_failures_total
+	ScenarioReplicates   *Counter   // omegago_scenario_replicates_total
+	ScenarioCellSeconds  *Histogram // omegago_scenario_cell_seconds
 	// Out-of-core streaming counters (CPU backend with a chunk source).
 	StreamChunks         *Counter // omegago_stream_chunks_total
 	StreamBytes          *Counter // omegago_stream_bytes_total
@@ -87,6 +92,14 @@ func NewMetrics(reg *Registry) *Metrics {
 			"Cumulative devmodel-modeled accelerator seconds per simulator backend."),
 		ModeledSecondsFPGA: reg.Gauge(`omegago_modeled_seconds_total{backend="fpga-sim"}`,
 			"Cumulative devmodel-modeled accelerator seconds per simulator backend."),
+		ScenarioCells: reg.Counter("omegago_scenario_cells_total",
+			"Scenario grid cells completed (failures included)."),
+		ScenarioCellFailures: reg.Counter("omegago_scenario_cell_failures_total",
+			"Scenario grid cells that failed outright."),
+		ScenarioReplicates: reg.Counter("omegago_scenario_replicates_total",
+			"Simulated replicates consumed by scenario cells (both arms)."),
+		ScenarioCellSeconds: reg.Histogram("omegago_scenario_cell_seconds",
+			"Wall-clock seconds per completed scenario cell.", nil),
 		StreamChunks: reg.Counter("omegago_stream_chunks_total",
 			"Chunks read by the out-of-core streaming scanner."),
 		StreamBytes: reg.Counter("omegago_stream_bytes_total",

@@ -9,6 +9,7 @@
 package power
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -21,6 +22,13 @@ import (
 	"omegago/internal/seqio"
 	"omegago/internal/sfs"
 )
+
+// ErrNoScores reports a threshold or power computation over an empty
+// score slice — there is no quantile of nothing, and a power of 0/0 is
+// not a power of zero. Callers that can tolerate an empty arm must
+// check errors.Is(err, ErrNoScores) rather than rely on a silent
+// default.
+var ErrNoScores = errors.New("power: no scores")
 
 // Statistic selects the per-replicate detector summary.
 type Statistic int
@@ -187,12 +195,19 @@ func (s Study) Run(stat Statistic, fpr float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	thr := Threshold(neutral, fpr)
+	thr, err := Threshold(neutral, fpr)
+	if err != nil {
+		return nil, err
+	}
+	pw, err := Power(sweep, thr)
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		Statistic: stat,
 		Threshold: thr,
 		FPR:       fpr,
-		Power:     Power(sweep, thr),
+		Power:     pw,
 		AUC:       AUC(neutral, sweep),
 		Neutral:   neutral,
 		Sweep:     sweep,
@@ -284,8 +299,16 @@ func (s Study) argmax(a *seqio.Alignment, stat Statistic) (float64, bool, error)
 }
 
 // Threshold returns the (1−fpr) quantile of the neutral statistic — the
-// smallest cutoff whose neutral exceedance rate is at most fpr.
-func Threshold(neutral []float64, fpr float64) float64 {
+// smallest cutoff whose neutral exceedance rate is at most fpr. An
+// empty neutral arm has no quantile: it returns ErrNoScores (the old
+// behavior was an index panic).
+func Threshold(neutral []float64, fpr float64) (float64, error) {
+	if len(neutral) == 0 {
+		return 0, fmt.Errorf("%w: empty neutral arm, cannot fix a threshold", ErrNoScores)
+	}
+	if fpr <= 0 || fpr >= 1 {
+		return 0, fmt.Errorf("power: FPR %g outside (0,1)", fpr)
+	}
 	sorted := append([]float64(nil), neutral...)
 	sort.Float64s(sorted)
 	k := int(math.Ceil(float64(len(sorted)) * (1 - fpr)))
@@ -295,14 +318,16 @@ func Threshold(neutral []float64, fpr float64) float64 {
 	if k < 0 {
 		k = 0
 	}
-	return sorted[k]
+	return sorted[k], nil
 }
 
 // Power returns the fraction of sweep statistics strictly above the
-// threshold.
-func Power(sweep []float64, threshold float64) float64 {
+// threshold. An empty sweep arm is an ErrNoScores error, not a power of
+// zero (the old behavior silently returned 0, indistinguishable from a
+// genuinely powerless detector).
+func Power(sweep []float64, threshold float64) (float64, error) {
 	if len(sweep) == 0 {
-		return 0
+		return 0, fmt.Errorf("%w: empty sweep arm, power undefined", ErrNoScores)
 	}
 	hits := 0
 	for _, v := range sweep {
@@ -310,7 +335,7 @@ func Power(sweep []float64, threshold float64) float64 {
 			hits++
 		}
 	}
-	return float64(hits) / float64(len(sweep))
+	return float64(hits) / float64(len(sweep)), nil
 }
 
 // BootstrapPowerCI returns a percentile bootstrap confidence interval

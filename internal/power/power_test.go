@@ -1,6 +1,7 @@
 package power
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -45,21 +46,71 @@ func TestValidate(t *testing.T) {
 
 func TestThresholdAndPower(t *testing.T) {
 	neutral := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	thr := Threshold(neutral, 0.1)
-	if thr != 10 {
-		t.Errorf("threshold at 10%% FPR = %g, want 10", thr)
+	thresholdCases := []struct {
+		name    string
+		neutral []float64
+		fpr     float64
+		want    float64
+		wantErr error
+	}{
+		{name: "fpr 0.1", neutral: neutral, fpr: 0.1, want: 10},
+		{name: "fpr 0.3", neutral: neutral, fpr: 0.3, want: 8},
+		{name: "single score", neutral: []float64{5}, fpr: 0.2, want: 5},
+		{name: "empty arm", neutral: nil, fpr: 0.1, wantErr: ErrNoScores},
+		{name: "empty non-nil arm", neutral: []float64{}, fpr: 0.1, wantErr: ErrNoScores},
+		{name: "fpr zero", neutral: neutral, fpr: 0, wantErr: errAny},
+		{name: "fpr one", neutral: neutral, fpr: 1, wantErr: errAny},
 	}
-	thr = Threshold(neutral, 0.3)
-	if thr != 8 {
-		t.Errorf("threshold at 30%% FPR = %g, want 8", thr)
+	for _, tc := range thresholdCases {
+		thr, err := Threshold(tc.neutral, tc.fpr)
+		if tc.wantErr != nil {
+			if err == nil {
+				t.Errorf("Threshold(%s): want error, got %g", tc.name, thr)
+			} else if tc.wantErr != errAny && !errors.Is(err, tc.wantErr) {
+				t.Errorf("Threshold(%s): error %v does not wrap %v", tc.name, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Threshold(%s): %v", tc.name, err)
+		} else if thr != tc.want {
+			t.Errorf("Threshold(%s) = %g, want %g", tc.name, thr, tc.want)
+		}
 	}
-	if p := Power([]float64{9, 11, 12}, 10); math.Abs(p-2.0/3) > 1e-12 {
-		t.Errorf("power = %g, want 2/3", p)
+
+	powerCases := []struct {
+		name      string
+		sweep     []float64
+		threshold float64
+		want      float64
+		wantErr   error
+	}{
+		{name: "two of three", sweep: []float64{9, 11, 12}, threshold: 10, want: 2.0 / 3},
+		{name: "none detected", sweep: []float64{1, 2}, threshold: 10, want: 0},
+		{name: "all detected", sweep: []float64{11, 12}, threshold: 10, want: 1},
+		{name: "empty arm", sweep: nil, threshold: 1, wantErr: ErrNoScores},
+		{name: "empty non-nil arm", sweep: []float64{}, threshold: 1, wantErr: ErrNoScores},
 	}
-	if Power(nil, 1) != 0 {
-		t.Error("empty sweep arm should have zero power")
+	for _, tc := range powerCases {
+		p, err := Power(tc.sweep, tc.threshold)
+		if tc.wantErr != nil {
+			if err == nil {
+				t.Errorf("Power(%s): want error, got %g", tc.name, p)
+			} else if !errors.Is(err, tc.wantErr) {
+				t.Errorf("Power(%s): error %v does not wrap %v", tc.name, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Power(%s): %v", tc.name, err)
+		} else if math.Abs(p-tc.want) > 1e-12 {
+			t.Errorf("Power(%s) = %g, want %g", tc.name, p, tc.want)
+		}
 	}
 }
+
+// errAny marks table rows that want any error, sentinel unspecified.
+var errAny = errors.New("any error")
 
 func TestAUC(t *testing.T) {
 	// Perfect separation.

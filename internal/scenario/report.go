@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderMarkdown renders a result table as a human-readable markdown
+// report: a study header, one power/AUC section per statistic, and an
+// ω localization section. Output is a pure function of the table, so
+// re-rendering the same table is byte-identical.
+func RenderMarkdown(t Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Scenario study: %s\n\n", t.Name)
+	fmt.Fprintf(&b, "- spec hash: `%s`\n", t.SpecHash)
+	fmt.Fprintf(&b, "- seed: %d\n", t.Seed)
+	fmt.Fprintf(&b, "- replicates per arm: %d\n", t.Replicates)
+	fmt.Fprintf(&b, "- false positive rate: %g\n", t.FPR)
+	fmt.Fprintf(&b, "- cells: %d\n", len(t.Cells))
+
+	// Collect statistic names in first-seen (spec) order.
+	var stats []string
+	seen := map[string]bool{}
+	for _, c := range t.Cells {
+		for _, sr := range c.Statistics {
+			if !seen[sr.Statistic] {
+				seen[sr.Statistic] = true
+				stats = append(stats, sr.Statistic)
+			}
+		}
+	}
+
+	for _, stat := range stats {
+		fmt.Fprintf(&b, "\n## Power at FPR %g — %s\n\n", t.FPR, stat)
+		b.WriteString("| cell | demography | α | n | SNPs | missing | grid | power | AUC | threshold | sweep mean | neutral mean |\n")
+		b.WriteString("|---:|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, c := range t.Cells {
+			if c.Error != "" {
+				continue
+			}
+			sr, ok := c.Stat(stat)
+			if !ok {
+				continue
+			}
+			if sr.Error != "" {
+				fmt.Fprintf(&b, "| %d | %s | %g | %d | %d | %g | %d | error: %s | | | | |\n",
+					c.Index, c.Demography, c.SweepAlpha, c.SampleSize, c.SNPCount, c.MissingRate, c.GridSize, sr.Error)
+				continue
+			}
+			fmt.Fprintf(&b, "| %d | %s | %g | %d | %d | %g | %d | %.3f | %.3f | %.4g | %.4g | %.4g |\n",
+				c.Index, c.Demography, c.SweepAlpha, c.SampleSize, c.SNPCount, c.MissingRate, c.GridSize,
+				sr.Power, sr.AUC, sr.Threshold, sr.SweepMean, sr.NeutralMean)
+		}
+	}
+
+	// Localization is ω-only: report it when any cell recorded one.
+	hasLoc := false
+	for _, c := range t.Cells {
+		if sr, ok := c.Stat(StatOmega); ok && sr.LocalizedN > 0 {
+			hasLoc = true
+			break
+		}
+	}
+	if hasLoc {
+		b.WriteString("\n## Sweep localization — omega\n\n")
+		b.WriteString("Distance in bp between the ω argmax and the true selected site,\nover sweep replicates with a valid scan.\n\n")
+		b.WriteString("| cell | demography | α | n | SNPs | missing | grid | replicates | mean bp | median bp |\n")
+		b.WriteString("|---:|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, c := range t.Cells {
+			sr, ok := c.Stat(StatOmega)
+			if !ok || sr.Error != "" || sr.LocalizedN == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "| %d | %s | %g | %d | %d | %g | %d | %d | %.0f | %.0f |\n",
+				c.Index, c.Demography, c.SweepAlpha, c.SampleSize, c.SNPCount, c.MissingRate, c.GridSize,
+				sr.LocalizedN, sr.LocMeanBP, sr.LocMedianBP)
+		}
+	}
+
+	// Failed cells last, so a partially-broken study is still legible.
+	hasErr := false
+	for _, c := range t.Cells {
+		if c.Error != "" {
+			hasErr = true
+			break
+		}
+	}
+	if hasErr {
+		b.WriteString("\n## Failed cells\n\n")
+		for _, c := range t.Cells {
+			if c.Error != "" {
+				fmt.Fprintf(&b, "- %s: %s\n", c.Label(), c.Error)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,337 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func specForTest() Spec {
+	return Spec{
+		Schema:     SchemaVersion,
+		Name:       "test-study",
+		Seed:       42,
+		Replicates: 4,
+		RegionBP:   200000,
+		Rho:        80,
+		FPR:        0.1,
+		Statistics: []string{StatOmega, StatTajimaD},
+		Scan:       ScanConfig{MinWindow: 5000, MaxWindow: 40000},
+		Axes: Axes{
+			Demographies: []Demography{
+				{Name: "constant"},
+				{Name: "bottleneck", Epochs: []Epoch{{Time: 0.05, Size: 0.1}, {Time: 0.2, Size: 1}}},
+			},
+			SweepAlphas:  []float64{500, 2000},
+			SampleSizes:  []int{20},
+			SNPCounts:    []int{100, 200},
+			MissingRates: []float64{0, 0.05},
+			GridSizes:    []int{10},
+		},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := specForTest().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"wrong schema", func(s *Spec) { s.Schema = 99 }},
+		{"empty name", func(s *Spec) { s.Name = "" }},
+		{"one replicate", func(s *Spec) { s.Replicates = 1 }},
+		{"zero region", func(s *Spec) { s.RegionBP = 0 }},
+		{"zero rho", func(s *Spec) { s.Rho = 0 }},
+		{"sweep position out of range", func(s *Spec) { s.SweepPosition = 1.5 }},
+		{"fpr zero", func(s *Spec) { s.FPR = 0 }},
+		{"fpr one", func(s *Spec) { s.FPR = 1 }},
+		{"no statistics", func(s *Spec) { s.Statistics = nil }},
+		{"unknown statistic", func(s *Spec) { s.Statistics = []string{"clr"} }},
+		{"duplicate statistic", func(s *Spec) { s.Statistics = []string{StatOmega, StatOmega} }},
+		{"negative window", func(s *Spec) { s.Scan.MinWindow = -1 }},
+		{"no demographies", func(s *Spec) { s.Axes.Demographies = nil }},
+		{"unnamed demography", func(s *Spec) { s.Axes.Demographies[0].Name = "" }},
+		{"duplicate demography", func(s *Spec) { s.Axes.Demographies[1].Name = "constant" }},
+		{"bad epoch size", func(s *Spec) { s.Axes.Demographies[1].Epochs[0].Size = 0 }},
+		{"descending epochs", func(s *Spec) { s.Axes.Demographies[1].Epochs[1].Time = 0.01 }},
+		{"no alphas", func(s *Spec) { s.Axes.SweepAlphas = nil }},
+		{"alpha below one", func(s *Spec) { s.Axes.SweepAlphas = []float64{0.5} }},
+		{"no sample sizes", func(s *Spec) { s.Axes.SampleSizes = nil }},
+		{"tiny sample", func(s *Spec) { s.Axes.SampleSizes = []int{3} }},
+		{"no snp counts", func(s *Spec) { s.Axes.SNPCounts = nil }},
+		{"one snp", func(s *Spec) { s.Axes.SNPCounts = []int{1} }},
+		{"no missing rates", func(s *Spec) { s.Axes.MissingRates = nil }},
+		{"missing rate half", func(s *Spec) { s.Axes.MissingRates = []float64{0.5} }},
+		{"no grid sizes", func(s *Spec) { s.Axes.GridSizes = nil }},
+		{"grid one", func(s *Spec) { s.Axes.GridSizes = []int{1} }},
+	}
+	for _, tc := range cases {
+		s := specForTest()
+		tc.mutate(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: want error", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: error %v does not wrap ErrBadSpec", tc.name, err)
+		}
+	}
+}
+
+func TestSpecCanonicalEncoding(t *testing.T) {
+	s := specForTest()
+	b1, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(b1, []byte("\n")) {
+		t.Error("canonical encoding must end in a newline")
+	}
+	got, err := DecodeSpec(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("Decode(Encode(s)) re-encode is not byte-identical")
+	}
+	h1, err := SpecHash(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := SpecHash(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("spec hash changed across a round trip: %s vs %s", h1, h2)
+	}
+}
+
+func TestSpecStrictDecode(t *testing.T) {
+	canonical, err := specForTest().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"unknown top-level field", bytes.Replace(canonical, []byte(`"name"`), []byte(`"nom": 1, "name"`), 1)},
+		{"unknown nested field", bytes.Replace(canonical, []byte(`"min_window"`), []byte(`"window_hint": 2, "min_window"`), 1)},
+		{"trailing data", append(append([]byte{}, canonical...), []byte("{}\n")...)},
+		{"not json", []byte("demographies: [constant]\n")},
+		{"empty", nil},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeSpec(tc.data); err == nil {
+			t.Errorf("%s: strict decode accepted it", tc.name)
+		} else if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: error %v does not wrap ErrBadSpec", tc.name, err)
+		}
+	}
+}
+
+func TestLoadSpecMissingFile(t *testing.T) {
+	if _, err := LoadSpec(t.TempDir() + "/nope.json"); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("missing file error %v does not wrap ErrBadSpec", err)
+	}
+}
+
+func TestExpandDeterministicAndOrdered(t *testing.T) {
+	s := specForTest()
+	cells, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != s.CellCount() {
+		t.Fatalf("expanded %d cells, CellCount says %d", len(cells), s.CellCount())
+	}
+	if want := 2 * 2 * 1 * 2 * 2 * 1; len(cells) != want {
+		t.Fatalf("expanded %d cells, want %d", len(cells), want)
+	}
+	// Same spec ⇒ identical grid, including seeds.
+	again, err := specForTest().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if cells[i] != again[i] {
+			t.Fatalf("cell %d differs across expansions: %+v vs %+v", i, cells[i], again[i])
+		}
+	}
+	// Axis order: grid_size fastest … demography slowest. With one
+	// sample size and one grid size, missing rate is the fastest mover.
+	if cells[0].MissingRate != 0 || cells[1].MissingRate != 0.05 {
+		t.Error("missing_rate should vary fastest among multi-valued axes")
+	}
+	if cells[0].SNPCount != 100 || cells[2].SNPCount != 200 {
+		t.Error("snp_count should vary before sweep_alpha")
+	}
+	if cells[0].Demography != "constant" || cells[len(cells)-1].Demography != "bottleneck" {
+		t.Error("demography should vary slowest")
+	}
+	// Seeds: pinned to the index, non-negative, and distinct.
+	seen := map[int64]bool{}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has index %d", i, c.Index)
+		}
+		if c.Seed < 0 {
+			t.Errorf("cell %d has negative seed %d", i, c.Seed)
+		}
+		if seen[c.Seed] {
+			t.Errorf("cell %d reuses seed %d", i, c.Seed)
+		}
+		seen[c.Seed] = true
+	}
+	// A different study seed moves every cell seed.
+	s2 := specForTest()
+	s2.Seed = 43
+	other, err := s2.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other[0].Seed == cells[0].Seed {
+		t.Error("changing the study seed should change cell seeds")
+	}
+}
+
+func tableForTest(t *testing.T) Table {
+	t.Helper()
+	s := specForTest()
+	hash, err := SpecHash(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]CellResult, len(cells))
+	for i, c := range cells {
+		rows[i] = CellResult{Cell: c, Statistics: []StatResult{
+			{Statistic: StatOmega, NeutralFinite: 4, SweepFinite: 4,
+				NeutralMean: 10, SweepMean: 90, Threshold: 25, Power: 0.75, AUC: 0.9,
+				LocalizedN: 4, LocMeanBP: 1500, LocMedianBP: 1200},
+			{Statistic: StatTajimaD, Error: "sfs: empty alignment"},
+		}}
+	}
+	rows[len(rows)-1] = CellResult{Cell: cells[len(cells)-1], Error: "boom"}
+	return Table{
+		Schema: SchemaVersion, Name: s.Name, SpecHash: hash,
+		Seed: s.Seed, Replicates: s.Replicates, FPR: s.FPR, Cells: rows,
+	}
+}
+
+func TestTableCanonicalEncoding(t *testing.T) {
+	tab := tableForTest(t)
+	b1, err := tab.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTable(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("table re-encode is not byte-identical")
+	}
+	if _, err := DecodeTable(append(b1, '0')); !errors.Is(err, ErrBadTable) {
+		t.Error("trailing data should be rejected")
+	}
+	mutated := bytes.Replace(b1, []byte(`"spec_hash"`), []byte(`"spec_hsh"`), 1)
+	if _, err := DecodeTable(mutated); !errors.Is(err, ErrBadTable) {
+		t.Error("unknown field should be rejected")
+	}
+}
+
+func TestTableValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Table)
+	}{
+		{"wrong schema", func(tab *Table) { tab.Schema = 0 }},
+		{"bad hash", func(tab *Table) { tab.SpecHash = "abc" }},
+		{"non-hex hash", func(tab *Table) { tab.SpecHash = strings.Repeat("z", 64) }},
+		{"bad fpr", func(tab *Table) { tab.FPR = 2 }},
+		{"out-of-order cells", func(tab *Table) { tab.Cells[0].Index = 5 }},
+		{"error plus statistics", func(tab *Table) {
+			tab.Cells[0].Error = "x"
+		}},
+		{"nan power", func(tab *Table) { tab.Cells[0].Statistics[0].Power = math.NaN() }},
+		{"inf threshold", func(tab *Table) { tab.Cells[0].Statistics[0].Threshold = math.Inf(-1) }},
+	}
+	for _, tc := range cases {
+		tab := tableForTest(t)
+		tc.mutate(&tab)
+		if err := tab.Validate(); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		} else if !errors.Is(err, ErrBadTable) {
+			t.Errorf("%s: error %v does not wrap ErrBadTable", tc.name, err)
+		}
+	}
+}
+
+func TestRenderMarkdownDeterministic(t *testing.T) {
+	tab := tableForTest(t)
+	md1 := RenderMarkdown(tab)
+	md2 := RenderMarkdown(tab)
+	if md1 != md2 {
+		t.Fatal("markdown render is not deterministic")
+	}
+	for _, want := range []string{
+		"# Scenario study: test-study",
+		"## Power at FPR 0.1 — omega",
+		"## Sweep localization — omega",
+		"## Failed cells",
+		"error: sfs: empty alignment",
+		"boom",
+	} {
+		if !strings.Contains(md1, want) {
+			t.Errorf("markdown report missing %q", want)
+		}
+	}
+}
+
+func TestCellLabel(t *testing.T) {
+	c := Cell{Index: 3, Demography: "constant", SweepAlpha: 500, SampleSize: 20,
+		SNPCount: 100, MissingRate: 0.05, GridSize: 10}
+	l := c.Label()
+	for _, want := range []string{"cell 3", "constant", "α=500", "n=20", "snps=100", "miss=0.05", "grid=10"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("label %q missing %q", l, want)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tab := tableForTest(t)
+	path := dir + "/table.json"
+	if err := tab.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SpecHash != tab.SpecHash || len(got.Cells) != len(tab.Cells) {
+		t.Error("table changed across a file round trip")
+	}
+	if _, err := LoadTable(dir + "/missing.json"); !errors.Is(err, ErrBadTable) {
+		t.Error("missing table file should wrap ErrBadTable")
+	}
+}

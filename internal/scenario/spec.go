@@ -1,0 +1,336 @@
+// Package scenario turns the repo's simulation and detector building
+// blocks (internal/mssim, internal/ihs, internal/sfs, internal/power)
+// into a declarative workload generator: a schema-versioned JSON spec
+// names the axes of a parameter study — demography, sweep strength,
+// sample size, SNP count, missing-data rate, grid size — and expands
+// into a deterministic grid of cells, each a matched neutral/sweep
+// power comparison of the ω statistic against the iHS (Voight et al.)
+// and SFS (Tajima's D, Fay & Wu's H) comparators the paper's background
+// discusses.
+//
+// The package holds the pure data layer: spec parsing and validation,
+// deterministic grid expansion with derived per-cell seeds, the
+// canonical result table, and the rendered markdown report. The
+// executor that actually scans cells through the public ScanBatch
+// pipeline lives in the root omegago package (RunScenario), which this
+// package must not import.
+//
+// Both the spec and the result table follow the repo's evidence rules
+// (mirroring the bitmat container and the devmodel calibration table):
+// strict decoding — unknown fields and trailing data are rejected — and
+// canonical encoding — Decode(Encode(x)) re-encodes byte-identically —
+// so committed specs and golden tables diff cleanly and CI can gate on
+// exact bytes.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"omegago/internal/mssim"
+)
+
+// SchemaVersion is the spec and result-table schema this build reads
+// and writes. Bumped on any incompatible layout change; Decode refuses
+// other versions (see docs/FORMATS.md, "Scenario spec (JSON)").
+const SchemaVersion = 1
+
+// ErrBadSpec marks a scenario spec that cannot be used: a missing or
+// unreadable file, malformed JSON, an unsupported schema version, or
+// out-of-range axis values. The CLI maps it to the configuration exit
+// class.
+var ErrBadSpec = errors.New("scenario: bad spec")
+
+// Statistic names a per-replicate detector summary the study compares.
+// The executor resolves them against the repo's detector packages.
+const (
+	// StatOmega is max ω over the scan grid (the paper's detector).
+	StatOmega = "omega"
+	// StatTajimaD is −min Tajima's D over the SFS window scan.
+	StatTajimaD = "tajima-d"
+	// StatFayWuH is −min Fay & Wu's H over the SFS window scan.
+	StatFayWuH = "fay-wu-h"
+	// StatIHS is max |iHS| over the per-SNP haplotype scan.
+	StatIHS = "ihs"
+)
+
+// Statistics lists every recognized statistic name, in canonical order.
+var Statistics = []string{StatOmega, StatTajimaD, StatFayWuH, StatIHS}
+
+// Epoch is one piecewise-constant population-size change of a
+// demography model (mssim's -eN): backward in time from Time (units of
+// 4N generations), the population size is Size·N₀.
+type Epoch struct {
+	Time float64 `json:"time"`
+	Size float64 `json:"size"`
+}
+
+// Demography is one named demographic model of the demography axis. An
+// empty epoch list is the constant-size model.
+type Demography struct {
+	// Name labels the model in cell results ("constant", "bottleneck").
+	Name string `json:"name"`
+	// Epochs lists population-size changes, times ascending.
+	Epochs []Epoch `json:"epochs,omitempty"`
+}
+
+// MSEpochs converts the epoch list to the simulator's representation.
+func (d Demography) MSEpochs() []mssim.Epoch {
+	if len(d.Epochs) == 0 {
+		return nil
+	}
+	out := make([]mssim.Epoch, len(d.Epochs))
+	for i, e := range d.Epochs {
+		out[i] = mssim.Epoch{Time: e.Time, Size: e.Size}
+	}
+	return out
+}
+
+// ScanConfig fixes the window geometry shared by every cell of the
+// study (the grid size itself is an axis, see Axes.GridSizes).
+type ScanConfig struct {
+	// MinWindow is the minimum total ω window span in bp (0 = none).
+	MinWindow float64 `json:"min_window,omitempty"`
+	// MaxWindow is the maximum border distance from the grid position in
+	// bp per side, and doubles as the SFS window half-width (0 =
+	// unbounded).
+	MaxWindow float64 `json:"max_window,omitempty"`
+	// MaxSNPsPerSide caps the SNPs per ω sub-window (0 = unbounded).
+	MaxSNPsPerSide int `json:"max_snps_per_side,omitempty"`
+}
+
+// Axes are the cross-product dimensions of the study. Every listed
+// combination becomes one Cell; expansion order is fixed (see Expand).
+type Axes struct {
+	// Demographies lists the demographic models to study.
+	Demographies []Demography `json:"demographies"`
+	// SweepAlphas lists the scaled selection coefficients 2Ns of the
+	// sweep arm (each > 1).
+	SweepAlphas []float64 `json:"sweep_alphas"`
+	// SampleSizes lists the haplotype counts (each ≥ 4).
+	SampleSizes []int `json:"sample_sizes"`
+	// SNPCounts lists the fixed segregating-site counts per replicate
+	// (ms -s semantics; each ≥ 2).
+	SNPCounts []int `json:"snp_counts"`
+	// MissingRates lists per-genotype missing-data probabilities in
+	// [0, 0.5), injected deterministically after simulation.
+	MissingRates []float64 `json:"missing_rates"`
+	// GridSizes lists the ω grid sizes to scan at (each ≥ 2).
+	GridSizes []int `json:"grid_sizes"`
+}
+
+// Spec is one declarative scenario study: a neutral-vs-sweep power
+// comparison of the configured statistics over the axis cross product,
+// fully pinned by Seed.
+type Spec struct {
+	// Schema is the spec layout version (must equal SchemaVersion).
+	Schema int `json:"schema"`
+	// Name labels the study; result tables echo it.
+	Name string `json:"name"`
+	// Seed pins every random choice of the study: per-cell simulation
+	// seeds and missing-data masks all derive from it deterministically.
+	Seed int64 `json:"seed"`
+	// Replicates per arm (neutral and sweep), ≥ 2.
+	Replicates int `json:"replicates"`
+	// RegionBP scales the simulator's unit positions to base pairs.
+	RegionBP float64 `json:"region_bp"`
+	// Rho is the scaled recombination rate 4Nr over the locus (> 0; the
+	// sweep model requires recombination for anything to escape).
+	Rho float64 `json:"rho"`
+	// SweepPosition is the selected site as a locus fraction (0 =
+	// default 0.5).
+	SweepPosition float64 `json:"sweep_position,omitempty"`
+	// FPR is the false positive rate the detection threshold is fixed
+	// at on the neutral arm, in (0, 1).
+	FPR float64 `json:"fpr"`
+	// Statistics lists the detectors to compare (see Statistics).
+	Statistics []string `json:"statistics"`
+	// Scan fixes the window geometry shared by every cell.
+	Scan ScanConfig `json:"scan"`
+	// Axes are the cross-product study dimensions.
+	Axes Axes `json:"axes"`
+}
+
+// SweepPos resolves the SweepPosition default (0 means the region
+// midpoint, 0.5).
+func (s Spec) SweepPos() float64 {
+	if s.SweepPosition == 0 {
+		return 0.5
+	}
+	return s.SweepPosition
+}
+
+// Validate reports the first defect of a spec, wrapping ErrBadSpec for
+// errors.Is dispatch.
+func (s Spec) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
+	}
+	if s.Schema != SchemaVersion {
+		return bad("schema %d (this build reads %d)", s.Schema, SchemaVersion)
+	}
+	if s.Name == "" {
+		return bad("empty name")
+	}
+	if s.Replicates < 2 {
+		return bad("replicates %d < 2", s.Replicates)
+	}
+	if s.RegionBP <= 0 {
+		return bad("region_bp %g, want > 0", s.RegionBP)
+	}
+	if s.Rho <= 0 {
+		return bad("rho %g, want > 0 (the sweep model needs recombination)", s.Rho)
+	}
+	if p := s.SweepPosition; p < 0 || p > 1 {
+		return bad("sweep_position %g outside [0,1]", p)
+	}
+	if s.FPR <= 0 || s.FPR >= 1 {
+		return bad("fpr %g outside (0,1)", s.FPR)
+	}
+	if len(s.Statistics) == 0 {
+		return bad("no statistics listed")
+	}
+	known := map[string]bool{}
+	for _, st := range Statistics {
+		known[st] = true
+	}
+	seen := map[string]bool{}
+	for _, st := range s.Statistics {
+		if !known[st] {
+			return bad("unknown statistic %q (want one of %v)", st, Statistics)
+		}
+		if seen[st] {
+			return bad("duplicate statistic %q", st)
+		}
+		seen[st] = true
+	}
+	if s.Scan.MinWindow < 0 || s.Scan.MaxWindow < 0 || s.Scan.MaxSNPsPerSide < 0 {
+		return bad("negative scan window bound")
+	}
+	a := s.Axes
+	if len(a.Demographies) == 0 {
+		return bad("axes.demographies is empty (use [{\"name\":\"constant\"}])")
+	}
+	names := map[string]bool{}
+	for i, d := range a.Demographies {
+		if d.Name == "" {
+			return bad("axes.demographies[%d] has no name", i)
+		}
+		if names[d.Name] {
+			return bad("duplicate demography %q", d.Name)
+		}
+		names[d.Name] = true
+		prev := 0.0
+		for j, e := range d.Epochs {
+			if e.Time < 0 || e.Size <= 0 {
+				return bad("demography %q epoch %d: time %g, size %g (want time ≥ 0, size > 0)", d.Name, j, e.Time, e.Size)
+			}
+			if e.Time < prev {
+				return bad("demography %q epoch times must ascend (epoch %d at %g after %g)", d.Name, j, e.Time, prev)
+			}
+			prev = e.Time
+		}
+	}
+	if len(a.SweepAlphas) == 0 {
+		return bad("axes.sweep_alphas is empty")
+	}
+	for i, v := range a.SweepAlphas {
+		if v <= 1 {
+			return bad("axes.sweep_alphas[%d] = %g, want > 1", i, v)
+		}
+	}
+	if len(a.SampleSizes) == 0 {
+		return bad("axes.sample_sizes is empty")
+	}
+	for i, v := range a.SampleSizes {
+		if v < 4 {
+			return bad("axes.sample_sizes[%d] = %d, want ≥ 4", i, v)
+		}
+	}
+	if len(a.SNPCounts) == 0 {
+		return bad("axes.snp_counts is empty")
+	}
+	for i, v := range a.SNPCounts {
+		if v < 2 {
+			return bad("axes.snp_counts[%d] = %d, want ≥ 2", i, v)
+		}
+	}
+	if len(a.MissingRates) == 0 {
+		return bad("axes.missing_rates is empty (use [0])")
+	}
+	for i, v := range a.MissingRates {
+		if v < 0 || v >= 0.5 {
+			return bad("axes.missing_rates[%d] = %g, want in [0, 0.5)", i, v)
+		}
+	}
+	if len(a.GridSizes) == 0 {
+		return bad("axes.grid_sizes is empty")
+	}
+	for i, v := range a.GridSizes {
+		if v < 2 {
+			return bad("axes.grid_sizes[%d] = %d, want ≥ 2", i, v)
+		}
+	}
+	return nil
+}
+
+// CellCount returns the size of the expanded grid (the axis product).
+func (s Spec) CellCount() int {
+	a := s.Axes
+	return len(a.Demographies) * len(a.SweepAlphas) * len(a.SampleSizes) *
+		len(a.SNPCounts) * len(a.MissingRates) * len(a.GridSizes)
+}
+
+// Encode renders the spec in the canonical byte form: two-space
+// indented JSON in struct field order with a trailing newline.
+// Decode(Encode(s)) followed by Encode is byte-identical — the same
+// canonical-encoding rule the bitmat container and the calibration
+// table follow — so committed specs diff cleanly and their SHA-256
+// identifies the study exactly.
+func (s Spec) Encode() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeSpec parses and validates a spec from its JSON bytes. Unknown
+// fields and trailing data are rejected: an axis a future schema adds
+// must arrive with a bumped schema version, not be silently ignored.
+func DecodeSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if dec.More() {
+		return Spec{}, fmt.Errorf("%w: trailing data after spec", ErrBadSpec)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadSpec reads and validates a spec file. Every failure — missing
+// file included — wraps ErrBadSpec: a spec named on the command line
+// that cannot be used is a configuration error.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%w: %w", ErrBadSpec, err)
+	}
+	s, err := DecodeSpec(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

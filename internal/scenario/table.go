@@ -1,0 +1,211 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+)
+
+// ErrBadTable marks a scenario result table that cannot be used:
+// malformed JSON, an unsupported schema version, or internally
+// inconsistent rows.
+var ErrBadTable = errors.New("scenario: bad result table")
+
+// StatResult is one statistic's neutral-vs-sweep comparison inside a
+// cell: detection power at the study's pinned false positive rate,
+// threshold-free AUC, and sweep localization error. All float fields
+// are finite by construction — non-finite outcomes surface through
+// Error instead — so tables always round-trip through JSON.
+type StatResult struct {
+	// Statistic names the detector (see Statistics).
+	Statistic string `json:"statistic"`
+	// NeutralFinite and SweepFinite count replicates whose score was
+	// finite (a replicate can yield −Inf when a statistic is undefined
+	// on it, e.g. iHS with no valid core SNPs).
+	NeutralFinite int `json:"neutral_finite"`
+	SweepFinite   int `json:"sweep_finite"`
+	// NeutralMean and SweepMean average the finite scores per arm
+	// (0 when no finite scores).
+	NeutralMean float64 `json:"neutral_mean"`
+	SweepMean   float64 `json:"sweep_mean"`
+	// Threshold is the detection threshold fixed at the study FPR on
+	// the neutral arm.
+	Threshold float64 `json:"threshold"`
+	// Power is the fraction of sweep replicates at or above Threshold.
+	Power float64 `json:"power"`
+	// AUC is the Mann–Whitney area under the ROC curve (sweep vs
+	// neutral scores; 0.5 = no separation).
+	AUC float64 `json:"auc"`
+	// LocalizedN counts sweep replicates that produced a localization
+	// estimate; LocMeanBP/LocMedianBP summarize |argmax − true site| in
+	// bp over them. Omega-only: comparator statistics report 0.
+	LocalizedN  int     `json:"localized_n"`
+	LocMeanBP   float64 `json:"loc_mean_bp"`
+	LocMedianBP float64 `json:"loc_median_bp"`
+	// Error is set when the statistic could not be computed for the
+	// cell (all other fields zero); the cell as a whole still counts as
+	// scanned.
+	Error string `json:"error,omitempty"`
+}
+
+// CellResult is one grid cell's outcome: the resolved cell parameters
+// plus one StatResult per requested statistic, in spec order. A cell
+// that failed outright (simulation error, scan error) carries Error and
+// no statistics.
+type CellResult struct {
+	Cell
+	// Statistics holds one result per spec statistic, in spec order.
+	Statistics []StatResult `json:"statistics,omitempty"`
+	// Error is set when the whole cell failed; Statistics is empty.
+	Error string `json:"error,omitempty"`
+}
+
+// Table is the canonical scenario study result: the spec identity (name,
+// content hash, seed, study-wide knobs) plus every cell's outcome in
+// expansion order. Deliberately free of timing and host fields so the
+// bytes are a pure function of the spec — CI diffs goldens against it.
+type Table struct {
+	// Schema is the table layout version (equals SchemaVersion).
+	Schema int `json:"schema"`
+	// Name echoes the spec name.
+	Name string `json:"name"`
+	// SpecHash is the SHA-256 of the spec's canonical encoding,
+	// hex-encoded: the study's exact identity.
+	SpecHash string `json:"spec_hash"`
+	// Seed echoes the spec seed.
+	Seed int64 `json:"seed"`
+	// Replicates echoes the per-arm replicate count.
+	Replicates int `json:"replicates"`
+	// FPR echoes the false positive rate thresholds were fixed at.
+	FPR float64 `json:"fpr"`
+	// Cells holds one result per grid cell, in expansion order.
+	Cells []CellResult `json:"cells"`
+}
+
+// SpecHash returns the hex SHA-256 of the spec's canonical encoding —
+// the value Table.SpecHash records.
+func SpecHash(s Spec) (string, error) {
+	b, err := s.Encode()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Validate reports the first defect of a table, wrapping ErrBadTable.
+func (t Table) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrBadTable, fmt.Sprintf(format, args...))
+	}
+	if t.Schema != SchemaVersion {
+		return bad("schema %d (this build reads %d)", t.Schema, SchemaVersion)
+	}
+	if t.Name == "" {
+		return bad("empty name")
+	}
+	if len(t.SpecHash) != 2*sha256.Size {
+		return bad("spec_hash %q is not a hex sha256", t.SpecHash)
+	}
+	if _, err := hex.DecodeString(t.SpecHash); err != nil {
+		return bad("spec_hash %q is not hex", t.SpecHash)
+	}
+	if t.Replicates < 1 {
+		return bad("replicates %d < 1", t.Replicates)
+	}
+	if t.FPR <= 0 || t.FPR >= 1 {
+		return bad("fpr %g outside (0,1)", t.FPR)
+	}
+	for i, c := range t.Cells {
+		if c.Index != i {
+			return bad("cells[%d] has index %d (rows must be in expansion order)", i, c.Index)
+		}
+		if c.Error != "" && len(c.Statistics) != 0 {
+			return bad("cells[%d] carries both an error and statistics", i)
+		}
+		for _, sr := range c.Statistics {
+			for name, v := range map[string]float64{
+				"neutral_mean": sr.NeutralMean, "sweep_mean": sr.SweepMean,
+				"threshold": sr.Threshold, "power": sr.Power, "auc": sr.AUC,
+				"loc_mean_bp": sr.LocMeanBP, "loc_median_bp": sr.LocMedianBP,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return bad("cells[%d] statistic %q: non-finite %s", i, sr.Statistic, name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Encode renders the table in the canonical byte form: two-space
+// indented JSON with a trailing newline, byte-identical across
+// re-encodes of the same study.
+func (t Table) Encode() ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTable, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeTable parses and validates a result table, rejecting unknown
+// fields and trailing data like every canonical format in the repo.
+func DecodeTable(data []byte) (Table, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var t Table
+	if err := dec.Decode(&t); err != nil {
+		return Table{}, fmt.Errorf("%w: %v", ErrBadTable, err)
+	}
+	if dec.More() {
+		return Table{}, fmt.Errorf("%w: trailing data after table", ErrBadTable)
+	}
+	if err := t.Validate(); err != nil {
+		return Table{}, err
+	}
+	return t, nil
+}
+
+// LoadTable reads and validates a result-table file.
+func LoadTable(path string) (Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Table{}, fmt.Errorf("%w: %w", ErrBadTable, err)
+	}
+	t, err := DecodeTable(data)
+	if err != nil {
+		return Table{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// WriteFile encodes the table canonically and writes it to path.
+func (t Table) WriteFile(path string) error {
+	b, err := t.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("%w: %w", ErrBadTable, err)
+	}
+	return nil
+}
+
+// Stat returns the named statistic's result within a cell.
+func (c CellResult) Stat(name string) (StatResult, bool) {
+	for _, sr := range c.Statistics {
+		if sr.Statistic == name {
+			return sr, true
+		}
+	}
+	return StatResult{}, false
+}

@@ -1,0 +1,465 @@
+package omegago
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"omegago/internal/ihs"
+	"omegago/internal/mssim"
+	"omegago/internal/power"
+	"omegago/internal/scenario"
+	"omegago/internal/seqio"
+	"omegago/internal/sfs"
+)
+
+// ScenarioSpec is a declarative scenario study: a schema-versioned,
+// strictly-decoded JSON description of a neutral-vs-sweep power
+// comparison over a parameter grid (demography × sweep strength ×
+// sample size × SNP count × missing rate × grid size). See
+// docs/FORMATS.md for the spec schema and internal/scenario for the
+// data layer.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioTable is the canonical result of a scenario study: one row
+// per grid cell with per-statistic power, AUC and localization, free of
+// timing fields so its bytes are a pure function of the spec.
+type ScenarioTable = scenario.Table
+
+// ScenarioCell is one fully-resolved point of a scenario grid.
+type ScenarioCell = scenario.Cell
+
+// ScenarioCellResult is one grid cell's outcome inside a table.
+type ScenarioCellResult = scenario.CellResult
+
+// ScenarioStatResult is one statistic's comparison inside a cell.
+type ScenarioStatResult = scenario.StatResult
+
+// ErrBadScenarioSpec marks an unusable scenario spec (missing file,
+// malformed JSON, unsupported schema, out-of-range values); the CLI
+// maps it to the configuration exit class.
+var ErrBadScenarioSpec = scenario.ErrBadSpec
+
+// LoadScenarioSpec reads and strictly validates a scenario spec file.
+func LoadScenarioSpec(path string) (ScenarioSpec, error) {
+	return scenario.LoadSpec(path)
+}
+
+// RenderScenarioMarkdown renders a result table as a markdown report
+// (deterministic: same table, same bytes).
+func RenderScenarioMarkdown(t ScenarioTable) string {
+	return scenario.RenderMarkdown(t)
+}
+
+// ScenarioOptions configures a RunScenario execution. The zero value
+// runs cells serially on the CPU backend with no observability.
+type ScenarioOptions struct {
+	// CellWorkers bounds the concurrently-executing grid cells
+	// (default 1). Within a cell, each arm's replicates already scan
+	// through the ScanBatch worker pool, so cell-level parallelism is
+	// for grids with many small cells.
+	CellWorkers int
+	// BatchWorkers is passed through to Config.BatchWorkers for the
+	// per-arm ScanBatch calls (default GOMAXPROCS).
+	BatchWorkers int
+	// Backend selects the ω scan engine (default BackendCPU). The
+	// comparator statistics always run on the host.
+	Backend Backend
+	// Observer, when non-nil, receives the merged ScanBatch progress
+	// streams of every cell.
+	Observer Observer
+	// Metrics, when non-nil, accumulates the scan-level series plus the
+	// scenario series (omegago_scenario_cells_total and friends).
+	Metrics *Metrics
+	// OnCell, when non-nil, is called after each cell completes with
+	// (cellsDone, cellsTotal). Must be safe for concurrent use when
+	// CellWorkers > 1.
+	OnCell func(done, total int)
+}
+
+// Seed offsets decorrelating the derived streams of one cell. Fixed
+// forever: they are part of the reproducibility contract (the sweep-arm
+// offset matches internal/power's convention).
+const (
+	scenarioSweepSeedOffset   = 1_000_003
+	scenarioNeutralMissOffset = 3_000_017
+	scenarioSweepMissOffset   = 4_000_037
+)
+
+// RunScenario executes a scenario study: it expands the spec into its
+// deterministic cell grid, simulates matched neutral and sweep arms per
+// cell, scans both arms through ScanBatch on the configured backend,
+// computes the comparator statistics (Tajima's D, Fay & Wu's H, iHS)
+// on the host, and assembles the canonical result table.
+//
+// Error isolation is per cell: a failing cell records its error in its
+// row and the rest of the grid proceeds (a statistic that is undefined
+// on a cell — iHS under injected missing data — records a per-statistic
+// error instead). Cancelling ctx aborts the run with ctx.Err().
+//
+// The table is a pure function of the spec: no timing, no host state,
+// and replicate scores derived only from pinned per-cell seeds — so two
+// runs of the same spec produce byte-identical Encode output, which CI
+// diffs against a committed golden.
+func RunScenario(ctx context.Context, spec ScenarioSpec, opt ScenarioOptions) (*ScenarioTable, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := scenario.SpecHash(spec)
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.CellWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	results := make([]ScenarioCellResult, len(cells))
+	var done atomic.Int64
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t0 := time.Now()
+				results[i] = runScenarioCell(ctx, spec, cells[i], opt)
+				if m := opt.Metrics; m != nil {
+					m.ScenarioCells.Inc()
+					if results[i].Error != "" {
+						m.ScenarioCellFailures.Inc()
+					}
+					m.ScenarioReplicates.Add(int64(2 * spec.Replicates))
+					m.ScenarioCellSeconds.ObserveDuration(time.Since(t0))
+				}
+				if opt.OnCell != nil {
+					opt.OnCell(int(done.Add(1)), len(cells))
+				}
+			}
+		}()
+	}
+feed:
+	for i := range cells {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	t := &ScenarioTable{
+		Schema:     scenario.SchemaVersion,
+		Name:       spec.Name,
+		SpecHash:   hash,
+		Seed:       spec.Seed,
+		Replicates: spec.Replicates,
+		FPR:        spec.FPR,
+		Cells:      results,
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// scenarioArm holds one arm's simulated replicates after missing-data
+// injection: the datasets ScanBatch consumes (nil = zero segregating
+// sites, skipped) for ω, which the comparator statistics reuse.
+type scenarioArm struct {
+	datasets []*Dataset
+}
+
+// simulateArm simulates one arm of a cell and applies the cell's
+// missing-data treatment. missSeed seeds the injection masks.
+func simulateArm(spec ScenarioSpec, cell ScenarioCell, cfg mssim.Config, missSeed int64) (*scenarioArm, error) {
+	reps, err := mssim.Simulate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	arm := &scenarioArm{datasets: make([]*Dataset, len(reps))}
+	for i, rep := range reps {
+		if rep.SegSites == 0 {
+			continue
+		}
+		a, err := rep.ToAlignment(spec.RegionBP)
+		if err != nil {
+			return nil, fmt.Errorf("replicate %d: %w", i, err)
+		}
+		if cell.MissingRate > 0 {
+			a, _, err = seqio.InjectMissing(a, cell.MissingRate, missSeed+int64(i))
+			if err != nil {
+				return nil, fmt.Errorf("replicate %d: %w", i, err)
+			}
+		}
+		arm.datasets[i] = a
+	}
+	return arm, nil
+}
+
+// runScenarioCell executes one grid cell: simulate both arms, score
+// every requested statistic per replicate, and summarize. All failures
+// land in the returned row; this function never panics the pool.
+func runScenarioCell(ctx context.Context, spec ScenarioSpec, cell ScenarioCell, opt ScenarioOptions) ScenarioCellResult {
+	out := ScenarioCellResult{Cell: cell}
+	fail := func(err error) ScenarioCellResult {
+		out.Error = err.Error()
+		out.Statistics = nil
+		return out
+	}
+
+	demo, ok := spec.DemographyByName(cell.Demography)
+	if !ok {
+		return fail(fmt.Errorf("unknown demography %q", cell.Demography))
+	}
+	base := mssim.Config{
+		SampleSize: cell.SampleSize,
+		Replicates: spec.Replicates,
+		SegSites:   cell.SNPCount,
+		Rho:        spec.Rho,
+		Seed:       cell.Seed,
+		Demography: demo.MSEpochs(),
+	}
+	sweepCfg := base
+	sweepCfg.Seed += scenarioSweepSeedOffset
+	sweepCfg.Sweep = &mssim.SweepConfig{Position: spec.SweepPos(), Alpha: cell.SweepAlpha}
+
+	neutral, err := simulateArm(spec, cell, base, cell.Seed+scenarioNeutralMissOffset)
+	if err != nil {
+		return fail(fmt.Errorf("neutral arm: %w", err))
+	}
+	sweep, err := simulateArm(spec, cell, sweepCfg, cell.Seed+scenarioSweepMissOffset)
+	if err != nil {
+		return fail(fmt.Errorf("sweep arm: %w", err))
+	}
+
+	// ω scans once per arm through the public batch pipeline; every
+	// other statistic reuses the simulated datasets on the host.
+	cfg := Config{
+		GridSize:       cell.GridSize,
+		MinWindow:      spec.Scan.MinWindow,
+		MaxWindow:      spec.Scan.MaxWindow,
+		MaxSNPsPerSide: spec.Scan.MaxSNPsPerSide,
+		Backend:        opt.Backend,
+		BatchWorkers:   opt.BatchWorkers,
+		Observer:       opt.Observer,
+		Metrics:        opt.Metrics,
+	}
+	var neutralScan, sweepScan *BatchReport
+	needOmega := false
+	for _, st := range spec.Statistics {
+		if st == scenario.StatOmega {
+			needOmega = true
+		}
+	}
+	if needOmega {
+		neutralScan, err = ScanBatch(ctx, neutral.datasets, cfg)
+		if err != nil {
+			return fail(fmt.Errorf("neutral scan: %w", err))
+		}
+		sweepScan, err = ScanBatch(ctx, sweep.datasets, cfg)
+		if err != nil {
+			return fail(fmt.Errorf("sweep scan: %w", err))
+		}
+	}
+
+	for _, name := range spec.Statistics {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		sr := scoreStatistic(spec, cell, name, neutral, sweep, neutralScan, sweepScan)
+		out.Statistics = append(out.Statistics, sr)
+	}
+	return out
+}
+
+// omegaScores extracts the per-replicate max-ω summary from a batch
+// report (−Inf for skipped or failed replicates, the power-package
+// convention for "never detected").
+func omegaScores(b *BatchReport) []float64 {
+	out := make([]float64, len(b.Replicates))
+	for i, item := range b.Replicates {
+		out[i] = math.Inf(-1)
+		if item.Report != nil {
+			if best, ok := item.Report.Best(); ok {
+				out[i] = best.MaxOmega
+			}
+		}
+	}
+	return out
+}
+
+// omegaLocalization collects |argmax − true site| distances in bp over
+// the sweep arm's scanned replicates.
+func omegaLocalization(spec ScenarioSpec, b *BatchReport) []float64 {
+	trueSite := spec.SweepPos() * spec.RegionBP
+	var dists []float64
+	for _, item := range b.Replicates {
+		if item.Report == nil {
+			continue
+		}
+		if best, ok := item.Report.Best(); ok {
+			dists = append(dists, math.Abs(best.Center-trueSite))
+		}
+	}
+	return dists
+}
+
+// sfsScores summarizes each replicate with a sign-flipped minimum of an
+// SFS statistic over the window scan (−min D or −min H), so larger is
+// always more sweep-like.
+func sfsScores(arm *scenarioArm, cell ScenarioCell, maxw float64, value func(sfs.Stats) float64) ([]float64, error) {
+	out := make([]float64, len(arm.datasets))
+	for i, ds := range arm.datasets {
+		out[i] = math.Inf(-1)
+		if ds == nil {
+			continue
+		}
+		ws, err := sfs.Scan(ds, cell.GridSize, maxw)
+		if err != nil {
+			return nil, fmt.Errorf("replicate %d: %w", i, err)
+		}
+		best, seen := math.Inf(1), false
+		for _, w := range ws {
+			if w.SegSites == 0 {
+				continue
+			}
+			if v := value(w.Stats); v < best {
+				best, seen = v, true
+			}
+		}
+		if seen {
+			out[i] = -best
+		}
+	}
+	return out, nil
+}
+
+// ihsScores summarizes each replicate with max |iHS|.
+func ihsScores(arm *scenarioArm) ([]float64, error) {
+	out := make([]float64, len(arm.datasets))
+	for i, ds := range arm.datasets {
+		out[i] = math.Inf(-1)
+		if ds == nil {
+			continue
+		}
+		scores, err := ihs.Compute(ds, ihs.Params{})
+		if err != nil {
+			return nil, fmt.Errorf("replicate %d: %w", i, err)
+		}
+		if best, ok := ihs.MaxAbs(scores); ok {
+			out[i] = math.Abs(best.IHS)
+		}
+	}
+	return out, nil
+}
+
+// scoreStatistic computes one statistic's neutral-vs-sweep comparison
+// for a cell. Statistic-level failures (iHS on masked data, a
+// non-finite threshold) land in the result's Error field.
+func scoreStatistic(spec ScenarioSpec, cell ScenarioCell, name string, neutral, sweep *scenarioArm, neutralScan, sweepScan *BatchReport) ScenarioStatResult {
+	sr := ScenarioStatResult{Statistic: name}
+	statFail := func(err error) ScenarioStatResult {
+		return ScenarioStatResult{Statistic: name, Error: err.Error()}
+	}
+
+	maxw := spec.Scan.MaxWindow
+	var neutralScores, sweepScores, loc []float64
+	var err error
+	switch name {
+	case scenario.StatOmega:
+		neutralScores = omegaScores(neutralScan)
+		sweepScores = omegaScores(sweepScan)
+		loc = omegaLocalization(spec, sweepScan)
+	case scenario.StatTajimaD:
+		d := func(st sfs.Stats) float64 { return st.TajimaD }
+		if neutralScores, err = sfsScores(neutral, cell, maxw, d); err == nil {
+			sweepScores, err = sfsScores(sweep, cell, maxw, d)
+		}
+	case scenario.StatFayWuH:
+		h := func(st sfs.Stats) float64 { return st.FayWuH }
+		if neutralScores, err = sfsScores(neutral, cell, maxw, h); err == nil {
+			sweepScores, err = sfsScores(sweep, cell, maxw, h)
+		}
+	case scenario.StatIHS:
+		// iHS is an exact haplotype statistic with no missing-data
+		// handling; on the missing axis it is declared unavailable
+		// rather than computed on whatever genotypes the mask spared.
+		if cell.MissingRate > 0 {
+			return statFail(ihs.ErrMissingData)
+		}
+		if neutralScores, err = ihsScores(neutral); err == nil {
+			sweepScores, err = ihsScores(sweep)
+		}
+		if errors.Is(err, ihs.ErrMissingData) {
+			return statFail(err)
+		}
+	default:
+		return statFail(fmt.Errorf("unknown statistic %q", name))
+	}
+	if err != nil {
+		return statFail(err)
+	}
+
+	sr.NeutralFinite, sr.NeutralMean = finiteSummary(neutralScores)
+	sr.SweepFinite, sr.SweepMean = finiteSummary(sweepScores)
+	thr, err := power.Threshold(neutralScores, spec.FPR)
+	if err != nil {
+		return statFail(err)
+	}
+	if math.IsInf(thr, 0) || math.IsNaN(thr) {
+		return statFail(fmt.Errorf("threshold at fpr %g is not finite (neutral arm yielded %d finite scores)", spec.FPR, sr.NeutralFinite))
+	}
+	sr.Threshold = thr
+	pw, err := power.Power(sweepScores, thr)
+	if err != nil {
+		return statFail(err)
+	}
+	sr.Power = pw
+	sr.AUC = power.AUC(neutralScores, sweepScores)
+	if name == scenario.StatOmega && len(loc) > 0 {
+		sr.LocalizedN = len(loc)
+		sum := 0.0
+		for _, d := range loc {
+			sum += d
+		}
+		sr.LocMeanBP = sum / float64(len(loc))
+		sorted := append([]float64(nil), loc...)
+		sort.Float64s(sorted)
+		sr.LocMedianBP = sorted[len(sorted)/2]
+	}
+	return sr
+}
+
+// finiteSummary counts and averages the finite entries of a score
+// slice (mean 0 when none are finite).
+func finiteSummary(scores []float64) (n int, mean float64) {
+	sum := 0.0
+	for _, v := range scores {
+		if !math.IsInf(v, 0) && !math.IsNaN(v) {
+			n++
+			sum += v
+		}
+	}
+	if n > 0 {
+		mean = sum / float64(n)
+	}
+	return n, mean
+}

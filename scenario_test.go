@@ -1,0 +1,202 @@
+package omegago_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"omegago"
+	"omegago/internal/scenario"
+)
+
+// testScenarioSpec is a tiny two-cell study small enough to execute in
+// a unit test (a few hundred milliseconds): constant demography, two
+// sweep strengths, ω plus one SFS comparator.
+func testScenarioSpec() omegago.ScenarioSpec {
+	return omegago.ScenarioSpec{
+		Schema:     scenario.SchemaVersion,
+		Name:       "e2e",
+		Seed:       42,
+		Replicates: 4,
+		RegionBP:   200000,
+		Rho:        80,
+		FPR:        0.25,
+		Statistics: []string{scenario.StatOmega, scenario.StatTajimaD},
+		Scan:       scenario.ScanConfig{MaxWindow: 40000},
+		Axes: scenario.Axes{
+			Demographies: []scenario.Demography{{Name: "constant"}},
+			SweepAlphas:  []float64{500, 2000},
+			SampleSizes:  []int{16},
+			SNPCounts:    []int{80},
+			MissingRates: []float64{0},
+			GridSizes:    []int{8},
+		},
+	}
+}
+
+func TestRunScenarioDeterministicBytes(t *testing.T) {
+	spec := testScenarioSpec()
+	t1, err := omegago.RunScenario(context.Background(), spec, omegago.ScenarioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same spec, different worker topology: byte-identical tables.
+	t2, err := omegago.RunScenario(context.Background(), spec, omegago.ScenarioOptions{
+		CellWorkers: 2, BatchWorkers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := t1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := t2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("scenario result tables are not byte-identical across runs")
+	}
+
+	if len(t1.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(t1.Cells))
+	}
+	for _, c := range t1.Cells {
+		if c.Error != "" {
+			t.Fatalf("cell %d failed: %s", c.Index, c.Error)
+		}
+		om, ok := c.Stat(scenario.StatOmega)
+		if !ok || om.Error != "" {
+			t.Fatalf("cell %d has no omega result (%+v)", c.Index, om)
+		}
+		if om.SweepFinite == 0 || om.LocalizedN == 0 {
+			t.Errorf("cell %d: omega scored no sweep replicates (%+v)", c.Index, om)
+		}
+		if om.AUC < 0 || om.AUC > 1 || om.Power < 0 || om.Power > 1 {
+			t.Errorf("cell %d: omega power/AUC out of range (%+v)", c.Index, om)
+		}
+		if _, ok := c.Stat(scenario.StatTajimaD); !ok {
+			t.Errorf("cell %d missing tajima-d result", c.Index)
+		}
+	}
+
+	// The rendered report is a pure function of the table.
+	if omegago.RenderScenarioMarkdown(*t1) != omegago.RenderScenarioMarkdown(*t2) {
+		t.Error("markdown reports differ for identical tables")
+	}
+}
+
+func TestRunScenarioCellErrorIsolation(t *testing.T) {
+	// MinWindow > MaxWindow passes spec validation (both are just
+	// non-negative bounds there) but Config.Validate rejects it inside
+	// ScanBatch — so every cell fails at scan time, exercising the
+	// per-cell isolation path: the run completes, rows carry errors.
+	spec := testScenarioSpec()
+	spec.Scan = scenario.ScanConfig{MinWindow: 50000, MaxWindow: 40000}
+	tab, err := omegago.RunScenario(context.Background(), spec, omegago.ScenarioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range tab.Cells {
+		if c.Error == "" {
+			t.Fatalf("cell %d should have failed", c.Index)
+		}
+		if len(c.Statistics) != 0 {
+			t.Fatalf("failed cell %d carries statistics", c.Index)
+		}
+	}
+	md := omegago.RenderScenarioMarkdown(*tab)
+	if !strings.Contains(md, "## Failed cells") {
+		t.Error("report should list the failed cells")
+	}
+}
+
+func TestRunScenarioCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := omegago.RunScenario(ctx, testScenarioSpec(), omegago.ScenarioOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestRunScenarioBadSpec(t *testing.T) {
+	spec := testScenarioSpec()
+	spec.Rho = 0
+	if _, err := omegago.RunScenario(context.Background(), spec, omegago.ScenarioOptions{}); !errors.Is(err, omegago.ErrBadScenarioSpec) {
+		t.Fatalf("want ErrBadScenarioSpec, got %v", err)
+	}
+	if _, err := omegago.LoadScenarioSpec(t.TempDir() + "/none.json"); !errors.Is(err, omegago.ErrBadScenarioSpec) {
+		t.Fatal("missing spec file should wrap ErrBadScenarioSpec")
+	}
+}
+
+func TestRunScenarioObservability(t *testing.T) {
+	reg := omegago.NewRegistry()
+	met := omegago.NewMetrics(reg)
+	var calls int
+	spec := testScenarioSpec()
+	spec.Axes.SweepAlphas = []float64{500} // one cell is enough here
+	_, err := omegago.RunScenario(context.Background(), spec, omegago.ScenarioOptions{
+		Metrics: met,
+		OnCell: func(done, total int) {
+			calls++
+			if total != 1 || done != 1 {
+				t.Errorf("OnCell(%d, %d), want (1, 1)", done, total)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("OnCell called %d times, want 1", calls)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	expo := buf.String()
+	for _, want := range []string{
+		"omegago_scenario_cells_total 1",
+		"omegago_scenario_cell_failures_total 0",
+		"omegago_scenario_replicates_total 8",
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestRunScenarioMissingDataAxis drives the missing-rate axis: ω and
+// the SFS statistics are mask-aware and must produce results, while iHS
+// must record a per-statistic missing-data error without failing the
+// cell.
+func TestRunScenarioMissingDataAxis(t *testing.T) {
+	spec := testScenarioSpec()
+	spec.Statistics = []string{scenario.StatOmega, scenario.StatFayWuH, scenario.StatIHS}
+	spec.Axes.SweepAlphas = []float64{2000}
+	spec.Axes.MissingRates = []float64{0.1}
+	tab, err := omegago.RunScenario(context.Background(), spec, omegago.ScenarioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tab.Cells[0]
+	if c.Error != "" {
+		t.Fatalf("cell failed: %s", c.Error)
+	}
+	om, _ := c.Stat(scenario.StatOmega)
+	if om.Error != "" || om.SweepFinite == 0 {
+		t.Errorf("omega should handle missing data (%+v)", om)
+	}
+	fw, _ := c.Stat(scenario.StatFayWuH)
+	if fw.Error != "" || fw.SweepFinite == 0 {
+		t.Errorf("fay-wu-h should handle missing data (%+v)", fw)
+	}
+	ih, ok := c.Stat(scenario.StatIHS)
+	if !ok || ih.Error == "" || !strings.Contains(ih.Error, "missing data") {
+		t.Errorf("ihs should record a missing-data error (%+v)", ih)
+	}
+}
