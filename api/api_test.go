@@ -170,10 +170,182 @@ func TestRequestValidation(t *testing.T) {
 	}
 }
 
+func validBatchReport() BatchReport {
+	rep := validReport()
+	rep.Timing = nil
+	return BatchReport{
+		Schema:    SchemaVersion,
+		Backend:   "cpu",
+		BatchHash: strings.Repeat("cd", 32),
+		Replicates: []BatchItem{
+			{Index: 0, Report: &rep},
+			{Index: 1, Skipped: true},
+			{Index: 2, Error: &Error{Code: CodeInput, Message: "empty"}},
+		},
+		Scanned: 1, Skipped: 1, Failed: 1,
+		OmegaScores: 42, R2Computed: 7, R2Reused: 3,
+		Timing: &Timing{WallSeconds: 1.5},
+	}
+}
+
+func TestBatchReportRoundTrip(t *testing.T) {
+	b, err := validBatchReport().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodeBatchReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Errorf("batch report Encode∘Decode∘Encode not byte-identical:\n%s\nvs\n%s", b, b2)
+	}
+	if _, err := DecodeBatchReport(append(b, '{', '}')); err == nil {
+		t.Error("trailing data accepted")
+	}
+}
+
+// Canonical strips the batch timing and every replicate timing without
+// mutating the receiver.
+func TestBatchReportCanonical(t *testing.T) {
+	br := validBatchReport()
+	br.Replicates[0].Report.Timing = &Timing{WallSeconds: 9}
+	canon, err := br.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(canon, []byte("timing")) {
+		t.Errorf("canonical batch report still mentions timing:\n%s", canon)
+	}
+	if br.Timing == nil || br.Replicates[0].Report.Timing == nil {
+		t.Error("Canonical mutated its receiver")
+	}
+}
+
+func TestBatchReportValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*BatchReport)
+	}{
+		{"bad schema", func(b *BatchReport) { b.Schema = 0 }},
+		{"short batch hash", func(b *BatchReport) { b.BatchHash = "abcd" }},
+		{"no outcome", func(b *BatchReport) { b.Replicates[1] = BatchItem{Index: 1} }},
+		{"two outcomes", func(b *BatchReport) { b.Replicates[1].Error = &Error{Code: CodeInput, Message: "x"} }},
+		{"bad replicate report", func(b *BatchReport) { b.Replicates[0].Report.Schema = 0 }},
+	}
+	for _, tc := range cases {
+		b := validBatchReport()
+		tc.mut(&b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted it", tc.name)
+		}
+	}
+}
+
+func TestJobResult(t *testing.T) {
+	rep := validReport()
+	scan := JobResult{Schema: SchemaVersion, Kind: KindScan, Scan: &rep}
+	b, err := scan.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte("timing")) {
+		t.Errorf("canonical job result still mentions timing:\n%s", b)
+	}
+	d, err := DecodeJobResult(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Error("job result Canonical∘Decode∘Encode not byte-identical")
+	}
+
+	batch := validBatchReport()
+	bad := []JobResult{
+		{Schema: SchemaVersion, Kind: "martian", Scan: &rep},
+		{Schema: SchemaVersion, Kind: KindScan},
+		{Schema: SchemaVersion, Kind: KindScan, Scan: &rep, Batch: &batch},
+		{Schema: SchemaVersion, Kind: KindBatch, Scan: &rep},
+		{Schema: SchemaVersion, Kind: KindStream, Batch: &batch},
+		{Schema: 0, Kind: KindScan, Scan: &rep},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad[%d]: Validate accepted kind=%q scan=%v batch=%v", i, r.Kind, r.Scan != nil, r.Batch != nil)
+		}
+	}
+	good := JobResult{Schema: SchemaVersion, Kind: KindBatch, Batch: &batch}
+	if err := good.Validate(); err != nil {
+		t.Errorf("batch job result rejected: %v", err)
+	}
+	stream := JobResult{Schema: SchemaVersion, Kind: KindStream, Scan: &rep}
+	if err := stream.Validate(); err != nil {
+		t.Errorf("stream job result rejected: %v", err)
+	}
+}
+
+func TestJobResultWithLabel(t *testing.T) {
+	rep := validReport()
+	rep.Label = ""
+	r := JobResult{Schema: SchemaVersion, Kind: KindScan, Scan: &rep}
+	labeled := r.WithLabel("night-run")
+	if labeled.Scan.Label != "night-run" {
+		t.Errorf("label not applied: %q", labeled.Scan.Label)
+	}
+	if rep.Label != "" {
+		t.Error("WithLabel mutated the stored payload")
+	}
+}
+
+func TestRequestKindValidation(t *testing.T) {
+	r := validRequest()
+	r.Kind = "martian"
+	if err := r.Validate(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+
+	r = validRequest()
+	r.Datasets = []DatasetRef{{ContentHash: strings.Repeat("ab", 32)}}
+	r.Dataset = DatasetRef{}
+	if err := r.Validate(); err == nil {
+		t.Error("datasets list without batch kind accepted")
+	}
+	r.Kind = KindBatch
+	if err := r.Validate(); err != nil {
+		t.Errorf("batch datasets request rejected: %v", err)
+	}
+	r.Dataset = DatasetRef{Path: "x.ms", Format: "ms"}
+	if err := r.Validate(); err == nil {
+		t.Error("dataset and datasets together accepted")
+	}
+	r.Dataset = DatasetRef{}
+	r.Datasets = append(r.Datasets, DatasetRef{ContentHash: "zz"})
+	if err := r.Validate(); err == nil {
+		t.Error("bad datasets element accepted")
+	}
+
+	for _, kind := range []string{"", KindScan, KindBatch, KindStream} {
+		r := validRequest()
+		r.Kind = kind
+		if err := r.Validate(); err != nil {
+			t.Errorf("kind %q rejected: %v", kind, err)
+		}
+	}
+}
+
 func TestErrorMappings(t *testing.T) {
 	exits := map[string]int{
 		"": 0, CodeFailure: 1, CodeUsage: 2, CodeInput: 3,
 		CodeConfig: 4, CodeTimeout: 5, CodeCapacity: 1, CodeNotFound: 1,
+		CodeUnauthorized: 1, CodeUnavailable: 1,
 		"martian": 1,
 	}
 	for code, want := range exits {
@@ -183,7 +355,8 @@ func TestErrorMappings(t *testing.T) {
 	}
 	statuses := map[string]int{
 		CodeFailure: 500, CodeUsage: 400, CodeInput: 400, CodeConfig: 400,
-		CodeTimeout: 504, CodeCapacity: 429, CodeNotFound: 404, "martian": 500,
+		CodeTimeout: 504, CodeCapacity: 429, CodeNotFound: 404,
+		CodeUnauthorized: 401, CodeUnavailable: 503, "martian": 500,
 	}
 	for code, want := range statuses {
 		e := &Error{Code: code, Message: "m"}

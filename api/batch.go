@@ -1,0 +1,129 @@
+package api
+
+import (
+	"encoding/hex"
+	"fmt"
+)
+
+// BatchItem is one replicate of a batch job's result: either a full
+// per-replicate ScanReport, a per-replicate error (one failing
+// replicate never aborts the batch), or a skipped marker (an ms
+// replicate with zero segregating sites). Exactly one of Report, Error
+// and Skipped describes the outcome.
+type BatchItem struct {
+	// Index is the replicate's position in the batch (0-based).
+	Index int `json:"index"`
+	// Skipped marks a replicate with no data to scan.
+	Skipped bool `json:"skipped,omitempty"`
+	// Error classifies a replicate whose scan failed.
+	Error *Error `json:"error,omitempty"`
+	// Report is the replicate's scan result (label-free; the batch
+	// label lives on the BatchReport).
+	Report *ScanReport `json:"report,omitempty"`
+}
+
+// BatchReport is the machine-readable result of a batch job: what
+// `omegago -all-replicates -json` prints and what
+// GET /v1/jobs/{id}/result returns for a batch-kind job. Like
+// ScanReport, the deterministic parts are a pure function of (replicate
+// bytes, resolved parameters); Timing is the only nondeterministic part
+// and Canonical strips it at every level.
+type BatchReport struct {
+	// Schema must equal SchemaVersion.
+	Schema int `json:"schema"`
+	// Label is the free-form run label ("" when unset).
+	Label string `json:"label,omitempty"`
+	// Backend is the canonical engine name that produced the results.
+	Backend string `json:"backend"`
+	// BatchHash is the combined content identity of the batch: the
+	// lowercase-hex SHA-256 over every replicate's bitmat content hash
+	// in order (skipped replicates contribute a fixed marker). Empty
+	// when the producer did not compute it.
+	BatchHash string `json:"batch_hash,omitempty"`
+	// Replicates holds one entry per input replicate, in input order.
+	Replicates []BatchItem `json:"replicates"`
+	// Scanned / Skipped / Failed partition len(Replicates).
+	Scanned int `json:"scanned"`
+	Skipped int `json:"skipped"`
+	Failed  int `json:"failed"`
+	// OmegaScores / R2Computed / R2Reused / R2Duplicated are the work
+	// counters summed over the scanned replicates.
+	OmegaScores  int64 `json:"omega_scores"`
+	R2Computed   int64 `json:"r2_computed"`
+	R2Reused     int64 `json:"r2_reused"`
+	R2Duplicated int64 `json:"r2_duplicated,omitempty"`
+	// Timing aggregates the batch: LD/ω seconds summed across
+	// replicates, wall seconds measured over the whole batch. Nil in
+	// canonical form.
+	Timing *Timing `json:"timing,omitempty"`
+}
+
+// Validate reports the first structural defect of the report.
+func (b BatchReport) Validate() error {
+	if err := checkSchema("batch report", b.Schema); err != nil {
+		return err
+	}
+	if b.BatchHash != "" {
+		if h, err := hex.DecodeString(b.BatchHash); err != nil || len(h) != 32 {
+			return fmt.Errorf("api: batch_hash %q is not 64 hex digits", b.BatchHash)
+		}
+	}
+	for i, item := range b.Replicates {
+		set := 0
+		for _, present := range []bool{item.Skipped, item.Error != nil, item.Report != nil} {
+			if present {
+				set++
+			}
+		}
+		if set != 1 {
+			return fmt.Errorf("api: replicates[%d]: exactly one of skipped, error, report must be set (got %d)", i, set)
+		}
+		if item.Report != nil {
+			if err := item.Report.Validate(); err != nil {
+				return fmt.Errorf("api: replicates[%d]: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Encode renders the report in the canonical byte form, timings
+// included (when present).
+func (b BatchReport) Encode() ([]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return encodeCanonical(b)
+}
+
+// Canonical renders the deterministic canonical form: the report with
+// its Timing and every replicate report's Timing stripped. Two batch
+// runs over identical replicate bytes with identical resolved
+// parameters yield byte-identical Canonical output — the property the
+// omegad result store relies on.
+func (b BatchReport) Canonical() ([]byte, error) {
+	b.Timing = nil
+	reps := make([]BatchItem, len(b.Replicates))
+	for i, item := range b.Replicates {
+		if item.Report != nil {
+			r := *item.Report
+			r.Timing = nil
+			item.Report = &r
+		}
+		reps[i] = item
+	}
+	b.Replicates = reps
+	return b.Encode()
+}
+
+// DecodeBatchReport strictly parses and validates a batch report.
+func DecodeBatchReport(data []byte) (BatchReport, error) {
+	var b BatchReport
+	if err := decodeStrict(data, &b); err != nil {
+		return BatchReport{}, err
+	}
+	if err := b.Validate(); err != nil {
+		return BatchReport{}, err
+	}
+	return b, nil
+}

@@ -28,6 +28,16 @@ const (
 	// CodeNotFound marks a reference to an unknown job or dataset. No
 	// CLI analogue; maps to exit 1 and HTTP 404.
 	CodeNotFound = "not_found"
+	// CodeUnauthorized marks a request rejected by bearer-token
+	// authentication: a missing, malformed or unknown token on a server
+	// started with -auth-token. No CLI analogue; maps to exit 1 and
+	// HTTP 401.
+	CodeUnauthorized = "unauthorized"
+	// CodeUnavailable marks a request the server cannot take right now:
+	// admission stopped because the server is draining for shutdown, or
+	// a job interrupted by a shutdown. No CLI analogue; maps to exit 1
+	// and HTTP 503.
+	CodeUnavailable = "unavailable"
 )
 
 // Error is the wire error envelope: a machine-dispatchable code class
@@ -59,7 +69,7 @@ func ExitCode(code string) int {
 		return 4
 	case CodeTimeout:
 		return 5
-	default: // CodeFailure, CodeCapacity, CodeNotFound, unknown
+	default: // CodeFailure, CodeCapacity, CodeNotFound, CodeUnauthorized, CodeUnavailable, unknown
 		return 1
 	}
 }
@@ -76,6 +86,10 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusTooManyRequests
 	case CodeTimeout:
 		return http.StatusGatewayTimeout
+	case CodeUnauthorized:
+		return http.StatusUnauthorized
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}

@@ -2,9 +2,9 @@ package api
 
 import "fmt"
 
-// Job lifecycle states. A job moves queued → running → one of the three
-// terminal states (done, failed, canceled); a cache hit goes straight
-// to done.
+// Job lifecycle states. A job moves queued → running → one of the
+// terminal states (done, failed, canceled, interrupted); a cache hit
+// goes straight to done.
 const (
 	// StateQueued means the job is admitted and waiting for a worker.
 	StateQueued = "queued"
@@ -16,6 +16,10 @@ const (
 	StateFailed = "failed"
 	// StateCanceled means the job was canceled before it finished.
 	StateCanceled = "canceled"
+	// StateInterrupted means the server stopped (shutdown past the
+	// drain window, or a crash recovered from the durable store) while
+	// the job was running. Terminal; resubmit to run the job again.
+	StateInterrupted = "interrupted"
 )
 
 // ProgressInfo is a point-in-time progress snapshot of a running job,
@@ -34,6 +38,13 @@ type ProgressInfo struct {
 	// ETASeconds estimates the remaining time (0 until the first grid
 	// position completes).
 	ETASeconds float64 `json:"eta_seconds,omitempty"`
+	// ReplicatesDone / ReplicatesTotal track batch-job completion
+	// (zero for scan and stream jobs).
+	ReplicatesDone  int `json:"replicates_done,omitempty"`
+	ReplicatesTotal int `json:"replicates_total,omitempty"`
+	// ChunksLoaded counts the input chunks a stream job has read so far
+	// (zero for resident jobs).
+	ChunksLoaded int64 `json:"chunks_loaded,omitempty"`
 }
 
 // JobStatus is the service's description of one job: the body of
@@ -44,6 +55,9 @@ type JobStatus struct {
 	Schema int `json:"schema"`
 	// ID is the server-assigned job identifier.
 	ID string `json:"id"`
+	// Kind is the job kind ("scan", "batch", "stream"; "" reads as
+	// scan, for statuses recorded before kinds existed).
+	Kind string `json:"kind,omitempty"`
 	// State is one of the State* constants.
 	State string `json:"state"`
 	// Priority is the admitted priority ("high", "normal", "low").
@@ -75,8 +89,13 @@ func (s JobStatus) Validate() error {
 	if err := checkSchema("job status", s.Schema); err != nil {
 		return err
 	}
+	switch s.Kind {
+	case "", KindScan, KindBatch, KindStream:
+	default:
+		return fmt.Errorf("api: unknown job kind %q", s.Kind)
+	}
 	switch s.State {
-	case StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateInterrupted:
 	default:
 		return fmt.Errorf("api: unknown job state %q", s.State)
 	}

@@ -96,13 +96,50 @@ const (
 	PriorityLow = "low"
 )
 
+// Job kinds a ScanRequest may name. Every kind runs through the same
+// admission queue, worker pool, result store and caching rules; they
+// differ in how the dataset reference is expanded and in the shape of
+// the result (docs/API.md "Job kinds").
+const (
+	// KindScan is a whole-dataset resident scan — one dataset in, one
+	// ScanReport out. The default when the request names no kind.
+	KindScan = "scan"
+	// KindBatch scans N replicates through the concurrent batch
+	// pipeline (the service-side analogue of `omegago -all-replicates`):
+	// an ms path reference expands to every replicate in the file, a
+	// datasets list names each replicate explicitly. The result is a
+	// BatchReport with per-replicate rows and error isolation.
+	KindBatch = "batch"
+	// KindStream scans the stored bitmat blob of the dataset out of
+	// core with ScanStream: chunked rows, double-buffered I/O, chunk-
+	// level progress. CPU backend only. The result is a ScanReport with
+	// the stream_* counters set.
+	KindStream = "stream"
+)
+
+// SkippedDatasetHash is the all-zero content hash a batch datasets
+// list uses as the placeholder for a skipped replicate (an ms
+// replicate with zero segregating sites). It keeps replicate indices —
+// and therefore the batch content identity — stable when a request is
+// normalized for the durable store: SHA-256 never produces the
+// all-zero digest, so the placeholder cannot collide with a real
+// dataset.
+const SkippedDatasetHash = "0000000000000000000000000000000000000000000000000000000000000000"
+
 // ScanRequest is the body of POST /v1/scan: which dataset to scan,
 // with which parameters, how urgently, and for at most how long.
 type ScanRequest struct {
 	// Schema must equal SchemaVersion.
 	Schema int `json:"schema"`
-	// Dataset names the input (exactly one reference kind set).
-	Dataset DatasetRef `json:"dataset"`
+	// Kind is the job kind: "scan", "batch", or "stream" ("" = scan).
+	Kind string `json:"kind,omitempty"`
+	// Dataset names the input (exactly one reference kind set). Batch
+	// jobs may set Datasets instead to name each replicate explicitly.
+	Dataset DatasetRef `json:"dataset,omitempty"`
+	// Datasets names every replicate of a batch job individually (batch
+	// kind only, mutually exclusive with Dataset). Each element follows
+	// the DatasetRef rules.
+	Datasets []DatasetRef `json:"datasets,omitempty"`
 	// Params configures the scan; the zero value scans with defaults.
 	Params ScanParams `json:"params"`
 	// Priority is "high", "normal", or "low" ("" = normal).
@@ -116,14 +153,31 @@ type ScanRequest struct {
 }
 
 // Validate reports the first structural defect of the request —
-// schema, dataset reference, priority, deadline sign. Scan parameters
-// are validated server-side by omegago.Config.Validate, which knows
-// the registries.
+// schema, kind, dataset reference(s), priority, deadline sign. Scan
+// parameters are validated server-side by omegago.Config.Validate,
+// which knows the registries.
 func (r ScanRequest) Validate() error {
 	if err := checkSchema("scan request", r.Schema); err != nil {
 		return err
 	}
-	if err := r.Dataset.Validate(); err != nil {
+	switch r.Kind {
+	case "", KindScan, KindBatch, KindStream:
+	default:
+		return fmt.Errorf("api: unknown job kind %q (want scan, batch, stream)", r.Kind)
+	}
+	if len(r.Datasets) > 0 {
+		if r.Kind != KindBatch {
+			return fmt.Errorf("api: datasets list requires kind %q (got %q)", KindBatch, r.Kind)
+		}
+		if r.Dataset != (DatasetRef{}) {
+			return fmt.Errorf("api: dataset and datasets are mutually exclusive")
+		}
+		for i, d := range r.Datasets {
+			if err := d.Validate(); err != nil {
+				return fmt.Errorf("api: datasets[%d]: %w", i, err)
+			}
+		}
+	} else if err := r.Dataset.Validate(); err != nil {
 		return err
 	}
 	switch r.Priority {

@@ -1,0 +1,111 @@
+package api
+
+import "fmt"
+
+// JobResult is the kind-discriminated result envelope of a finished
+// job: exactly one payload field is set, matching Kind. It is the
+// record the omegad durable store persists per cache key
+// (docs/FORMATS.md §6) and the value the in-memory result cache holds;
+// GET /v1/jobs/{id}/result unwraps it and serves the inner payload
+// directly, so scan and stream jobs answer with a plain ScanReport and
+// batch jobs with a BatchReport.
+type JobResult struct {
+	// Schema must equal SchemaVersion.
+	Schema int `json:"schema"`
+	// Kind is the job kind that produced the result ("scan", "batch",
+	// "stream").
+	Kind string `json:"kind"`
+	// Scan is the result of a scan- or stream-kind job.
+	Scan *ScanReport `json:"scan,omitempty"`
+	// Batch is the result of a batch-kind job.
+	Batch *BatchReport `json:"batch,omitempty"`
+}
+
+// Validate reports the first structural defect of the result: an
+// unknown kind, or a payload that does not match it.
+func (r JobResult) Validate() error {
+	if err := checkSchema("job result", r.Schema); err != nil {
+		return err
+	}
+	switch r.Kind {
+	case KindScan, KindStream:
+		if r.Scan == nil || r.Batch != nil {
+			return fmt.Errorf("api: %s job result must set scan (and only scan)", r.Kind)
+		}
+		return r.Scan.Validate()
+	case KindBatch:
+		if r.Batch == nil || r.Scan != nil {
+			return fmt.Errorf("api: batch job result must set batch (and only batch)")
+		}
+		return r.Batch.Validate()
+	default:
+		return fmt.Errorf("api: unknown job result kind %q", r.Kind)
+	}
+}
+
+// Encode renders the result in the canonical byte form, timings
+// included (when present).
+func (r JobResult) Encode() ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return encodeCanonical(r)
+}
+
+// Canonical renders the deterministic canonical form: the payload with
+// every Timing stripped — the bytes the durable result store writes,
+// so a result re-served after a restart is byte-identical to the one
+// served when the job finished.
+func (r JobResult) Canonical() ([]byte, error) {
+	if r.Scan != nil {
+		s := *r.Scan
+		s.Timing = nil
+		r.Scan = &s
+	}
+	if r.Batch != nil {
+		b := *r.Batch
+		b.Timing = nil
+		reps := make([]BatchItem, len(b.Replicates))
+		for i, item := range b.Replicates {
+			if item.Report != nil {
+				rep := *item.Report
+				rep.Timing = nil
+				item.Report = &rep
+			}
+			reps[i] = item
+		}
+		b.Replicates = reps
+		r.Batch = &b
+	}
+	return r.Encode()
+}
+
+// WithLabel returns a copy of the result with the request's label
+// applied to the payload. Results are stored label-free (the label is
+// the caller's echo, not part of the result identity) and re-labelled
+// at serve time.
+func (r JobResult) WithLabel(label string) JobResult {
+	if r.Scan != nil {
+		s := *r.Scan
+		s.Label = label
+		r.Scan = &s
+	}
+	if r.Batch != nil {
+		b := *r.Batch
+		b.Label = label
+		r.Batch = &b
+	}
+	return r
+}
+
+// DecodeJobResult strictly parses and validates a job result.
+func DecodeJobResult(data []byte) (JobResult, error) {
+	var r JobResult
+	if err := decodeStrict(data, &r); err != nil {
+		return JobResult{}, err
+	}
+	if err := r.Validate(); err != nil {
+		return JobResult{}, err
+	}
+	return r, nil
+}

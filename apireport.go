@@ -2,6 +2,7 @@ package omegago
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"io/fs"
 
@@ -152,4 +153,80 @@ func ParamsFromConfig(c Config) api.ScanParams {
 // normalizes to the same hash once allele-compressed.
 func DatasetContentHash(ds *Dataset) ([32]byte, error) {
 	return seqio.ContentHash(ds)
+}
+
+// BatchContentHash computes the combined content identity of a batch:
+// the SHA-256 over every replicate's bitmat content hash in input
+// order. A nil replicate (the LoadMSAll convention for a replicate
+// with zero segregating sites) contributes 32 zero bytes — the binary
+// form of api.SkippedDatasetHash — so the hash covers replicate
+// positions as well as contents, and the CLI's -all-replicates path
+// and the omegad batch kind agree on the identity of the same ms
+// file.
+func BatchContentHash(batch []*Dataset) ([32]byte, error) {
+	h := sha256.New()
+	var zero [32]byte
+	for _, ds := range batch {
+		if ds == nil {
+			h.Write(zero[:])
+			continue
+		}
+		hash, err := seqio.ContentHash(ds)
+		if err != nil {
+			return [32]byte{}, err
+		}
+		h.Write(hash[:])
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out, nil
+}
+
+// APIBatchReport converts the batch report to its wire form
+// (api.BatchReport) — the shared marshaller behind the CLI's
+// `-all-replicates -json` output and the omegad batch job result, so a
+// batch serializes identically no matter which surface produced it.
+// backend is the canonical engine name (the root BatchReport does not
+// record it); batchHash is the lowercase-hex BatchContentHash when the
+// producer knows it ("" otherwise); replicateHashes, when non-nil,
+// carries the per-replicate dataset hash for each index (use
+// api.SkippedDatasetHash or "" for skipped entries).
+func (b *BatchReport) APIBatchReport(label, backend, batchHash string, replicateHashes []string) api.BatchReport {
+	items := make([]api.BatchItem, len(b.Replicates))
+	for i, rep := range b.Replicates {
+		item := api.BatchItem{Index: rep.Index}
+		switch {
+		case rep.Skipped:
+			item.Skipped = true
+		case rep.Err != nil:
+			item.Error = APIError(rep.Err)
+		default:
+			hash := ""
+			if rep.Index < len(replicateHashes) {
+				hash = replicateHashes[rep.Index]
+			}
+			r := rep.Report.APIReport("", hash)
+			item.Report = &r
+		}
+		items[i] = item
+	}
+	return api.BatchReport{
+		Schema:       api.SchemaVersion,
+		Label:        label,
+		Backend:      backend,
+		BatchHash:    batchHash,
+		Replicates:   items,
+		Scanned:      b.Scanned,
+		Skipped:      b.Skipped,
+		Failed:       b.Failed,
+		OmegaScores:  b.OmegaScores,
+		R2Computed:   b.R2Computed,
+		R2Reused:     b.R2Reused,
+		R2Duplicated: b.R2Duplicated,
+		Timing: &api.Timing{
+			LDSeconds:    b.LDSeconds,
+			OmegaSeconds: b.OmegaSeconds,
+			WallSeconds:  b.WallSeconds,
+		},
+	}
 }

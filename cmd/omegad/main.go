@@ -1,24 +1,25 @@
 // Command omegad is the long-lived omegago scan service: an HTTP
-// server that accepts scan jobs over the versioned JSON API of package
-// api, runs them on a bounded worker pool through the same ScanContext
-// path the CLI uses, and serves results from a content-addressed cache
-// when the same dataset bits are scanned with the same parameters
-// again.
+// server that accepts scan, batch and stream jobs over the versioned
+// JSON API of package api, runs them on a bounded worker pool through
+// the same library paths the CLI uses (ScanContext, ScanBatch,
+// ScanStream), and serves results from a content-addressed store when
+// the same dataset bits are scanned with the same parameters again.
 //
 // Usage:
 //
 //	omegad -addr :8080
 //	omegad -addr 127.0.0.1:8080 -workers 4 -queue-depth 128 -allow-paths
+//	omegad -data-dir /var/lib/omegad -auth-token-file /etc/omegad/token
 //
 // Endpoints (docs/API.md is the normative reference):
 //
 //	POST   /v1/scan              submit a job (202 + JobStatus; 429 when full)
 //	GET    /v1/jobs              list jobs
 //	GET    /v1/jobs/{id}         poll one job
-//	GET    /v1/jobs/{id}/result  fetch the canonical ScanReport
+//	GET    /v1/jobs/{id}/result  fetch the canonical result (ScanReport or BatchReport)
 //	GET    /v1/jobs/{id}/events  stream status/progress as SSE
 //	DELETE /v1/jobs/{id}         cancel
-//	GET    /healthz              liveness
+//	GET    /healthz              liveness (never requires auth)
 //	GET    /metrics              Prometheus exposition (plus /debug/pprof/)
 //
 // Datasets are referenced by inline bitmat upload (bitmat_base64), by
@@ -26,6 +27,13 @@
 // (content_hash), or — only with -allow-paths — by server-local path.
 // Tenancy is declared per request with the X-Omegad-Tenant header;
 // -tenant-jobs bounds each tenant's active jobs.
+//
+// With -data-dir the server is durable: job records, canonical results
+// and dataset blobs persist under the directory (docs/FORMATS.md §6),
+// and a restart recovers history, re-enqueues queued jobs and marks
+// jobs that died mid-run interrupted. On SIGINT/SIGTERM the server
+// stops admission and drains in-flight jobs for up to -drain-timeout
+// before exiting.
 package main
 
 import (
@@ -38,10 +46,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"omegago/internal/obs"
 	"omegago/internal/service"
+	"omegago/internal/service/store"
 )
 
 func main() {
@@ -52,23 +63,67 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
 		workers      = flag.Int("workers", 0, "scan worker pool size (0 = GOMAXPROCS)")
 		queueDepth   = flag.Int("queue-depth", 64, "max jobs admitted but not yet running; a full queue answers 429")
-		cacheEntries = flag.Int("cache-entries", 128, "content-addressed result cache capacity (-1 disables)")
+		cacheEntries = flag.Int("cache-entries", 128, "in-memory result cache capacity without -data-dir (-1 disables)")
 		tenantJobs   = flag.Int("tenant-jobs", 0, "max active jobs per tenant (0 = unlimited)")
 		deadline     = flag.Duration("deadline", 0, "default per-job run deadline, e.g. 5m (0 = unlimited; requests may set a shorter one)")
 		maxBody      = flag.Int64("max-body-bytes", 64<<20, "max request body size in bytes (bounds uploads)")
 		allowPaths   = flag.Bool("allow-paths", false, "permit dataset references by server-local path")
+		dataDir      = flag.String("data-dir", "", "durable store directory (empty = in-memory; state dies with the process)")
+		cacheBytes   = flag.Int64("dataset-cache-bytes", 256<<20, "resident dataset cache cap in bytes (-1 = unlimited)")
+		tokenFile    = flag.String("auth-token-file", "", "file of bearer tokens, one per line (# comments allowed)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGINT/SIGTERM waits for in-flight jobs before exiting")
 	)
+	var tokens []string
+	flag.Func("auth-token", "bearer token required on /v1 requests (repeatable)", func(v string) error {
+		if v != "" {
+			tokens = append(tokens, v)
+		}
+		return nil
+	})
 	flag.Parse()
 
-	svc := service.New(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		CacheEntries:    *cacheEntries,
-		TenantJobs:      *tenantJobs,
-		DefaultDeadline: *deadline,
-		MaxBodyBytes:    *maxBody,
-		AllowPaths:      *allowPaths,
+	if *tokenFile != "" {
+		fromFile, err := readTokenFile(*tokenFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tokens = append(tokens, fromFile...)
+	}
+
+	reg := obs.NewRegistry()
+	storeBytes := *cacheBytes
+	if storeBytes < 0 {
+		storeBytes = 0 // store convention: ≤ 0 = unlimited
+	}
+	var st store.Store
+	if *dataDir != "" {
+		fs, err := store.NewFS(*dataDir, store.Options{
+			DatasetCacheBytes: storeBytes,
+			Metrics:           obs.NewStoreMetrics(reg),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st = fs
+		log.Printf("durable store at %s", fs.Dir())
+	}
+
+	svc, err := service.New(service.Config{
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		CacheEntries:      *cacheEntries,
+		TenantJobs:        *tenantJobs,
+		DefaultDeadline:   *deadline,
+		MaxBodyBytes:      *maxBody,
+		AllowPaths:        *allowPaths,
+		Registry:          reg,
+		Store:             st,
+		DatasetCacheBytes: *cacheBytes,
+		AuthTokens:        tokens,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())
@@ -95,13 +150,35 @@ func main() {
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
+		svc.Close()
 	case got := <-sig:
-		log.Printf("received %v, shutting down", got)
+		log.Printf("received %v, draining for up to %v", got, *drainTimeout)
+		// Stop admission and let in-flight jobs finish, then stop the
+		// HTTP listener. Jobs still queued past the window stay queued in
+		// the durable store and resume at the next start.
+		svc.Drain(*drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
 		cancel()
 	}
-	svc.Close()
+}
+
+// readTokenFile loads bearer tokens, one per line; blank lines and
+// #-comments are skipped.
+func readTokenFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tokens []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tokens = append(tokens, line)
+	}
+	return tokens, nil
 }

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"omegago"
+	"omegago/api"
 	"omegago/internal/fpga"
 	"omegago/internal/gpu"
 	"omegago/internal/report"
@@ -359,14 +360,47 @@ func main() {
 		if workers > len(batch) {
 			workers = len(batch)
 		}
-		fmt.Printf("# omegago batch scan: %d replicates, backend=%s, workers=%d\n",
-			len(batch), cfg.Backend, workers)
+		if !*asJSON {
+			fmt.Printf("# omegago batch scan: %d replicates, backend=%s, workers=%d\n",
+				len(batch), cfg.Backend, workers)
+		}
 		scanDone := tr.Begin("batch-scan")
 		brep, err := omegago.ScanBatch(ctx, batch, cfg)
 		if err != nil {
 			fatal(err)
 		}
 		scanDone(map[string]any{"replicates": len(batch), "workers": workers})
+		if *asJSON {
+			// Canonical api wire form, same marshaller omegad uses for
+			// batch jobs: `omegago -all-replicates -json` and an
+			// HTTP-submitted batch over the same replicates are
+			// byte-identical outside the timing block.
+			batchHash, herr := omegago.BatchContentHash(batch)
+			if herr != nil {
+				fatal(herr)
+			}
+			hashes := make([]string, len(batch))
+			for i, d := range batch {
+				if d == nil {
+					hashes[i] = api.SkippedDatasetHash
+					continue
+				}
+				h, herr := omegago.DatasetContentHash(d)
+				if herr != nil {
+					fatal(herr)
+				}
+				hashes[i] = hex.EncodeToString(h[:])
+			}
+			out, jerr := brep.APIBatchReport("", cfg.Backend.String(),
+				hex.EncodeToString(batchHash[:]), hashes).Encode()
+			if jerr != nil {
+				fatal(jerr)
+			}
+			if _, err := os.Stdout.Write(out); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		fmt.Println("# replicate\tsnps\tbest_position\tmax_omega")
 		for i, item := range brep.Replicates {
 			switch {

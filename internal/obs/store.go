@@ -1,0 +1,48 @@
+package obs
+
+// StoreMetrics is the omegad storage-layer metric bundle: what the
+// job/result/blob stores write, what the in-memory dataset cache holds
+// and evicts, and what startup recovery found in a durable store.
+// Like Metrics, creating it twice over the same registry reattaches to
+// the same series.
+type StoreMetrics struct {
+	// Dataset cache (both store kinds front resident datasets with a
+	// byte-capped LRU; only the memory copy is ever evicted — durable
+	// blobs stay on disk).
+	DatasetCacheBytes *Gauge   // omegad_dataset_cache_bytes
+	DatasetEvictions  *Counter // omegad_dataset_evictions_total
+
+	// Store write counters.
+	JobWrites    *Counter // omegad_store_job_writes_total
+	ResultWrites *Counter // omegad_store_result_writes_total
+	BlobWrites   *Counter // omegad_store_blob_writes_total
+
+	// Startup recovery outcomes, one labeled series per outcome under
+	// omegad_recovered_jobs_total.
+	RecoveredHistory     *Counter // {outcome="history"}
+	RecoveredRequeued    *Counter // {outcome="requeued"}
+	RecoveredInterrupted *Counter // {outcome="interrupted"}
+}
+
+// NewStoreMetrics registers (or reattaches to) the storage metric
+// bundle on reg.
+func NewStoreMetrics(reg *Registry) *StoreMetrics {
+	return &StoreMetrics{
+		DatasetCacheBytes: reg.Gauge("omegad_dataset_cache_bytes",
+			"Bytes of resident datasets held by the in-memory dataset cache."),
+		DatasetEvictions: reg.Counter("omegad_dataset_evictions_total",
+			"Resident datasets evicted from the in-memory dataset cache (durable blobs are never evicted)."),
+		JobWrites: reg.Counter("omegad_store_job_writes_total",
+			"Job records written to the store."),
+		ResultWrites: reg.Counter("omegad_store_result_writes_total",
+			"Canonical results written to the store."),
+		BlobWrites: reg.Counter("omegad_store_blob_writes_total",
+			"Dataset blobs written to the store (content-addressed; rewrites of a held blob are skipped)."),
+		RecoveredHistory: reg.Counter(`omegad_recovered_jobs_total{outcome="history"}`,
+			"Terminal job records reloaded from the durable store at startup."),
+		RecoveredRequeued: reg.Counter(`omegad_recovered_jobs_total{outcome="requeued"}`,
+			"Queued job records re-enqueued from the durable store at startup."),
+		RecoveredInterrupted: reg.Counter(`omegad_recovered_jobs_total{outcome="interrupted"}`,
+			"Job records found running at startup and marked interrupted."),
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"omegago/internal/bitvec"
 )
@@ -246,6 +247,70 @@ func WriteBitmatFile(path string, a *Alignment) error {
 		return err
 	}
 	return f.Close()
+}
+
+// WriteBitmatFileAtomic writes the alignment to path through a
+// temporary file in the same directory followed by a rename, so a
+// reader never observes a partially written bitmat file and a crash
+// mid-write leaves the previous content (or absence) intact. The
+// durable omegad blob store writes every dataset through this path.
+func WriteBitmatFileAtomic(path string, a *Alignment) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func() {
+		f.Close()
+		os.Remove(tmp)
+	}
+	if err := WriteBitmat(f, a); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// BitmatSize returns the exact on-disk size in bytes of the bitmat
+// encoding of a — header, positions table, packed rows, and (when the
+// alignment carries validity masks) the presence bitmap plus one mask
+// row per masked SNP. It costs a validation pass, not an encode; the
+// omegad dataset cache uses it as the byte weight of a resident
+// dataset.
+func BitmatSize(a *Alignment) (int64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	if a.NumSNPs() == 0 {
+		return 0, fmt.Errorf("seqio: bitmat: alignment has no SNPs")
+	}
+	wordsPerRow := bitvec.WordsFor(a.Samples())
+	hasMask := a.Matrix.HasMissing()
+	_, _, size := bitmatLayout(a.NumSNPs(), wordsPerRow, hasMask)
+	if hasMask {
+		for i := 0; i < a.NumSNPs(); i++ {
+			if a.Matrix.Mask(i) != nil {
+				size += int64(wordsPerRow) * 8
+			}
+		}
+	}
+	return size, nil
 }
 
 // bitmatFile is a parsed bitmat image: the validated header plus

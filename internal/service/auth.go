@@ -1,0 +1,46 @@
+package service
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"strings"
+
+	"omegago/api"
+)
+
+// authMiddleware enforces bearer-token auth over the API when the
+// operator configured tokens (omegad -auth-token / -auth-token-file).
+// /healthz and /metrics stay open — liveness probes and metrics
+// scrapers rarely carry credentials, and neither endpoint exposes job
+// data. Token comparison is constant-time over every configured token
+// (no early exit on a match), so response timing leaks neither token
+// contents nor which entry matched.
+func authMiddleware(tokens []string, next http.Handler) http.Handler {
+	if len(tokens) == 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		const prefix = "Bearer "
+		header := r.Header.Get("Authorization")
+		ok := 0
+		if len(header) > len(prefix) && strings.EqualFold(header[:len(prefix)], prefix) {
+			presented := []byte(header[len(prefix):])
+			for _, t := range tokens {
+				ok |= subtle.ConstantTimeCompare(presented, []byte(t))
+			}
+		}
+		if ok != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="omegad"`)
+			writeError(w, &api.Error{
+				Code:    api.CodeUnauthorized,
+				Message: "missing or invalid bearer token",
+			})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"omegago/api"
+)
+
+// TestBearerAuth: with tokens configured, /v1 requests need a valid
+// bearer token (any configured one), while /healthz and /metrics stay
+// open; without tokens, everything is open.
+func TestBearerAuth(t *testing.T) {
+	_, srv := newTestService(t, Config{
+		Workers:    1,
+		AuthTokens: []string{"token-one", "token-two"},
+	})
+
+	do := func(path, token string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest("GET", srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Exempt endpoints need no credentials.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		if resp := do(path, ""); resp.StatusCode != http.StatusOK {
+			t.Errorf("%s without token: HTTP %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	// /v1 without (or with a wrong) token: 401 with the wire envelope.
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/jobs", nil)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no token: HTTP %d, want 401", resp.StatusCode)
+	}
+	var e api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Code != api.CodeUnauthorized {
+		t.Errorf("401 envelope = %+v (decode err %v)", e, err)
+	}
+	resp.Body.Close()
+	if resp := do("/v1/jobs", "wrong"); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("bad token: HTTP %d, want 401", resp.StatusCode)
+	}
+
+	// Every configured token works.
+	for _, token := range []string{"token-one", "token-two"} {
+		if resp := do("/v1/jobs", token); resp.StatusCode != http.StatusOK {
+			t.Errorf("token %q: HTTP %d, want 200", token, resp.StatusCode)
+		}
+	}
+
+	// No tokens configured: open.
+	_, open := newTestService(t, Config{Workers: 1})
+	resp, err = open.Client().Get(open.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("open service /v1/jobs: HTTP %d, want 200", resp.StatusCode)
+	}
+}

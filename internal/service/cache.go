@@ -1,28 +1,30 @@
 package service
 
 import (
-	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"strconv"
-	"sync"
 
 	"omegago/api"
 )
 
-// cacheKey derives the content-addressed identity of a scan result:
-// the SHA-256 of the dataset's bitmat content hash concatenated with a
-// canonical rendering of the normalized wire parameters. The dataset
-// hash covers every bit of the input (a single flipped allele changes
-// it); the parameter string covers every scan-relevant knob (params
-// are normalized through ConfigFromParams∘ParamsFromConfig, so alias
-// spellings like "gpu" and "gpu-sim" hit the same entry but any real
-// parameter delta misses). Floats are rendered with strconv shortest
-// form rather than JSON so non-finite values cannot break the key.
-func cacheKey(datasetHash [32]byte, p api.ScanParams) string {
+// cacheKey derives the content-addressed identity of a job result:
+// the SHA-256 of the job's content identity (the dataset's bitmat
+// content hash, or the combined batch hash) concatenated with a
+// canonical rendering of the normalized wire parameters and the job
+// kind. The content hash covers every bit of the input (a single
+// flipped allele changes it); the parameter string covers every
+// scan-relevant knob (params are normalized through
+// ConfigFromParams∘ParamsFromConfig, so alias spellings like "gpu"
+// and "gpu-sim" hit the same entry but any real parameter delta
+// misses); the kind keeps a stream result — identical values, but
+// stream_* counters set — from masquerading as a scan result over the
+// same dataset. Floats are rendered with strconv shortest form rather
+// than JSON so non-finite values cannot break the key.
+func cacheKey(contentHash [32]byte, p api.ScanParams, kind string) string {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	h := sha256.New()
-	h.Write(datasetHash[:])
+	h.Write(contentHash[:])
 	for _, part := range []string{
 		"grid", strconv.Itoa(p.GridSize),
 		"minwin", f(p.MinWindow),
@@ -35,69 +37,10 @@ func cacheKey(datasetHash [32]byte, p api.ScanParams) string {
 		"threads", strconv.Itoa(p.Threads),
 		"gemm", strconv.FormatBool(p.UseGEMMLD),
 		"chunk", strconv.Itoa(p.ChunkSNPs),
+		"kind", kind,
 	} {
 		h.Write([]byte(part))
 		h.Write([]byte{0})
 	}
 	return hex.EncodeToString(h.Sum(nil))
-}
-
-// resultCache is a bounded LRU of finished scan reports keyed by
-// cacheKey. Reports are stored label-free (the label is the caller's
-// echo, not part of the result identity) and returned by value.
-type resultCache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[string]*list.Element
-	lru     *list.List // front = most recent
-}
-
-type cacheEntry struct {
-	key    string
-	report api.ScanReport
-}
-
-func newResultCache(max int) *resultCache {
-	if max < 0 {
-		max = 0
-	}
-	return &resultCache{max: max, entries: map[string]*list.Element{}, lru: list.New()}
-}
-
-func (c *resultCache) get(key string) (api.ScanReport, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		return api.ScanReport{}, false
-	}
-	c.lru.MoveToFront(el)
-	return el.Value.(*cacheEntry).report, true
-}
-
-func (c *resultCache) put(key string, report api.ScanReport) {
-	if c.max == 0 {
-		return
-	}
-	report.Label = ""
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).report = report
-		c.lru.MoveToFront(el)
-		return
-	}
-	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, report: report})
-	for c.lru.Len() > c.max {
-		last := c.lru.Back()
-		c.lru.Remove(last)
-		delete(c.entries, last.Value.(*cacheEntry).key)
-	}
-}
-
-// len reports the current entry count (tests).
-func (c *resultCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
 }

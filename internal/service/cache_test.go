@@ -18,7 +18,7 @@ func TestCacheKeyParamsSensitivity(t *testing.T) {
 	}
 	base := api.ScanParams{GridSize: 32, MaxWindow: 20000}
 
-	if k1, k2 := cacheKey(hash, base), cacheKey(hash, base); k1 != k2 {
+	if k1, k2 := cacheKey(hash, base, api.KindScan), cacheKey(hash, base, api.KindScan); k1 != k2 {
 		t.Fatalf("same bits + same params gave different keys: %s vs %s", k1, k2)
 	}
 
@@ -35,10 +35,10 @@ func TestCacheKeyParamsSensitivity(t *testing.T) {
 		"gemm_ld":           {GridSize: 32, MaxWindow: 20000, UseGEMMLD: true},
 		"chunk_snps":        {GridSize: 32, MaxWindow: 20000, ChunkSNPs: 64},
 	}
-	want := cacheKey(hash, base)
+	want := cacheKey(hash, base, api.KindScan)
 	seen := map[string]string{want: "base"}
 	for field, p := range deltas {
-		got := cacheKey(hash, p)
+		got := cacheKey(hash, p, api.KindScan)
 		if got == want {
 			t.Errorf("delta in %s did not change the cache key", field)
 		}
@@ -46,6 +46,19 @@ func TestCacheKeyParamsSensitivity(t *testing.T) {
 			t.Errorf("deltas %s and %s collide", field, prev)
 		}
 		seen[got] = field
+	}
+
+	// The kind is part of the identity: a stream result over the same
+	// dataset and parameters never masquerades as a scan result.
+	for kind, p := range map[string]api.ScanParams{api.KindBatch: base, api.KindStream: base} {
+		got := cacheKey(hash, p, kind)
+		if got == want {
+			t.Errorf("kind %s did not change the cache key", kind)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("kind %s collides with %s", kind, prev)
+		}
+		seen[got] = "kind:" + kind
 	}
 }
 
@@ -65,12 +78,12 @@ func TestCacheKeyNormalizedAliases(t *testing.T) {
 		}
 		return omegago.ParamsFromConfig(cfg)
 	}
-	a := cacheKey(hash, normalize(api.ScanParams{Backend: "gpu"}))
-	b := cacheKey(hash, normalize(api.ScanParams{Backend: "gpu-sim"}))
+	a := cacheKey(hash, normalize(api.ScanParams{Backend: "gpu"}), api.KindScan)
+	b := cacheKey(hash, normalize(api.ScanParams{Backend: "gpu-sim"}), api.KindScan)
 	if a != b {
 		t.Errorf("alias spellings produced different keys: %s vs %s", a, b)
 	}
-	c := cacheKey(hash, normalize(api.ScanParams{Backend: "fpga-sim"}))
+	c := cacheKey(hash, normalize(api.ScanParams{Backend: "fpga-sim"}), api.KindScan)
 	if c == a {
 		t.Error("distinct backends produced the same key")
 	}
@@ -104,46 +117,7 @@ func TestCacheKeyFlippedBit(t *testing.T) {
 	}
 
 	p := api.ScanParams{GridSize: 16}
-	if cacheKey(h1, p) == cacheKey(h2, p) {
+	if cacheKey(h1, p, api.KindScan) == cacheKey(h2, p, api.KindScan) {
 		t.Error("flipped bit did not change the cache key")
-	}
-}
-
-// TestResultCacheLRUEviction: the cache holds at most max entries and
-// evicts least-recently-used first; max 0 disables storage entirely.
-func TestResultCacheLRUEviction(t *testing.T) {
-	c := newResultCache(2)
-	r := func(hash string) api.ScanReport {
-		return api.ScanReport{Schema: api.SchemaVersion, DatasetHash: hash}
-	}
-	c.put("a", r("a"))
-	c.put("b", r("b"))
-	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
-		t.Fatal("a missing")
-	}
-	c.put("c", r("c"))
-	if c.len() != 2 {
-		t.Fatalf("cache len %d, want 2", c.len())
-	}
-	if _, ok := c.get("b"); ok {
-		t.Error("b should have been evicted")
-	}
-	if _, ok := c.get("a"); !ok {
-		t.Error("a should have survived (recently used)")
-	}
-	if _, ok := c.get("c"); !ok {
-		t.Error("c should be present")
-	}
-
-	// Stored reports are label-free: the label is per-request echo.
-	c.put("d", api.ScanReport{Schema: api.SchemaVersion, Label: "mine"})
-	if got, _ := c.get("d"); got.Label != "" {
-		t.Errorf("cached report kept label %q", got.Label)
-	}
-
-	off := newResultCache(0)
-	off.put("x", r("x"))
-	if off.len() != 0 {
-		t.Error("disabled cache stored an entry")
 	}
 }

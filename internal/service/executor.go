@@ -1,0 +1,103 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io/fs"
+
+	"omegago"
+	"omegago/api"
+	"omegago/internal/names"
+)
+
+// jobKind is the service-internal job kind enum. The wire spellings
+// are the api.Kind* constants; the empty string aliases to scan, the
+// pre-kind default.
+type jobKind int
+
+const (
+	kindScan jobKind = iota
+	kindBatch
+	kindStream
+	numKinds
+)
+
+var kindNames = names.New[jobKind]("job kind", "jobKind",
+	api.KindScan, api.KindBatch, api.KindStream).
+	Alias("", kindScan)
+
+func (k jobKind) String() string { return kindNames.String(k) }
+
+// executor runs one admitted job of its kind to completion and returns
+// the label-free result envelope. The worker pool dispatches through
+// the executors table — the one place a kind is bound to behavior —
+// so adding a kind means adding an enum value, a table entry, and the
+// resolution rules in resolveRequest; the queue, quota, persistence
+// and cache machinery are kind-blind.
+type executor func(ctx context.Context, s *Service, j *job) (api.JobResult, error)
+
+var executors = [numKinds]executor{
+	kindScan:   runScanJob,
+	kindBatch:  runBatchJob,
+	kindStream: runStreamJob,
+}
+
+// runScanJob is the scan kind: one resident dataset through the same
+// ScanContext path the CLI uses.
+func runScanJob(ctx context.Context, s *Service, j *job) (api.JobResult, error) {
+	cfg := j.cfg
+	cfg.Observer = &jobObserver{j: j}
+	cfg.Metrics = s.met
+	rep, err := s.scanFunc(ctx, j.ds, cfg)
+	if err != nil {
+		return api.JobResult{}, err
+	}
+	report := rep.APIReport("", j.hashHex())
+	return api.JobResult{Schema: api.SchemaVersion, Kind: api.KindScan, Scan: &report}, nil
+}
+
+// runBatchJob is the batch kind: every resolved replicate through the
+// concurrent ScanBatch pipeline, with per-replicate error isolation
+// and replicate-level progress.
+func runBatchJob(ctx context.Context, s *Service, j *job) (api.JobResult, error) {
+	cfg := j.cfg
+	cfg.Observer = &jobObserver{j: j}
+	cfg.Metrics = s.met
+	rep, err := s.batchFunc(ctx, j.batch, cfg)
+	if err != nil {
+		return api.JobResult{}, err
+	}
+	b := rep.APIBatchReport("", cfg.Backend.String(), j.hashHex(), j.repHashes)
+	return api.JobResult{Schema: api.SchemaVersion, Kind: api.KindBatch, Batch: &b}, nil
+}
+
+// runStreamJob is the stream kind: the stored bitmat blob through the
+// out-of-core ScanStream path. The blob store hands out the chunk
+// source (memory-mapped from an FSStore); when a memory-only store has
+// evicted the blob, the job's resident dataset reference — held since
+// admission — backs an in-memory source instead.
+func runStreamJob(ctx context.Context, s *Service, j *job) (api.JobResult, error) {
+	cfg := j.cfg
+	cfg.Observer = &jobObserver{j: j}
+	cfg.Metrics = s.met
+	src, ok, err := s.store.OpenBlob(j.hashHex())
+	if err != nil {
+		return api.JobResult{}, err
+	}
+	if !ok {
+		if j.ds == nil {
+			return api.JobResult{}, fmt.Errorf("dataset %s is no longer stored: %w", j.hashHex(), fs.ErrNotExist)
+		}
+		src, err = omegago.NewDatasetSource(j.ds)
+		if err != nil {
+			return api.JobResult{}, err
+		}
+	}
+	defer src.Close()
+	rep, err := s.streamFunc(ctx, src, cfg)
+	if err != nil {
+		return api.JobResult{}, err
+	}
+	report := rep.APIReport("", j.hashHex())
+	return api.JobResult{Schema: api.SchemaVersion, Kind: api.KindStream, Scan: &report}, nil
+}

@@ -1,9 +1,6 @@
 package service
 
 import (
-	"bytes"
-	"encoding/base64"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,9 +8,7 @@ import (
 	"strings"
 	"time"
 
-	"omegago"
 	"omegago/api"
-	"omegago/internal/seqio"
 )
 
 // TenantHeader names the request header carrying the quota-accounting
@@ -21,7 +16,8 @@ import (
 const TenantHeader = "X-Omegad-Tenant"
 
 // Handler returns the omegad HTTP API: the /v1 job endpoints plus
-// /healthz and /metrics. docs/API.md is the normative reference.
+// /healthz and /metrics, wrapped in bearer auth when the service is
+// configured with tokens. docs/API.md is the normative reference.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/scan", s.handleScan)
@@ -35,7 +31,7 @@ func (s *Service) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("GET /metrics", s.reg.Handler())
-	return mux
+	return authMiddleware(s.cfg.AuthTokens, mux)
 }
 
 // writeError responds with the wire error envelope at its mapped
@@ -101,116 +97,18 @@ func (s *Service) handleScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	cfg, err := omegago.ConfigFromParams(req.Params)
-	if err != nil {
-		writeError(w, omegago.APIError(err))
-		return
-	}
-	cfg.ChunkSNPs = 0 // resident scans only; chunking is a stream knob
-	if err := cfg.Validate(); err != nil {
-		writeError(w, omegago.APIError(err))
-		return
-	}
-
-	ds, hash, apiErr := s.resolveDataset(req.Dataset)
+	resolved, apiErr := s.resolveRequest(req)
 	if apiErr != nil {
 		writeError(w, apiErr)
 		return
 	}
-
-	status, apiErr := s.submit(req, cfg, ds, hash, tenantOf(r))
+	status, apiErr := s.submit(resolved, tenantOf(r))
 	if apiErr != nil {
 		writeError(w, apiErr)
 		return
 	}
 	b, err := status.Encode()
 	writeCanonical(w, http.StatusAccepted, b, err)
-}
-
-// resolveDataset loads the request's dataset reference and computes
-// its canonical content hash — every reference kind (upload, stored
-// hash, server path) normalizes to the same identity.
-func (s *Service) resolveDataset(ref api.DatasetRef) (*omegago.Dataset, [32]byte, *api.Error) {
-	var zero [32]byte
-	switch {
-	case ref.BitmatBase64 != "":
-		raw, err := base64.StdEncoding.DecodeString(ref.BitmatBase64)
-		if err != nil {
-			return nil, zero, &api.Error{Code: api.CodeUsage, Message: fmt.Sprintf("bitmat_base64: %v", err)}
-		}
-		ds, err := omegago.LoadBitmat(bytes.NewReader(raw))
-		if err != nil {
-			return nil, zero, &api.Error{Code: api.CodeInput, Message: err.Error()}
-		}
-		return s.storeDataset(ds)
-	case ref.ContentHash != "":
-		s.mu.Lock()
-		ds, ok := s.datasets[strings.ToLower(ref.ContentHash)]
-		s.mu.Unlock()
-		if !ok {
-			return nil, zero, &api.Error{Code: api.CodeNotFound, Message: fmt.Sprintf("no dataset with content hash %s", ref.ContentHash)}
-		}
-		var h [32]byte
-		raw, _ := hex.DecodeString(ref.ContentHash)
-		copy(h[:], raw)
-		return ds, h, nil
-	default:
-		if !s.cfg.AllowPaths {
-			return nil, zero, &api.Error{Code: api.CodeConfig, Message: "path dataset references are disabled (start omegad with -allow-paths)"}
-		}
-		ds, apiErr := loadPathDataset(ref)
-		if apiErr != nil {
-			return nil, zero, apiErr
-		}
-		return s.storeDataset(ds)
-	}
-}
-
-// storeDataset hashes and retains a resolved dataset so later requests
-// can name it by content hash alone.
-func (s *Service) storeDataset(ds *omegago.Dataset) (*omegago.Dataset, [32]byte, *api.Error) {
-	hash, err := omegago.DatasetContentHash(ds)
-	if err != nil {
-		return nil, hash, &api.Error{Code: api.CodeInput, Message: err.Error()}
-	}
-	s.mu.Lock()
-	s.datasets[hex.EncodeToString(hash[:])] = ds
-	s.mu.Unlock()
-	return ds, hash, nil
-}
-
-// loadPathDataset reads a server-local input file in the named format.
-func loadPathDataset(ref api.DatasetRef) (*omegago.Dataset, *api.Error) {
-	f, closer, err := seqio.OpenMaybeGzip(ref.Path)
-	if err != nil {
-		return nil, omegago.APIError(err)
-	}
-	defer closer()
-	length := ref.RegionLength
-	if length <= 0 {
-		length = 1e6
-	}
-	var ds *omegago.Dataset
-	switch strings.ToLower(ref.Format) {
-	case "ms":
-		ds, err = omegago.LoadMS(f, length)
-	case "fasta", "fa":
-		ds, err = omegago.LoadFASTA(f)
-	case "vcf":
-		ds, err = omegago.LoadVCF(f)
-	case "", "bitmat":
-		ds, err = omegago.LoadBitmat(f)
-	default:
-		return nil, &api.Error{Code: api.CodeUsage, Message: fmt.Sprintf("unknown dataset format %q (want ms, fasta, vcf, bitmat)", ref.Format)}
-	}
-	if err != nil {
-		e := omegago.APIError(err)
-		if e.Code == api.CodeFailure {
-			e.Code = api.CodeInput
-		}
-		return nil, e
-	}
-	return ds, nil
 }
 
 // handleJobs is GET /v1/jobs: every job's status, in submission order.
@@ -244,17 +142,27 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeCanonical(w, http.StatusOK, b, err)
 }
 
-// handleResult is GET /v1/jobs/{id}/result: the canonical ScanReport
-// of a done job. A failed job answers with its recorded error
-// envelope; a job still queued or running answers not_found with the
-// current state named, so pollers can retry on 404.
+// handleResult is GET /v1/jobs/{id}/result: the canonical result of a
+// done job, unwrapped per kind — scan and stream jobs answer with the
+// inner ScanReport, batch jobs with the BatchReport, so existing scan
+// clients never see the envelope. A history job recovered from a
+// durable store serves the stored canonical bytes (timing-stripped),
+// byte-identical across restarts. A failed job answers with its
+// recorded error envelope; a job still queued or running answers
+// not_found with the current state named, so pollers can retry on 404.
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		writeError(w, jobNotFound(r.PathValue("id")))
 		return
 	}
-	report, ok := j.report()
+	res, ok := j.jobResult()
+	if !ok && j.terminal() && j.cacheKey != "" {
+		// Recovered history job: the result lives in the store.
+		if stored, found, err := s.store.GetResult(j.cacheKey); err == nil && found {
+			res, ok = stored, true
+		}
+	}
 	if !ok {
 		st := j.snapshot()
 		if st.Error != nil {
@@ -264,7 +172,14 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &api.Error{Code: api.CodeNotFound, Message: fmt.Sprintf("job %s has no result yet (state %s)", j.id, st.State)})
 		return
 	}
-	b, err := report.Encode()
+	res = res.WithLabel(j.req.Label)
+	var b []byte
+	var err error
+	if res.Batch != nil {
+		b, err = res.Batch.Encode()
+	} else {
+		b, err = res.Scan.Encode()
+	}
 	writeCanonical(w, http.StatusOK, b, err)
 }
 

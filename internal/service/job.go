@@ -11,49 +11,84 @@ import (
 	"omegago/internal/obs"
 )
 
-// job is one admitted scan: the request, its resolved execution state,
-// and the wire status served for it. All mutable fields are guarded by
-// mu; subscribers get a coalesced nudge per state or progress change.
+// job is one admitted job: the normalized request, its resolved
+// execution state, and the wire status served for it. All mutable
+// fields are guarded by mu; subscribers get a coalesced nudge per state
+// or progress change.
 type job struct {
-	id       string
-	req      api.ScanRequest
-	cfg      omegago.Config
-	ds       *omegago.Dataset
-	hash     [32]byte
-	cacheKey string
+	id        string
+	kind      jobKind
+	req       api.ScanRequest
+	cfg       omegago.Config
+	ds        *omegago.Dataset
+	batch     []*omegago.Dataset
+	repHashes []string
+	hash      [32]byte
+	cacheKey  string
 
-	mu       sync.Mutex
-	status   api.JobStatus
-	result   *api.ScanReport
-	progress *api.ProgressInfo
-	cancel   context.CancelFunc
-	canceled bool // explicit DELETE, as opposed to a deadline expiry
-	subs     map[chan struct{}]struct{}
+	mu           sync.Mutex
+	status       api.JobStatus
+	result       *api.JobResult // label-free; re-labelled at serve time
+	progress     *api.ProgressInfo
+	chunksLoaded int64
+	cancel       context.CancelFunc
+	canceled     bool // explicit DELETE, as opposed to a deadline expiry
+	subs         map[chan struct{}]struct{}
 
 	done chan struct{} // closed when the job reaches a terminal state
 }
 
-func newJob(id string, req api.ScanRequest, cfg omegago.Config, ds *omegago.Dataset, hash [32]byte, key, tenant, priority string, now time.Time) *job {
+func newJob(id string, r resolved, tenant, priority string, now time.Time) *job {
 	return &job{
-		id:       id,
-		req:      req,
-		cfg:      cfg,
-		ds:       ds,
-		hash:     hash,
-		cacheKey: key,
-		subs:     map[chan struct{}]struct{}{},
-		done:     make(chan struct{}),
+		id:        id,
+		kind:      r.kind,
+		req:       r.req,
+		cfg:       r.cfg,
+		ds:        r.ds,
+		batch:     r.batch,
+		repHashes: r.repHashes,
+		hash:      r.hash,
+		subs:      map[chan struct{}]struct{}{},
+		done:      make(chan struct{}),
 		status: api.JobStatus{
 			Schema:      api.SchemaVersion,
 			ID:          id,
+			Kind:        kindNames.String(r.kind),
 			State:       api.StateQueued,
 			Priority:    priority,
 			Tenant:      tenant,
-			Label:       req.Label,
-			DatasetHash: hex.EncodeToString(hash[:]),
+			Label:       r.req.Label,
+			DatasetHash: hex.EncodeToString(r.hash[:]),
 			SubmittedAt: timestamp(now),
 		},
 	}
+}
+
+// historyJob rebuilds a terminal job from a recovered store record: the
+// status is served as recorded, the result (if any) is fetched from the
+// store by cache key on demand.
+func historyJob(rec recordView) *job {
+	j := &job{
+		id:       rec.id,
+		kind:     rec.kind,
+		req:      rec.req,
+		cacheKey: rec.cacheKey,
+		subs:     map[chan struct{}]struct{}{},
+		done:     make(chan struct{}),
+		status:   rec.status,
+	}
+	close(j.done)
+	return j
+}
+
+// recordView is the historyJob constructor input (recovery.go builds
+// it from a store.JobRecord).
+type recordView struct {
+	id       string
+	kind     jobKind
+	req      api.ScanRequest
+	cacheKey string
+	status   api.JobStatus
 }
 
 func (j *job) tenant() string  { return j.status.Tenant }
@@ -96,7 +131,7 @@ func (j *job) toRunning(now time.Time) bool {
 	return true
 }
 
-// setCancel installs the running scan's context cancel.
+// setCancel installs the running job's context cancel.
 func (j *job) setCancel(c context.CancelFunc) {
 	j.mu.Lock()
 	// A DELETE that raced ahead of the worker wins: cancel immediately.
@@ -145,7 +180,7 @@ func (j *job) canceledExplicitly() bool {
 }
 
 // finish moves a running job to its terminal state.
-func (j *job) finish(state string, result *api.ScanReport, apiErr *api.Error, now time.Time) {
+func (j *job) finish(state string, result *api.JobResult, apiErr *api.Error, now time.Time) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.status.State != api.StateRunning {
@@ -159,12 +194,13 @@ func (j *job) finish(state string, result *api.ScanReport, apiErr *api.Error, no
 	j.notifyLocked()
 }
 
-// report returns the finished report, if the job is done.
-func (j *job) report() (api.ScanReport, bool) {
+// jobResult returns the finished result envelope, if the job holds one
+// (recovered history jobs do not; the caller falls back to the store).
+func (j *job) jobResult() (api.JobResult, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.result == nil {
-		return api.ScanReport{}, false
+		return api.JobResult{}, false
 	}
 	return *j.result, true
 }
@@ -197,24 +233,40 @@ func (j *job) notifyLocked() {
 }
 
 // jobObserver adapts the scan's live obs stream onto the job: the
-// latest Progress snapshot becomes the wire ProgressInfo and every
-// update nudges the SSE subscribers.
+// latest Progress snapshot becomes the wire ProgressInfo (replicate
+// counters included for batch jobs), stream_load phase completions
+// count chunks for stream jobs, and every update nudges the SSE
+// subscribers.
 type jobObserver struct{ j *job }
 
 func (o *jobObserver) OnProgress(p obs.Progress) {
 	info := &api.ProgressInfo{
-		GridDone:       p.GridDone,
-		GridTotal:      p.GridTotal,
-		OmegaScores:    p.OmegaScores,
-		R2Computed:     p.R2Computed,
-		ElapsedSeconds: p.Elapsed.Seconds(),
-		OmegaPerSec:    p.OmegaPerSec,
-		ETASeconds:     p.ETA.Seconds(),
+		GridDone:        p.GridDone,
+		GridTotal:       p.GridTotal,
+		OmegaScores:     p.OmegaScores,
+		R2Computed:      p.R2Computed,
+		ElapsedSeconds:  p.Elapsed.Seconds(),
+		OmegaPerSec:     p.OmegaPerSec,
+		ETASeconds:      p.ETA.Seconds(),
+		ReplicatesDone:  p.ReplicatesDone,
+		ReplicatesTotal: p.ReplicatesTotal,
 	}
 	o.j.mu.Lock()
+	info.ChunksLoaded = o.j.chunksLoaded
 	o.j.progress = info
 	o.j.notifyLocked()
 	o.j.mu.Unlock()
 }
 
-func (o *jobObserver) OnPhase(obs.Phase) {}
+func (o *jobObserver) OnPhase(ph obs.Phase) {
+	if ph.Name != obs.PhaseStreamLoad {
+		return
+	}
+	o.j.mu.Lock()
+	o.j.chunksLoaded++
+	if o.j.progress != nil {
+		o.j.progress.ChunksLoaded = o.j.chunksLoaded
+	}
+	o.j.notifyLocked()
+	o.j.mu.Unlock()
+}

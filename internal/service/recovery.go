@@ -1,0 +1,118 @@
+package service
+
+import (
+	"fmt"
+
+	"omegago/api"
+	"omegago/internal/service/store"
+)
+
+// recover rebuilds service state from a durable store at startup:
+//
+//   - terminal records (done, failed, canceled, interrupted) become
+//     history jobs — listable, status-servable, results fetched from
+//     the store by cache key on demand;
+//   - running records are flipped to interrupted (the previous process
+//     died mid-scan; the work is gone) and persisted back;
+//   - queued records are re-resolved from their normalized requests
+//     (content-hash references into the blob store) and returned for
+//     re-enqueueing; one whose dataset can no longer be resolved is
+//     marked failed rather than silently dropped.
+//
+// A store that cannot be read faithfully — a corrupt record, an
+// unreadable directory — fails startup; recovery never guesses.
+// Memory-only stores recover nothing, by construction.
+func (s *Service) recover() ([]*job, error) {
+	if !s.store.Durable() {
+		return nil, nil
+	}
+	recs, err := s.store.Jobs()
+	if err != nil {
+		return nil, fmt.Errorf("service: recovering jobs: %w", err)
+	}
+	var requeue []*job
+	for _, rec := range recs {
+		if n, ok := idNumber(rec.ID()); ok && n > s.nextID {
+			s.nextID = n
+		}
+		switch rec.Status.State {
+		case api.StateQueued:
+			j, apiErr := s.rebuildQueued(rec)
+			if apiErr != nil {
+				rec.Status.State = api.StateFailed
+				rec.Status.FinishedAt = timestamp(s.now())
+				rec.Status.Error = apiErr
+				if perr := s.store.PutJob(rec); perr != nil {
+					s.mStoreErrors.Inc()
+				}
+				s.addHistory(rec)
+				continue
+			}
+			s.jobs[j.id] = j
+			s.order = append(s.order, j.id)
+			s.tenants[j.tenant()]++
+			requeue = append(requeue, j)
+			s.sm.RecoveredRequeued.Inc()
+		case api.StateRunning:
+			rec.Status.State = api.StateInterrupted
+			rec.Status.FinishedAt = timestamp(s.now())
+			rec.Status.Error = &api.Error{
+				Code:    api.CodeUnavailable,
+				Message: "server restarted while the job was running; resubmit to run it again",
+			}
+			if perr := s.store.PutJob(rec); perr != nil {
+				s.mStoreErrors.Inc()
+			}
+			s.addHistory(rec)
+			s.sm.RecoveredInterrupted.Inc()
+		default:
+			s.addHistory(rec)
+			s.sm.RecoveredHistory.Inc()
+		}
+	}
+	return requeue, nil
+}
+
+// rebuildQueued re-resolves a queued record into a runnable job,
+// preserving its identity, tenant, priority and submission time.
+func (s *Service) rebuildQueued(rec store.JobRecord) (*job, *api.Error) {
+	r, apiErr := s.resolveRequest(rec.Request)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	priority := rec.Status.Priority
+	if priority == "" {
+		priority = api.PriorityNormal
+	}
+	j := newJob(rec.ID(), r, rec.Status.Tenant, priority, s.now())
+	j.cacheKey = rec.CacheKey
+	j.status.SubmittedAt = rec.Status.SubmittedAt
+	return j, nil
+}
+
+// addHistory registers a terminal record as a history job.
+func (s *Service) addHistory(rec store.JobRecord) {
+	kind, err := kindNames.Parse(rec.Status.Kind)
+	if err != nil {
+		kind = kindScan
+	}
+	j := historyJob(recordView{
+		id:       rec.ID(),
+		kind:     kind,
+		req:      rec.Request,
+		cacheKey: rec.CacheKey,
+		status:   rec.Status,
+	})
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+}
+
+// idNumber parses the numeric suffix of a service-issued job ID
+// ("job-%06d"); ok is false for foreign identifiers.
+func idNumber(id string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,266 @@
+package service
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"omegago"
+	"omegago/api"
+	"omegago/internal/seqio"
+)
+
+// resolved is a fully-admittable job: the kind, the validated config,
+// every dataset loaded and content-addressed, and the request rewritten
+// into its normalized (replayable) form — uploads and paths become
+// content-hash references into the blob store, so a persisted record
+// re-resolves after a restart without the original bytes.
+type resolved struct {
+	kind jobKind
+	req  api.ScanRequest
+	cfg  omegago.Config
+	// ds is the resident dataset of a scan or stream job (stream jobs
+	// keep it as the fallback source when a memory-only store evicts the
+	// blob); nil for batch jobs.
+	ds *omegago.Dataset
+	// batch holds the batch replicates in order, nil entries marking
+	// skipped replicates (the LoadMSAll convention).
+	batch []*omegago.Dataset
+	// repHashes holds each replicate's content hash
+	// (api.SkippedDatasetHash for skipped entries); batch jobs only.
+	repHashes []string
+	// hash is the job's content identity: the dataset hash for scan and
+	// stream, the combined BatchContentHash for batch.
+	hash [32]byte
+}
+
+// resolveRequest turns a validated wire request into a resolved job.
+// Both POST /v1/scan and startup recovery run through it, so a
+// replayed record admits exactly like a fresh submission.
+func (s *Service) resolveRequest(req api.ScanRequest) (resolved, *api.Error) {
+	kind, err := kindNames.Parse(req.Kind)
+	if err != nil {
+		return resolved{}, &api.Error{Code: api.CodeUsage, Message: err.Error()}
+	}
+	cfg, err := omegago.ConfigFromParams(req.Params)
+	if err != nil {
+		return resolved{}, omegago.APIError(err)
+	}
+	if kind == kindStream {
+		if cfg.Backend != omegago.BackendCPU {
+			return resolved{}, &api.Error{Code: api.CodeConfig,
+				Message: fmt.Sprintf("stream jobs require the cpu backend (got %q)", cfg.Backend)}
+		}
+	} else {
+		cfg.ChunkSNPs = 0 // resident scans only; chunking is a stream knob
+	}
+	if err := cfg.Validate(); err != nil {
+		return resolved{}, omegago.APIError(err)
+	}
+
+	r := resolved{kind: kind, req: req, cfg: cfg}
+	r.req.Kind = kindNames.String(kind)
+	if kind == kindBatch {
+		return s.resolveBatch(r)
+	}
+	if kind == kindStream && req.Dataset.ContentHash != "" {
+		// A hash-referenced stream job does not need the dataset resident:
+		// verifying the blob opens as a chunk source keeps a durable store's
+		// out-of-core datasets out of memory (the executor re-opens at run
+		// time; a memory-only store falls back to the resident copy below).
+		hh := strings.ToLower(req.Dataset.ContentHash)
+		if src, ok, err := s.store.OpenBlob(hh); err == nil && ok {
+			src.Close()
+			raw, _ := hex.DecodeString(hh)
+			copy(r.hash[:], raw)
+			r.req.Dataset = api.DatasetRef{ContentHash: hh}
+			return r, nil
+		}
+	}
+	ds, hash, apiErr := s.resolveRef(req.Dataset)
+	if apiErr != nil {
+		return resolved{}, apiErr
+	}
+	r.ds, r.hash = ds, hash
+	r.req.Dataset = api.DatasetRef{ContentHash: hex.EncodeToString(hash[:])}
+	return r, nil
+}
+
+// resolveBatch expands a batch request's replicates: an explicit
+// datasets list resolves element-wise (the all-zero
+// api.SkippedDatasetHash placeholder stays a skipped slot), an ms path
+// reference expands to every replicate in the file, and any other
+// single reference is a one-replicate batch. The normalized request
+// always carries the explicit per-replicate hash list.
+func (s *Service) resolveBatch(r resolved) (resolved, *api.Error) {
+	var batch []*omegago.Dataset
+	switch {
+	case len(r.req.Datasets) > 0:
+		batch = make([]*omegago.Dataset, len(r.req.Datasets))
+		for i, ref := range r.req.Datasets {
+			if strings.ToLower(ref.ContentHash) == api.SkippedDatasetHash {
+				continue
+			}
+			ds, _, apiErr := s.resolveRef(ref)
+			if apiErr != nil {
+				apiErr.Message = fmt.Sprintf("datasets[%d]: %s", i, apiErr.Message)
+				return resolved{}, apiErr
+			}
+			batch[i] = ds
+		}
+	case r.req.Dataset.Path != "" && strings.ToLower(r.req.Dataset.Format) == "ms":
+		if !s.cfg.AllowPaths {
+			return resolved{}, pathsDisabledError()
+		}
+		all, apiErr := loadMSAllPath(r.req.Dataset)
+		if apiErr != nil {
+			return resolved{}, apiErr
+		}
+		batch = all
+	default:
+		ds, _, apiErr := s.resolveRef(r.req.Dataset)
+		if apiErr != nil {
+			return resolved{}, apiErr
+		}
+		batch = []*omegago.Dataset{ds}
+	}
+
+	refs := make([]api.DatasetRef, len(batch))
+	hashes := make([]string, len(batch))
+	for i, ds := range batch {
+		if ds == nil {
+			hashes[i] = api.SkippedDatasetHash
+			refs[i] = api.DatasetRef{ContentHash: api.SkippedDatasetHash}
+			continue
+		}
+		_, hash, apiErr := s.storeDataset(ds)
+		if apiErr != nil {
+			return resolved{}, apiErr
+		}
+		hashes[i] = hex.EncodeToString(hash[:])
+		refs[i] = api.DatasetRef{ContentHash: hashes[i]}
+	}
+	hash, err := omegago.BatchContentHash(batch)
+	if err != nil {
+		return resolved{}, &api.Error{Code: api.CodeInput, Message: err.Error()}
+	}
+	r.batch, r.repHashes, r.hash = batch, hashes, hash
+	r.req.Dataset = api.DatasetRef{}
+	r.req.Datasets = refs
+	return r, nil
+}
+
+// resolveRef loads one dataset reference and computes its canonical
+// content hash — every reference kind (upload, stored hash, server
+// path) normalizes to the same identity. Uploads and path loads are
+// retained in the blob store so later requests can name them by hash.
+func (s *Service) resolveRef(ref api.DatasetRef) (*omegago.Dataset, [32]byte, *api.Error) {
+	var zero [32]byte
+	switch {
+	case ref.BitmatBase64 != "":
+		raw, err := base64.StdEncoding.DecodeString(ref.BitmatBase64)
+		if err != nil {
+			return nil, zero, &api.Error{Code: api.CodeUsage, Message: fmt.Sprintf("bitmat_base64: %v", err)}
+		}
+		ds, err := omegago.LoadBitmat(bytes.NewReader(raw))
+		if err != nil {
+			return nil, zero, &api.Error{Code: api.CodeInput, Message: err.Error()}
+		}
+		return s.storeDataset(ds)
+	case ref.ContentHash != "":
+		hh := strings.ToLower(ref.ContentHash)
+		ds, ok, err := s.store.GetBlob(hh)
+		if err != nil {
+			return nil, zero, &api.Error{Code: api.CodeFailure, Message: err.Error()}
+		}
+		if !ok {
+			return nil, zero, &api.Error{Code: api.CodeNotFound, Message: fmt.Sprintf("no dataset with content hash %s", ref.ContentHash)}
+		}
+		var h [32]byte
+		raw, _ := hex.DecodeString(hh)
+		copy(h[:], raw)
+		return ds, h, nil
+	default:
+		if !s.cfg.AllowPaths {
+			return nil, zero, pathsDisabledError()
+		}
+		ds, apiErr := loadPathDataset(ref)
+		if apiErr != nil {
+			return nil, zero, apiErr
+		}
+		return s.storeDataset(ds)
+	}
+}
+
+// storeDataset retains a resolved dataset in the blob store so later
+// requests (and post-restart recovery) can name it by content hash
+// alone.
+func (s *Service) storeDataset(ds *omegago.Dataset) (*omegago.Dataset, [32]byte, *api.Error) {
+	hash, err := s.store.PutBlob(ds)
+	if err != nil {
+		return nil, hash, &api.Error{Code: api.CodeInput, Message: err.Error()}
+	}
+	return ds, hash, nil
+}
+
+func pathsDisabledError() *api.Error {
+	return &api.Error{Code: api.CodeConfig, Message: "path dataset references are disabled (start omegad with -allow-paths)"}
+}
+
+// loadPathDataset reads a server-local input file in the named format.
+func loadPathDataset(ref api.DatasetRef) (*omegago.Dataset, *api.Error) {
+	f, closer, err := seqio.OpenMaybeGzip(ref.Path)
+	if err != nil {
+		return nil, omegago.APIError(err)
+	}
+	defer closer()
+	length := ref.RegionLength
+	if length <= 0 {
+		length = 1e6
+	}
+	var ds *omegago.Dataset
+	switch strings.ToLower(ref.Format) {
+	case "ms":
+		ds, err = omegago.LoadMS(f, length)
+	case "fasta", "fa":
+		ds, err = omegago.LoadFASTA(f)
+	case "vcf":
+		ds, err = omegago.LoadVCF(f)
+	case "", "bitmat":
+		ds, err = omegago.LoadBitmat(f)
+	default:
+		return nil, &api.Error{Code: api.CodeUsage, Message: fmt.Sprintf("unknown dataset format %q (want ms, fasta, vcf, bitmat)", ref.Format)}
+	}
+	if err != nil {
+		e := omegago.APIError(err)
+		if e.Code == api.CodeFailure {
+			e.Code = api.CodeInput
+		}
+		return nil, e
+	}
+	return ds, nil
+}
+
+// loadMSAllPath reads every replicate of a server-local ms file.
+func loadMSAllPath(ref api.DatasetRef) ([]*omegago.Dataset, *api.Error) {
+	f, closer, err := seqio.OpenMaybeGzip(ref.Path)
+	if err != nil {
+		return nil, omegago.APIError(err)
+	}
+	defer closer()
+	length := ref.RegionLength
+	if length <= 0 {
+		length = 1e6
+	}
+	all, err := omegago.LoadMSAll(f, length)
+	if err != nil {
+		e := omegago.APIError(err)
+		if e.Code == api.CodeFailure {
+			e.Code = api.CodeInput
+		}
+		return nil, e
+	}
+	return all, nil
+}

@@ -1,0 +1,385 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"omegago"
+	"omegago/api"
+	"omegago/internal/service/store"
+)
+
+func openFS(t *testing.T, dir string) *store.FSStore {
+	t.Helper()
+	fs, err := store.NewFS(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// TestRestartRecovery is the durable-store end-to-end contract: scan,
+// batch and stream jobs complete against an FSStore; the service stops
+// with one job running and one still queued; a new service over the
+// same directory serves the full history, reports the running job
+// interrupted, completes the queued one, and answers a resubmission of
+// a completed request byte-identically from the store without running
+// a single new scan.
+func TestRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	scanDS := testDataset(t, 71)
+	batchDS := testDataset(t, 73)
+
+	// ---- first life -------------------------------------------------
+	// gate flips the scan path from the real engine to block-until-
+	// shutdown; an atomic (installed at construction) so the flip never
+	// races with a worker reading the seam.
+	var gate atomic.Bool
+	s1, err := New(Config{Workers: 1, Store: openFS(t, dir),
+		scanFunc: func(ctx context.Context, ds *omegago.Dataset, c omegago.Config) (*omegago.Report, error) {
+			if gate.Load() {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}
+			return omegago.ScanContext(ctx, ds, c)
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(s1.Handler())
+
+	scanReq := api.ScanRequest{
+		Schema:  api.SchemaVersion,
+		Dataset: api.DatasetRef{BitmatBase64: bitmatBase64(t, scanDS)},
+		Params:  api.ScanParams{GridSize: 9, MaxWindow: 50000},
+	}
+	_, body := postScan(t, srv1, scanReq, "")
+	scanSt, err := api.DecodeJobStatus(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, srv1, scanSt.ID)
+	_, scanResult := get(t, srv1, "/v1/jobs/"+scanSt.ID+"/result")
+	scanRep, err := api.DecodeScanReport(scanResult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanCanon, err := scanRep.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batchReq := api.ScanRequest{
+		Schema: api.SchemaVersion,
+		Kind:   api.KindBatch,
+		Datasets: []api.DatasetRef{
+			{BitmatBase64: bitmatBase64(t, batchDS)},
+			{ContentHash: api.SkippedDatasetHash},
+		},
+		Params: api.ScanParams{GridSize: 7},
+	}
+	_, body = postScan(t, srv1, batchReq, "")
+	batchSt, err := api.DecodeJobStatus(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, srv1, batchSt.ID)
+	_, batchResult := get(t, srv1, "/v1/jobs/"+batchSt.ID+"/result")
+	batchRep, err := api.DecodeBatchReport(batchResult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchCanon, err := batchRep.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streamReq := api.ScanRequest{
+		Schema:  api.SchemaVersion,
+		Kind:    api.KindStream,
+		Dataset: api.DatasetRef{BitmatBase64: bitmatBase64(t, scanDS)},
+		Params:  api.ScanParams{GridSize: 6, ChunkSNPs: 32},
+	}
+	_, body = postScan(t, srv1, streamReq, "")
+	streamSt, err := api.DecodeJobStatus(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, srv1, streamSt.ID)
+
+	// Gate further scans, then stop with one running and one queued.
+	gate.Store(true)
+	runningReq := scanReq
+	runningReq.Params.GridSize = 10
+	_, body = postScan(t, srv1, runningReq, "")
+	runningSt, err := api.DecodeJobStatus(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, srv1, runningSt.ID, api.StateRunning)
+
+	queuedReq := scanReq
+	queuedReq.Params.GridSize = 11
+	_, body = postScan(t, srv1, queuedReq, "")
+	queuedSt, err := api.DecodeJobStatus(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1.Close()
+	srv1.Close()
+
+	// Close persists the running job as interrupted; rewind its record
+	// to "running" to simulate a hard kill that never got to persist,
+	// so recovery itself has to flip it.
+	markRunning(t, dir, runningSt.ID)
+
+	// ---- second life ------------------------------------------------
+	var scans atomic.Int64
+	s2, err := New(Config{Workers: 1, Store: openFS(t, dir),
+		scanFunc: func(ctx context.Context, ds *omegago.Dataset, c omegago.Config) (*omegago.Report, error) {
+			scans.Add(1)
+			return omegago.ScanContext(ctx, ds, c)
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		srv2.Close()
+		s2.Close()
+	})
+
+	// Full history is listable, in order, with the recorded states.
+	_, body = get(t, srv2, "/v1/jobs")
+	var list []api.JobStatus
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	states := map[string]string{}
+	for _, st := range list {
+		states[st.ID] = st.State
+	}
+	if len(list) != 5 {
+		t.Fatalf("recovered job list has %d entries, want 5: %s", len(list), body)
+	}
+	for id, want := range map[string]string{
+		scanSt.ID:    api.StateDone,
+		batchSt.ID:   api.StateDone,
+		streamSt.ID:  api.StateDone,
+		runningSt.ID: api.StateInterrupted,
+	} {
+		if states[id] != want {
+			t.Errorf("job %s recovered as %q, want %q", id, states[id], want)
+		}
+	}
+
+	// The interrupted job explains itself.
+	_, body = get(t, srv2, "/v1/jobs/"+runningSt.ID)
+	intSt, err := api.DecodeJobStatus(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intSt.Error == nil || intSt.Error.Code != api.CodeUnavailable {
+		t.Errorf("interrupted job error = %+v", intSt.Error)
+	}
+
+	// The queued job was re-enqueued and completes (exactly one scan).
+	final := waitDone(t, srv2, queuedSt.ID)
+	if final.State != api.StateDone {
+		t.Fatalf("recovered queued job = %+v (error %+v)", final, final.Error)
+	}
+	if got := scans.Load(); got != 1 {
+		t.Errorf("recovered queue ran %d scans, want 1", got)
+	}
+
+	// History results serve the stored canonical bytes.
+	_, body = get(t, srv2, "/v1/jobs/"+scanSt.ID+"/result")
+	if !bytes.Equal(body, scanCanon) {
+		t.Errorf("recovered scan result differs from the original canonical bytes:\n%s\nvs\n%s", body, scanCanon)
+	}
+	_, body = get(t, srv2, "/v1/jobs/"+batchSt.ID+"/result")
+	if !bytes.Equal(body, batchCanon) {
+		t.Errorf("recovered batch result differs from the original canonical bytes:\n%s\nvs\n%s", body, batchCanon)
+	}
+
+	// Resubmitting the completed request is a cache hit — served from
+	// the store, byte-identical, zero new scans.
+	resp, body := postScan(t, srv2, scanReq, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	resubSt, err := api.DecodeJobStatus(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resubSt.State != api.StateDone || !resubSt.Cached {
+		t.Fatalf("resubmission not served from the store: %+v", resubSt)
+	}
+	_, body = get(t, srv2, "/v1/jobs/"+resubSt.ID+"/result")
+	if !bytes.Equal(body, scanCanon) {
+		t.Errorf("post-restart cached result is not byte-identical:\n%s\nvs\n%s", body, scanCanon)
+	}
+	if got := scans.Load(); got != 1 {
+		t.Errorf("cached resubmission ran a scan (%d total, want 1)", got)
+	}
+	_, metrics := get(t, srv2, "/metrics")
+	for _, want := range []string{
+		"omegago_cache_hits_total 1",
+		`omegad_recovered_jobs_total{outcome="requeued"} 1`,
+		`omegad_recovered_jobs_total{outcome="interrupted"} 1`,
+		`omegad_recovered_jobs_total{outcome="history"} 3`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestCorruptRecordFailsStartup: recovery refuses to guess — a torn or
+// hand-edited job record fails New rather than dropping history.
+func TestCorruptRecordFailsStartup(t *testing.T) {
+	dir := t.TempDir()
+	fs := openFS(t, dir)
+	rec := store.JobRecord{
+		Schema:   api.SchemaVersion,
+		CacheKey: strings.Repeat("ab", 32),
+		Request: api.ScanRequest{
+			Schema:  api.SchemaVersion,
+			Dataset: api.DatasetRef{ContentHash: strings.Repeat("cd", 32)},
+		},
+		Status: api.JobStatus{
+			Schema: api.SchemaVersion, ID: "job-000001",
+			State: api.StateDone, Priority: api.PriorityNormal,
+			Tenant: "anonymous", SubmittedAt: "2026-01-01T00:00:00Z",
+		},
+	}
+	if err := fs.PutJob(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := corruptOneJobRecord(t, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Store: openFS(t, dir)}); err == nil {
+		t.Fatal("New accepted a corrupt job record")
+	}
+}
+
+// markRunning rewrites a stored job record back to the running state,
+// as a crashed process would have left it.
+func markRunning(t *testing.T, dir, id string) {
+	t.Helper()
+	fs := openFS(t, dir)
+	defer fs.Close()
+	recs, err := fs.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.ID() != id {
+			continue
+		}
+		rec.Status.State = api.StateRunning
+		rec.Status.FinishedAt = ""
+		rec.Status.Error = nil
+		if err := fs.PutJob(rec); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Fatalf("no stored record for %s", id)
+}
+
+// corruptOneJobRecord appends trailing bytes to one stored job record
+// so the strict decoder rejects it.
+func corruptOneJobRecord(t *testing.T, dir string) error {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "jobs", "*.json"))
+	if err != nil {
+		return err
+	}
+	if len(matches) == 0 {
+		t.Fatal("no job records to corrupt")
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(matches[0], append(data, '{', '}'), 0o644)
+}
+
+// TestDrainFinishesInFlight: Drain stops admission (503) and waits for
+// the running job to finish before shutting down.
+func TestDrainFinishesInFlight(t *testing.T) {
+	ds := testDataset(t, 79)
+	s, srv, release := blockingService(t, Config{Workers: 1})
+
+	req := uploadRequest(t, ds)
+	_, body := postScan(t, srv, req, "")
+	st, err := api.DecodeJobStatus(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, srv, st.ID, api.StateRunning)
+
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(release)
+	}()
+	done := make(chan struct{})
+	go func() {
+		s.Drain(10 * time.Second)
+		close(done)
+	}()
+
+	// Admission stops as soon as draining is flagged.
+	refused := req
+	refused.Params.GridSize = 23
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body := postScan(t, srv, refused, "")
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			var e api.Error
+			if err := json.Unmarshal(body, &e); err != nil || e.Code != api.CodeUnavailable {
+				t.Errorf("drain refusal envelope = %s", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("draining service kept admitting jobs")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain did not return")
+	}
+	if got := s.lookupState(t, st.ID); got != api.StateDone {
+		t.Errorf("in-flight job after drain = %s, want done", got)
+	}
+}
+
+// lookupState reads a job's state directly (the HTTP server may
+// already be gone).
+func (s *Service) lookupState(t *testing.T, id string) string {
+	t.Helper()
+	j, ok := s.lookup(id)
+	if !ok {
+		t.Fatalf("job %s missing", id)
+	}
+	return j.snapshot().State
+}

@@ -35,7 +35,10 @@ func testDataset(t *testing.T, seed int64) *omegago.Dataset {
 
 func newTestService(t *testing.T, cfg Config) (*Service, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		srv.Close()

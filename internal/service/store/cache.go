@@ -1,0 +1,82 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"omegago/internal/obs"
+	"omegago/internal/seqio"
+)
+
+// blobCache is the byte-size-capped LRU of resident datasets both
+// stores front their blobs with. Weights are exact bitmat sizes
+// (seqio.BitmatSize), so the cap tracks what the datasets would
+// occupy on disk, which is within a small constant of their resident
+// footprint. Eviction is capacity-driven only and drops nothing but
+// the memory copy.
+type blobCache struct {
+	mu      sync.Mutex
+	cap     int64 // ≤ 0 = unlimited
+	bytes   int64
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent
+	met     *obs.StoreMetrics
+}
+
+type blobEntry struct {
+	key  string
+	a    *seqio.Alignment
+	size int64
+}
+
+func newBlobCache(capBytes int64, met *obs.StoreMetrics) *blobCache {
+	return &blobCache{
+		cap:     capBytes,
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+		met:     met,
+	}
+}
+
+func (c *blobCache) get(key string) (*seqio.Alignment, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*blobEntry).a, true
+}
+
+// put inserts (or refreshes) a dataset and evicts from the cold end
+// past the byte cap. The entry just inserted is never evicted by its
+// own put — a dataset larger than the cap stays resident until the
+// next insertion displaces it, so an upload can always be scanned by
+// hash at least once.
+func (c *blobCache) put(key string, a *seqio.Alignment, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&blobEntry{key: key, a: a, size: size})
+	c.bytes += size
+	for c.cap > 0 && c.bytes > c.cap && c.lru.Len() > 1 {
+		last := c.lru.Back()
+		e := last.Value.(*blobEntry)
+		c.lru.Remove(last)
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		c.met.DatasetEvictions.Inc()
+	}
+	c.met.DatasetCacheBytes.Set(float64(c.bytes))
+}
+
+// residentBytes reports the current cached byte total (tests).
+func (c *blobCache) residentBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

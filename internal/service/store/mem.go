@@ -1,0 +1,172 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"omegago/api"
+	"omegago/internal/obs"
+	"omegago/internal/seqio"
+)
+
+// MemStore is the original in-process omegad state behind the Store
+// interface: job records in a map, results in a bounded LRU of
+// canonical bytes, datasets in the shared byte-capped blob cache.
+// Nothing survives a restart.
+type MemStore struct {
+	mu      sync.Mutex
+	jobs    map[string]JobRecord
+	order   []string // job IDs in first-put order
+	results map[string]*list.Element
+	lru     *list.List // front = most recent
+	max     int
+	blobs   *blobCache
+	met     *obs.StoreMetrics
+}
+
+type resultEntry struct {
+	key   string
+	canon []byte // canonical JobResult bytes, label-free
+}
+
+// NewMem builds an in-memory store.
+func NewMem(opts Options) *MemStore {
+	met := opts.metrics()
+	max := opts.ResultEntries
+	if max < 0 {
+		max = 0
+	}
+	return &MemStore{
+		jobs:    map[string]JobRecord{},
+		results: map[string]*list.Element{},
+		lru:     list.New(),
+		max:     max,
+		blobs:   newBlobCache(opts.DatasetCacheBytes, met),
+		met:     met,
+	}
+}
+
+// PutJob upserts the record under its job ID.
+func (s *MemStore) PutJob(rec JobRecord) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[rec.ID()]; !ok {
+		s.order = append(s.order, rec.ID())
+	}
+	s.jobs[rec.ID()] = rec
+	s.met.JobWrites.Inc()
+	return nil
+}
+
+// Jobs returns every record in first-put order.
+func (s *MemStore) Jobs() ([]JobRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobRecord, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out, nil
+}
+
+// PutResult stores the canonical bytes of res under key, evicting the
+// least recently used entry past the configured cap.
+func (s *MemStore) PutResult(key string, res api.JobResult) error {
+	if err := checkHexKey("cache_key", key); err != nil {
+		return err
+	}
+	if s.max == 0 {
+		return nil
+	}
+	canon, err := res.WithLabel("").Canonical()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.results[key]; ok {
+		el.Value.(*resultEntry).canon = canon
+		s.lru.MoveToFront(el)
+		return nil
+	}
+	s.results[key] = s.lru.PushFront(&resultEntry{key: key, canon: canon})
+	for s.lru.Len() > s.max {
+		last := s.lru.Back()
+		s.lru.Remove(last)
+		delete(s.results, last.Value.(*resultEntry).key)
+	}
+	s.met.ResultWrites.Inc()
+	return nil
+}
+
+// GetResult returns the stored result for key.
+func (s *MemStore) GetResult(key string) (api.JobResult, bool, error) {
+	s.mu.Lock()
+	el, ok := s.results[key]
+	var canon []byte
+	if ok {
+		s.lru.MoveToFront(el)
+		canon = el.Value.(*resultEntry).canon
+	}
+	s.mu.Unlock()
+	if !ok {
+		return api.JobResult{}, false, nil
+	}
+	res, err := api.DecodeJobResult(canon)
+	if err != nil {
+		return api.JobResult{}, false, err
+	}
+	return res, true, nil
+}
+
+// PutBlob retains the dataset in the byte-capped cache under its
+// content hash.
+func (s *MemStore) PutBlob(a *seqio.Alignment) ([32]byte, error) {
+	hash, err := seqio.ContentHash(a)
+	if err != nil {
+		return hash, err
+	}
+	size, err := seqio.BitmatSize(a)
+	if err != nil {
+		return hash, err
+	}
+	s.blobs.put(hashHexOf(hash), a, size)
+	s.met.BlobWrites.Inc()
+	return hash, nil
+}
+
+// GetBlob returns the cached dataset; a miss means the blob was never
+// stored or has been evicted (MemStore has no backing tier).
+func (s *MemStore) GetBlob(hashHex string) (*seqio.Alignment, bool, error) {
+	a, ok := s.blobs.get(hashHex)
+	return a, ok, nil
+}
+
+// OpenBlob wraps the cached dataset as an in-memory chunk source.
+func (s *MemStore) OpenBlob(hashHex string) (seqio.ChunkSource, bool, error) {
+	a, ok := s.blobs.get(hashHex)
+	if !ok {
+		return nil, false, nil
+	}
+	src, err := seqio.NewAlignmentSource(a)
+	if err != nil {
+		return nil, false, err
+	}
+	return src, true, nil
+}
+
+// Durable reports false: MemStore state dies with the process.
+func (s *MemStore) Durable() bool { return false }
+
+// Close releases nothing.
+func (s *MemStore) Close() error { return nil }
+
+// resultLen reports the result LRU's entry count (tests).
+func (s *MemStore) resultLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}

@@ -1,0 +1,208 @@
+// Package store is omegad's pluggable storage layer: job records,
+// canonical results, and content-addressed dataset blobs behind one
+// Store interface. Two implementations exist — MemStore, the original
+// in-process state (lost on exit), and FSStore, a durable directory
+// layout (docs/FORMATS.md §6) the service recovers from at startup.
+//
+// The contract every implementation upholds:
+//
+//   - Job records and results are schema-versioned canonical JSON with
+//     strict decoding, exactly like package api: what a store returns
+//     re-encodes byte-identically to what was put.
+//   - Results are stored label-free under the 64-hex cache key (the
+//     SHA-256 of dataset identity ‖ normalized parameters ‖ kind); the
+//     caller re-labels at serve time.
+//   - Dataset blobs are content-addressed by their bitmat content hash.
+//     Both stores front resident datasets with a byte-capped LRU; an
+//     eviction only drops the memory copy — FSStore reloads from disk,
+//     MemStore reports a miss.
+//   - Durable writes are atomic (temp file + rename in the same
+//     directory), so a crash mid-write never leaves a torn record.
+package store
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"omegago/api"
+	"omegago/internal/obs"
+	"omegago/internal/seqio"
+)
+
+// JobRecord is the persisted form of one job: the normalized request
+// (uploads rewritten to content-hash references so recovery can
+// re-resolve them from the blob store), the wire status, and the
+// result cache key the job resolves to.
+type JobRecord struct {
+	// Schema must equal api.SchemaVersion.
+	Schema int `json:"schema"`
+	// CacheKey is the job's 64-hex result cache key.
+	CacheKey string `json:"cache_key"`
+	// Request is the admitted request, normalized for replay.
+	Request api.ScanRequest `json:"request"`
+	// Status is the job's wire status at the time of the write.
+	Status api.JobStatus `json:"status"`
+}
+
+// ID returns the record's job identifier (Status.ID).
+func (r JobRecord) ID() string { return r.Status.ID }
+
+// Validate reports the first structural defect of the record.
+func (r JobRecord) Validate() error {
+	if r.Schema != api.SchemaVersion {
+		return fmt.Errorf("store: job record schema %d (this build reads %d)", r.Schema, api.SchemaVersion)
+	}
+	if err := checkHexKey("cache_key", r.CacheKey); err != nil {
+		return err
+	}
+	if err := checkID(r.Status.ID); err != nil {
+		return err
+	}
+	if err := r.Request.Validate(); err != nil {
+		return fmt.Errorf("store: job record request: %w", err)
+	}
+	if err := r.Status.Validate(); err != nil {
+		return fmt.Errorf("store: job record status: %w", err)
+	}
+	return nil
+}
+
+// Encode renders the record in the canonical byte form (two-space
+// indent, struct field order, trailing newline — the api rules).
+func (r JobRecord) Encode() ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding job record: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeJobRecord strictly parses and validates a job record: unknown
+// fields, trailing data, and schema drift are rejected.
+func DecodeJobRecord(data []byte) (JobRecord, error) {
+	var r JobRecord
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return JobRecord{}, fmt.Errorf("store: decoding job record: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return JobRecord{}, fmt.Errorf("store: trailing data after job record")
+	}
+	if err := r.Validate(); err != nil {
+		return JobRecord{}, err
+	}
+	return r, nil
+}
+
+// JobStore persists job records and canonical results.
+type JobStore interface {
+	// PutJob upserts the record under its job ID. The service writes on
+	// every state transition, so the stored record always reflects the
+	// latest wire status.
+	PutJob(rec JobRecord) error
+	// Jobs returns every stored record in job-ID order.
+	Jobs() ([]JobRecord, error)
+	// PutResult stores the result's canonical (timing-stripped,
+	// label-free) form under a 64-hex cache key.
+	PutResult(key string, res api.JobResult) error
+	// GetResult returns the stored result for key; ok is false on a
+	// miss. The returned value re-encodes byte-identically to the
+	// canonical bytes stored.
+	GetResult(key string) (res api.JobResult, ok bool, err error)
+}
+
+// BlobStore persists datasets content-addressed by bitmat content
+// hash.
+type BlobStore interface {
+	// PutBlob stores the dataset under its content hash and returns the
+	// hash. Storing a blob the store already holds is a cheap no-op.
+	PutBlob(a *seqio.Alignment) ([32]byte, error)
+	// GetBlob returns the resident dataset for a lowercase-hex content
+	// hash; ok is false when the store does not hold it.
+	GetBlob(hashHex string) (a *seqio.Alignment, ok bool, err error)
+	// OpenBlob opens the blob as a forward-only chunk source for
+	// out-of-core scanning (FSStore memory-maps the bitmat file; the
+	// caller must Close the source). ok is false when the store does
+	// not hold the blob.
+	OpenBlob(hashHex string) (src seqio.ChunkSource, ok bool, err error)
+}
+
+// Store is the full storage seam the service runs over.
+type Store interface {
+	JobStore
+	BlobStore
+	// Durable reports whether the store survives a process restart
+	// (drives startup recovery and queue-persistence behavior).
+	Durable() bool
+	// Close releases store resources. Chunk sources handed out by
+	// OpenBlob have their own lifecycle and are not affected.
+	Close() error
+}
+
+// Options configures a store.
+type Options struct {
+	// ResultEntries bounds MemStore's result LRU (≤ 0 disables result
+	// caching). FSStore ignores it: durable results live on disk and
+	// are never evicted.
+	ResultEntries int
+	// DatasetCacheBytes caps the resident dataset cache in bytes
+	// (≤ 0 = unlimited). Eviction drops only the in-memory copy;
+	// durable blobs stay on disk.
+	DatasetCacheBytes int64
+	// Metrics receives the store observability bundle (nil = a
+	// detached bundle on a private registry).
+	Metrics *obs.StoreMetrics
+}
+
+func (o Options) metrics() *obs.StoreMetrics {
+	if o.Metrics != nil {
+		return o.Metrics
+	}
+	return obs.NewStoreMetrics(obs.NewRegistry())
+}
+
+// checkHexKey validates a 64-hex store key (cache keys, content
+// hashes). Keys become file names in FSStore, so this is also the
+// path-safety gate.
+func checkHexKey(what, key string) error {
+	if len(key) != 64 {
+		return fmt.Errorf("store: %s %q is not 64 hex digits", what, key)
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("store: %s %q is not lowercase hex", what, key)
+		}
+	}
+	return nil
+}
+
+// checkID validates a job ID for use as a file name: non-empty,
+// bounded, a conservative character set, and no leading dot (FSStore
+// temp files are dot-prefixed).
+func checkID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("store: job id %q out of range", id)
+	}
+	if id[0] == '.' {
+		return fmt.Errorf("store: job id %q may not start with a dot", id)
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("store: job id %q contains %q", id, c)
+		}
+	}
+	return nil
+}
+
+// hashHexOf renders a content hash in the store's key form.
+func hashHexOf(h [32]byte) string { return hex.EncodeToString(h[:]) }

@@ -1,0 +1,408 @@
+package store
+
+import (
+	"bytes"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"omegago"
+	"omegago/api"
+	"omegago/internal/obs"
+	"omegago/internal/seqio"
+)
+
+func testDataset(t *testing.T, seed int64) *seqio.Alignment {
+	t.Helper()
+	ds, err := omegago.Simulate(omegago.SimConfig{
+		SampleSize: 12, Replicates: 1, SegSites: 80, Seed: seed,
+	}, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func testRecord(id, state string) JobRecord {
+	return JobRecord{
+		Schema:   api.SchemaVersion,
+		CacheKey: strings.Repeat("ab", 32),
+		Request: api.ScanRequest{
+			Schema:  api.SchemaVersion,
+			Dataset: api.DatasetRef{ContentHash: strings.Repeat("cd", 32)},
+			Params:  api.ScanParams{GridSize: 8},
+		},
+		Status: api.JobStatus{
+			Schema: api.SchemaVersion, ID: id, State: state,
+			Priority: api.PriorityNormal, Tenant: "anonymous",
+			SubmittedAt: "2026-08-08T00:00:00Z",
+		},
+	}
+}
+
+func testResult(omega float64) api.JobResult {
+	return api.JobResult{
+		Schema: api.SchemaVersion,
+		Kind:   api.KindScan,
+		Scan: &api.ScanReport{
+			Schema:  api.SchemaVersion,
+			Backend: "cpu",
+			Results: []api.ResultRow{{Position: 10, Valid: true, Omega: omega, WinLeft: 1, WinRight: 20, Scores: 4}},
+		},
+	}
+}
+
+// stores builds one store of each kind for the shared conformance run.
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := NewFS(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"mem": NewMem(Options{ResultEntries: 16}),
+		"fs":  fs,
+	}
+}
+
+func TestStoreJobRoundTrip(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			for _, id := range []string{"job-000002", "job-000001"} {
+				if err := s.PutJob(testRecord(id, api.StateQueued)); err != nil {
+					t.Fatalf("PutJob(%s): %v", id, err)
+				}
+			}
+			// Upsert: same ID again with a new state replaces, not appends.
+			if err := s.PutJob(testRecord("job-000002", api.StateDone)); err != nil {
+				t.Fatal(err)
+			}
+			recs, err := s.Jobs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 2 {
+				t.Fatalf("Jobs() returned %d records, want 2", len(recs))
+			}
+			byID := map[string]JobRecord{}
+			for _, r := range recs {
+				byID[r.ID()] = r
+			}
+			if got := byID["job-000002"].Status.State; got != api.StateDone {
+				t.Errorf("upserted record state = %q, want done", got)
+			}
+			if s.Durable() {
+				// Durable job listing must be ID-sorted regardless of write order.
+				if recs[0].ID() != "job-000001" || recs[1].ID() != "job-000002" {
+					t.Errorf("records out of order: %s, %s", recs[0].ID(), recs[1].ID())
+				}
+			}
+			if err := s.PutJob(testRecord("../escape", api.StateQueued)); err == nil {
+				t.Error("path-hostile job ID accepted")
+			}
+		})
+	}
+}
+
+func TestStoreResultRoundTrip(t *testing.T) {
+	key := strings.Repeat("12", 32)
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			if _, ok, err := s.GetResult(key); err != nil || ok {
+				t.Fatalf("empty store GetResult = ok=%v err=%v", ok, err)
+			}
+			res := testResult(3.25)
+			res.Scan.Label = "should-be-stripped"
+			res.Scan.Timing = &api.Timing{WallSeconds: 9}
+			if err := s.PutResult(key, res); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := s.GetResult(key)
+			if err != nil || !ok {
+				t.Fatalf("GetResult = ok=%v err=%v", ok, err)
+			}
+			if got.Scan.Label != "" {
+				t.Errorf("stored result kept label %q", got.Scan.Label)
+			}
+			if got.Scan.Timing != nil {
+				t.Error("stored result kept timing")
+			}
+			// Byte identity: two reads re-encode identically.
+			b1, err := got.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, _, err := s.GetResult(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := again.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Error("repeated GetResult not byte-identical")
+			}
+			if err := s.PutResult("shortkey", res); err == nil {
+				t.Error("malformed cache key accepted")
+			}
+		})
+	}
+}
+
+func TestStoreBlobRoundTrip(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			ds := testDataset(t, 1)
+			hash, err := s.PutBlob(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hh := hex.EncodeToString(hash[:])
+			got, ok, err := s.GetBlob(hh)
+			if err != nil || !ok {
+				t.Fatalf("GetBlob = ok=%v err=%v", ok, err)
+			}
+			gotHash, err := seqio.ContentHash(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotHash != hash {
+				t.Error("GetBlob returned different content")
+			}
+			if _, ok, err := s.GetBlob(strings.Repeat("00", 32)); err != nil || ok {
+				t.Errorf("unknown hash GetBlob = ok=%v err=%v", ok, err)
+			}
+
+			src, ok, err := s.OpenBlob(hh)
+			if err != nil || !ok {
+				t.Fatalf("OpenBlob = ok=%v err=%v", ok, err)
+			}
+			defer src.Close()
+			meta := src.Meta()
+			if meta.NumSNPs != ds.NumSNPs() || meta.Samples != ds.Samples() {
+				t.Errorf("OpenBlob meta %d SNPs × %d samples, want %d × %d",
+					meta.NumSNPs, meta.Samples, ds.NumSNPs(), ds.Samples())
+			}
+			if _, ok, err := s.OpenBlob(strings.Repeat("00", 32)); err != nil || ok {
+				t.Errorf("unknown hash OpenBlob = ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}
+
+// FSStore must survive a reopen: records, results and blobs written by
+// one instance are read by the next — the foundation of restart
+// recovery.
+func TestFSStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewFS(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := testDataset(t, 2)
+	hash, err := s1.PutBlob(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("34", 32)
+	if err := s1.PutResult(key, testResult(2.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.PutJob(testRecord("job-000001", api.StateDone)); err != nil {
+		t.Fatal(err)
+	}
+	res1, _, err := s1.GetResult(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := res1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	s2, err := NewFS(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recs, err := s2.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID() != "job-000001" {
+		t.Fatalf("reopened Jobs() = %+v", recs)
+	}
+	res2, ok, err := s2.GetResult(key)
+	if err != nil || !ok {
+		t.Fatalf("reopened GetResult = ok=%v err=%v", ok, err)
+	}
+	b2, err := res2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("result not byte-identical across reopen")
+	}
+	if _, ok, err := s2.GetBlob(hex.EncodeToString(hash[:])); err != nil || !ok {
+		t.Fatalf("reopened GetBlob = ok=%v err=%v", ok, err)
+	}
+}
+
+// A torn (partially written) record must never be visible: writes are
+// atomic, and leftover temp files are ignored by Jobs.
+func TestFSStoreIgnoresTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFS(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.PutJob(testRecord("job-000001", api.StateQueued)); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "jobs", ".job-000002.json.tmp123")
+	if err := os.WriteFile(tmp, []byte(`{"schema": 1, "partial`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("Jobs() = %d records, want 1 (temp file leaked in)", len(recs))
+	}
+}
+
+// A corrupt committed record fails the listing loudly rather than
+// silently dropping history.
+func TestFSStoreCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFS(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	bad := filepath.Join(dir, "jobs", "job-000009.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Jobs(); err == nil {
+		t.Error("corrupt job record silently accepted")
+	}
+}
+
+// The dataset cache evicts by byte size, counts evictions, and — for
+// the durable store — reloads evicted blobs from disk.
+func TestBlobCacheEviction(t *testing.T) {
+	ds1 := testDataset(t, 3)
+	ds2 := testDataset(t, 4)
+	size1, err := seqio.BitmatSize(ds1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	met := obs.NewStoreMetrics(reg)
+	fs, err := NewFS(t.TempDir(), Options{DatasetCacheBytes: size1 + 1, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	h1, err := fs.PutBlob(ds1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.PutBlob(ds2); err != nil {
+		t.Fatal(err)
+	}
+	if got := met.DatasetEvictions.Value(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	// The evicted blob is still durable: GetBlob reloads it from disk.
+	if _, ok, err := fs.GetBlob(hex.EncodeToString(h1[:])); err != nil || !ok {
+		t.Fatalf("evicted durable blob not reloadable: ok=%v err=%v", ok, err)
+	}
+
+	// MemStore has no backing tier: the evicted blob is gone.
+	met2 := obs.NewStoreMetrics(obs.NewRegistry())
+	mem := NewMem(Options{DatasetCacheBytes: size1 + 1, Metrics: met2})
+	h1m, err := mem.PutBlob(ds1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.PutBlob(ds2); err != nil {
+		t.Fatal(err)
+	}
+	if met2.DatasetEvictions.Value() != 1 {
+		t.Errorf("mem evictions = %d, want 1", met2.DatasetEvictions.Value())
+	}
+	if _, ok, _ := mem.GetBlob(hex.EncodeToString(h1m[:])); ok {
+		t.Error("evicted mem blob still resolvable")
+	}
+}
+
+// MemStore's result LRU honors its entry cap.
+func TestMemResultLRU(t *testing.T) {
+	mem := NewMem(Options{ResultEntries: 2})
+	keys := []string{strings.Repeat("01", 32), strings.Repeat("02", 32), strings.Repeat("03", 32)}
+	for i, k := range keys {
+		if err := mem.PutResult(k, testResult(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := mem.resultLen(); n != 2 {
+		t.Fatalf("result LRU holds %d entries, want 2", n)
+	}
+	if _, ok, _ := mem.GetResult(keys[0]); ok {
+		t.Error("oldest entry survived past the cap")
+	}
+	if _, ok, _ := mem.GetResult(keys[2]); !ok {
+		t.Error("newest entry missing")
+	}
+
+	// ≤ 0 disables caching entirely.
+	off := NewMem(Options{ResultEntries: -1})
+	if err := off.PutResult(keys[0], testResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := off.GetResult(keys[0]); ok {
+		t.Error("disabled cache returned a hit")
+	}
+}
+
+func TestJobRecordCodec(t *testing.T) {
+	rec := testRecord("job-000007", api.StateQueued)
+	b, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeJobRecord(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := dec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Error("job record Encode∘Decode∘Encode not byte-identical")
+	}
+	if _, err := DecodeJobRecord(append(b, '{')); err == nil {
+		t.Error("trailing data accepted")
+	}
+	if _, err := DecodeJobRecord([]byte(strings.Replace(string(b), `"schema": 1`, `"schema": 1, "x": 2`, 1))); err == nil {
+		t.Error("unknown field accepted")
+	}
+	bad := rec
+	bad.CacheKey = "zz"
+	if _, err := bad.Encode(); err == nil {
+		t.Error("bad cache key accepted")
+	}
+}
